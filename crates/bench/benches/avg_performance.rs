@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E4: per-workload simulated cycles on
+//! DET vs RAND (the average-performance table over the benchmark suite).
+//!
+//! Criterion measures wall-clock per simulated run; the *simulated cycle
+//! counts* behind E4's table come from `exp_avg`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxima_sim::{Platform, PlatformConfig};
+use proxima_workload::bench_suite::Benchmark;
+use std::hint::black_box;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_bench_suite");
+    for bench in Benchmark::all() {
+        let trace = bench.trace();
+        group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("rand", bench.name()),
+            &trace,
+            |b, trace| {
+                let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(platform.run(black_box(trace), seed).cycles)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("det", bench.name()), &trace, |b, trace| {
+            let mut platform = Platform::new(PlatformConfig::deterministic());
+            b.iter(|| black_box(platform.run(black_box(trace), 0).cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

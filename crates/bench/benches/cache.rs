@@ -1,0 +1,66 @@
+//! Criterion micro-benches of the cache/TLB substrate: hit path, miss +
+//! replacement path, flush, and TLB translation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxima_prng::Mwc64;
+use proxima_sim::{
+    Addr, CacheConfig, PlacementPolicy, ReplacementPolicy, SetAssocCache, Tlb, TlbConfig,
+};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_substrate");
+
+    group.bench_function("hit_path", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::default());
+        let mut rng = Mwc64::new(0);
+        cache.access(Addr::new(0x1000), false, &mut rng);
+        b.iter(|| black_box(cache.access(Addr::new(0x1000), false, &mut rng)))
+    });
+
+    for repl in [ReplacementPolicy::Lru, ReplacementPolicy::Random] {
+        group.bench_with_input(
+            BenchmarkId::new("thrash_miss_path", format!("{repl}")),
+            &repl,
+            |b, &r| {
+                let cfg = CacheConfig::leon3_l1(PlacementPolicy::Modulo, r);
+                let mut cache = SetAssocCache::new(cfg);
+                let mut rng = Mwc64::new(0);
+                // 8 aliasing lines guarantee an eviction per access.
+                let lines: Vec<Addr> = (0..8).map(|i| Addr::new(0x100 + i * 4096)).collect();
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % lines.len();
+                    black_box(cache.access(lines[i], false, &mut rng))
+                })
+            },
+        );
+    }
+
+    group.bench_function("flush_16kb", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::default());
+        b.iter(|| cache.flush())
+    });
+
+    group.bench_function("tlb_hit", |b| {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        let mut rng = Mwc64::new(0);
+        tlb.access(Addr::new(0x4000), &mut rng);
+        b.iter(|| black_box(tlb.access(Addr::new(0x4000), &mut rng)))
+    });
+
+    group.bench_function("tlb_miss_evict", |b| {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        let mut rng = Mwc64::new(0);
+        let mut page = 0u64;
+        b.iter(|| {
+            page = page.wrapping_add(1);
+            black_box(tlb.access(Addr::new(page * 4096), &mut rng))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

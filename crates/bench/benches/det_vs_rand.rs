@@ -1,0 +1,55 @@
+//! Criterion bench for experiment E3: simulated-run cost on the DET and
+//! RAND platform personalities (Figure 3's measurement side).
+//!
+//! The RAND/DET ratio here is the simulation-cost counterpart of the
+//! average-performance bars: if the randomized platform model were much
+//! slower to simulate, campaigns would be impractical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxima_sim::{Platform, PlatformConfig};
+use proxima_workload::tvca::{ControlMode, Tvca, TvcaConfig};
+use std::hint::black_box;
+
+fn bench_platforms(c: &mut Criterion) {
+    let tvca = Tvca::new(TvcaConfig::default());
+    let trace = tvca.trace(ControlMode::Nominal);
+
+    let mut group = c.benchmark_group("e3_platform_run");
+    group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    for (name, config) in [
+        ("det", PlatformConfig::deterministic()),
+        ("rand", PlatformConfig::mbpta_compliant()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("tvca_run", name), &config, |b, cfg| {
+            let mut platform = Platform::new(cfg.clone());
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(platform.run(black_box(&trace), seed).cycles)
+            })
+        });
+    }
+    for mode in [
+        ControlMode::Nominal,
+        ControlMode::SaturatedX,
+        ControlMode::FaultRecovery,
+    ] {
+        let t = tvca.trace(mode);
+        group.bench_with_input(
+            BenchmarkId::new("rand_by_path", mode.to_string()),
+            &t,
+            |b, t| {
+                let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(platform.run(black_box(t), seed).cycles)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

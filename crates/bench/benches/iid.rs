@@ -1,0 +1,44 @@
+//! Criterion bench for experiment E1: the i.i.d. validation gate.
+//!
+//! Benchmarks the Ljung-Box and two-sample KS tests at the paper's
+//! campaign size (3,000 observations) and the full gate end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxima_bench::{tvca_campaign, BASE_SEED};
+use proxima_mbpta::iid::validate;
+use proxima_sim::PlatformConfig;
+use proxima_stats::tests::{ks_two_sample, ljung_box};
+use proxima_workload::tvca::ControlMode;
+use std::hint::black_box;
+
+fn bench_iid(c: &mut Criterion) {
+    // One shared campaign: the bench measures the statistics, not the sim.
+    let campaign = tvca_campaign(
+        PlatformConfig::mbpta_compliant(),
+        ControlMode::Nominal,
+        3000,
+        BASE_SEED,
+    );
+    let times = campaign.times().to_vec();
+
+    let mut group = c.benchmark_group("e1_iid_gate");
+    group.bench_function("ljung_box_3000x20", |b| {
+        b.iter(|| ljung_box(black_box(&times), 20).expect("lb"))
+    });
+    group.bench_function("ks_two_sample_1500v1500", |b| {
+        let (first, second) = times.split_at(times.len() / 2);
+        b.iter(|| ks_two_sample(black_box(first), black_box(second)).expect("ks"))
+    });
+    group.bench_function("full_gate", |b| {
+        b.iter(|| validate(black_box(&times), 0.05, None).expect("gate"))
+    });
+    for n in [500usize, 1000, 3000] {
+        group.bench_with_input(BenchmarkId::new("gate_by_n", n), &n, |b, &n| {
+            b.iter(|| validate(black_box(&times[..n]), 0.05, None).expect("gate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iid);
+criterion_main!(benches);

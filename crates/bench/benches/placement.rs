@@ -1,0 +1,50 @@
+//! Criterion bench for ablation A1: placement-policy cost.
+//!
+//! Measures the per-access cost of each placement policy's index
+//! computation path through a realistic cache access mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxima_prng::Mwc64;
+use proxima_sim::{Addr, CacheConfig, PlacementPolicy, ReplacementPolicy, SetAssocCache};
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    // A mixed working set: sequential sweeps + aliasing-prone strides.
+    let addrs: Vec<Addr> = (0..4096u64)
+        .map(|i| {
+            if i % 3 == 0 {
+                Addr::new(0x10_0000 + (i * 32) % 0x8000)
+            } else {
+                Addr::new(0x20_0000 + (i % 64) * 4096)
+            }
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("a1_placement");
+    group.throughput(criterion::Throughput::Elements(addrs.len() as u64));
+    for placement in [
+        PlacementPolicy::Modulo,
+        PlacementPolicy::RandomModulo,
+        PlacementPolicy::HashRandom,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("access_mix", placement.to_string()),
+            &placement,
+            |b, &p| {
+                let cfg = CacheConfig::leon3_l1(p, ReplacementPolicy::Random);
+                let mut cache = SetAssocCache::new(cfg);
+                cache.reseed(42);
+                let mut rng = Mwc64::new(42);
+                b.iter(|| {
+                    for a in &addrs {
+                        black_box(cache.access(*a, false, &mut rng));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

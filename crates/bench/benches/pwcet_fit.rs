@@ -1,0 +1,56 @@
+//! Criterion bench for experiment E2: the EVT fit behind Figure 2.
+//!
+//! Benchmarks block-maxima extraction, the Gumbel PWM and MLE fits, the
+//! full `fit_tail` stage, and pWCET curve evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxima_bench::{tvca_campaign, BASE_SEED};
+use proxima_mbpta::evt_fit::fit_tail;
+use proxima_mbpta::{analyze, BlockSpec, MbptaConfig, Pwcet};
+use proxima_sim::PlatformConfig;
+use proxima_stats::evt::{block_maxima, fit_gumbel, fit_gumbel_pwm};
+use proxima_workload::tvca::ControlMode;
+use std::hint::black_box;
+
+fn bench_fit(c: &mut Criterion) {
+    let campaign = tvca_campaign(
+        PlatformConfig::mbpta_compliant(),
+        ControlMode::Nominal,
+        3000,
+        BASE_SEED,
+    );
+    let times = campaign.times().to_vec();
+    let maxima = block_maxima(&times, 50).expect("maxima");
+
+    let mut group = c.benchmark_group("e2_evt_fit");
+    group.bench_function("block_maxima_3000/50", |b| {
+        b.iter(|| block_maxima(black_box(&times), 50).expect("maxima"))
+    });
+    group.bench_function("gumbel_pwm_60", |b| {
+        b.iter(|| fit_gumbel_pwm(black_box(&maxima)).expect("pwm"))
+    });
+    group.bench_function("gumbel_mle_60", |b| {
+        b.iter(|| fit_gumbel(black_box(&maxima)).expect("mle"))
+    });
+    for block in [20usize, 50, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("fit_tail_fixed", block),
+            &block,
+            |b, &bs| b.iter(|| fit_tail(black_box(&times), &BlockSpec::Fixed(bs)).expect("fit")),
+        );
+    }
+    group.bench_function("full_pipeline_analyze", |b| {
+        b.iter(|| analyze(black_box(&times), &MbptaConfig::default()).expect("analysis"))
+    });
+
+    let fit = fit_tail(&times, &BlockSpec::Fixed(50)).expect("fit");
+    let pwcet = Pwcet::new(fit.gumbel, fit.block_size);
+    let probs: Vec<f64> = (3..=15).map(|e| 10f64.powi(-e)).collect();
+    group.bench_function("pwcet_curve_13pts", |b| {
+        b.iter(|| pwcet.curve(black_box(&probs)).expect("curve"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

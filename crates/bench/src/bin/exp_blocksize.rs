@@ -1,0 +1,62 @@
+//! **A2 — Block-size ablation**: sensitivity of the Gumbel fit and the
+//! pWCET estimate to the block-maxima block size, plus the POT cross-check.
+//!
+//! ```text
+//! cargo run --release -p proxima-bench --bin exp_blocksize
+//! ```
+
+use proxima_bench::{fmt_cycles, tvca_campaign, BASE_SEED, PAPER_RUNS};
+use proxima_mbpta::evt_fit::fit_tail;
+use proxima_mbpta::{BlockSpec, Pwcet};
+use proxima_sim::PlatformConfig;
+use proxima_stats::dist::ContinuousDistribution;
+use proxima_workload::tvca::ControlMode;
+
+fn main() {
+    println!("=== A2: block-size sweep for the EVT fit (TVCA, RAND) ===\n");
+    let campaign = tvca_campaign(
+        PlatformConfig::mbpta_compliant(),
+        ControlMode::Nominal,
+        PAPER_RUNS,
+        BASE_SEED,
+    );
+
+    println!(
+        "{:<10}{:>10}{:>14}{:>12}{:>12}{:>16}{:>16}",
+        "block", "maxima", "gumbel mu", "beta", "KS-GoF p", "pWCET@1e-9", "pWCET@1e-15"
+    );
+    for block in [10usize, 20, 25, 50, 100, 150] {
+        match fit_tail(campaign.times(), &BlockSpec::Fixed(block)) {
+            Ok(fit) => {
+                let pwcet = Pwcet::new(fit.gumbel, fit.block_size);
+                println!(
+                    "{:<10}{:>10}{:>14}{:>12.2}{:>12.3}{:>16}{:>16}",
+                    block,
+                    fit.n_maxima,
+                    fmt_cycles(fit.gumbel.mu()),
+                    fit.gumbel.beta(),
+                    fit.gof.ks.p_value,
+                    fmt_cycles(pwcet.budget_for(1e-9).expect("budget")),
+                    fmt_cycles(pwcet.budget_for(1e-15).expect("budget")),
+                );
+            }
+            Err(e) => println!("{block:<10} fit failed: {e}"),
+        }
+    }
+
+    // POT cross-check at the default settings.
+    let fit = fit_tail(campaign.times(), &BlockSpec::default()).expect("fit");
+    if let Some(gpd) = fit.pot_cross_check {
+        let bm_q = fit.gumbel.exceedance_quantile(1e-9 * fit.block_size as f64);
+        let pot_q = gpd.exceedance_quantile(1e-8); // per-exceedance prob, same scale region
+        println!(
+            "\nPOT cross-check: GPD xi={:+.3} over threshold {} (block-maxima deep quantile {:?}, POT {:?})",
+            gpd.xi(),
+            fmt_cycles(gpd.threshold()),
+            bm_q.map(fmt_cycles),
+            pot_q.map(fmt_cycles),
+        );
+    }
+    println!("\nexpected shape: estimates stabilise once blocks are large enough");
+    println!("(>= 25) and shrinking maxima counts only widen the fit noise.");
+}

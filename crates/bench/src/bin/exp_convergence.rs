@@ -1,0 +1,47 @@
+//! **A3 — Convergence**: why 3,000 runs suffice.
+//!
+//! Tracks the pWCET estimate at the 10⁻¹² cutoff across growing prefixes
+//! of the campaign; the paper's protocol stops collecting once the MBPTA
+//! convergence criterion is met (satisfied at 3,000 runs in the paper).
+//!
+//! ```text
+//! cargo run --release -p proxima-bench --bin exp_convergence
+//! ```
+
+use proxima_bench::{fmt_cycles, tvca_campaign, BASE_SEED};
+use proxima_mbpta::convergence::{check_convergence, ConvergenceConfig};
+use proxima_sim::PlatformConfig;
+use proxima_workload::tvca::ControlMode;
+
+fn main() {
+    println!("=== A3: campaign-size convergence of the pWCET estimate ===\n");
+    let campaign = tvca_campaign(
+        PlatformConfig::mbpta_compliant(),
+        ControlMode::Nominal,
+        4000,
+        BASE_SEED,
+    );
+    let report = check_convergence(&campaign, &ConvergenceConfig::default()).expect("convergence");
+
+    println!("{:>8}{:>18}{:>12}", "runs", "pWCET@1e-12", "delta");
+    let mut prev: Option<f64> = None;
+    for point in &report.trajectory {
+        let delta = prev
+            .map(|p| format!("{:+.3}%", 100.0 * (point.estimate - p) / p))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>8}{:>18}{:>12}",
+            point.runs,
+            fmt_cycles(point.estimate),
+            delta
+        );
+        prev = Some(point.estimate);
+    }
+    match report.converged_at {
+        Some(runs) => println!(
+            "\ncriterion met at {runs} runs (3 consecutive checkpoints within 1%)\n\
+             paper: convergence satisfied by 3,000 runs"
+        ),
+        None => println!("\ncriterion NOT met within the campaign — collect more runs"),
+    }
+}

@@ -1,0 +1,49 @@
+//! **A8 — Multicore bus contention**: the 4-core dimension of the
+//! reference architecture.
+//!
+//! The paper's platform is a 4-core LEON3 with a shared bus; TVCA runs
+//! alone in the evaluation, but the MBPTA argument extends to contention:
+//! round-robin arbitration with a randomized phase turns interference
+//! delays into a bounded random variable the campaign samples. This
+//! experiment sweeps the number of interfering cores and reports the
+//! i.i.d. gate, averages, and pWCET estimates.
+//!
+//! ```text
+//! cargo run --release -p proxima-bench --bin exp_multicore
+//! ```
+
+use proxima_bench::{fmt_cycles, tvca_campaign, BASE_SEED};
+use proxima_mbpta::{analyze, MbptaConfig};
+use proxima_sim::bus::BusModel;
+use proxima_sim::PlatformConfig;
+use proxima_workload::tvca::ControlMode;
+
+fn main() {
+    println!("=== A8: shared-bus contention on the 4-core platform ===\n");
+    println!(
+        "{:<14}{:>14}{:>14}{:>12}{:>16}{:>16}",
+        "interferers", "mean", "hwm", "LB p", "pWCET@1e-9", "pWCET@1e-15"
+    );
+    for interfering in 0..=3u64 {
+        let mut config = PlatformConfig::mbpta_compliant();
+        config.bus = BusModel::leon3(interfering);
+        let campaign = tvca_campaign(config, ControlMode::Nominal, 1500, BASE_SEED);
+        let summary = campaign.summary().expect("summary");
+        match analyze(campaign.times(), &MbptaConfig::default()) {
+            Ok(report) => println!(
+                "{:<14}{:>14}{:>14}{:>12.3}{:>16}{:>16}",
+                interfering,
+                fmt_cycles(summary.mean),
+                fmt_cycles(summary.max),
+                report.iid.ljung_box.p_value,
+                fmt_cycles(report.budget_for(1e-9).expect("budget")),
+                fmt_cycles(report.budget_for(1e-15).expect("budget")),
+            ),
+            Err(e) => println!("{interfering:<14} analysis failed: {e}"),
+        }
+    }
+    println!("\nexpected shape: each added interferer raises mean and pWCET by a");
+    println!("bounded increment (≤ one bus slot per L1 miss), the gate keeps");
+    println!("passing (the arbitration phase is randomized), and the pWCET-to-mean");
+    println!("gap widens as bus delays add variance.");
+}

@@ -1,0 +1,61 @@
+//! **A1 — Placement-policy ablation**: modulo vs random-modulo vs fully
+//! hashed random placement.
+//!
+//! Reproduces the design argument of random modulo (Hernandez et al., DAC
+//! 2016): it randomizes inter-object conflicts (making MBPTA applicable)
+//! while preserving the intra-window conflict-freedom that keeps average
+//! performance close to modulo; fully hashed placement randomizes too but
+//! costs average performance on sequential data.
+//!
+//! ```text
+//! cargo run --release -p proxima-bench --bin exp_placement
+//! ```
+
+use proxima_bench::{fmt_cycles, tvca_campaign, BASE_SEED};
+use proxima_mbpta::iid::validate;
+use proxima_sim::{PlacementPolicy, PlatformConfig};
+use proxima_workload::tvca::ControlMode;
+
+fn config_with(placement: PlacementPolicy) -> PlatformConfig {
+    let mut c = PlatformConfig::mbpta_compliant();
+    c.il1.placement = placement;
+    c.dl1.placement = placement;
+    c
+}
+
+fn main() {
+    println!("=== A1: cache placement policy ablation (TVCA, RAND otherwise) ===\n");
+    println!(
+        "{:<16}{:>14}{:>14}{:>12}{:>14}",
+        "placement", "mean", "max-min", "LB p", "iid-pass"
+    );
+    for placement in [
+        PlacementPolicy::Modulo,
+        PlacementPolicy::RandomModulo,
+        PlacementPolicy::HashRandom,
+    ] {
+        let campaign = tvca_campaign(config_with(placement), ControlMode::Nominal, 600, BASE_SEED);
+        let s = campaign.summary().expect("summary");
+        // The gate needs variation; a constant sample means placement does
+        // not randomize — report it as not applicable.
+        let gate = validate(campaign.times(), 0.05, None);
+        let (lb, pass) = match &gate {
+            Ok(r) => (format!("{:.3}", r.ljung_box.p_value), r.passed.to_string()),
+            Err(_) => ("n/a".into(), "no (no jitter)".into()),
+        };
+        println!(
+            "{:<16}{:>14}{:>14}{:>12}{:>14}",
+            placement.to_string(),
+            fmt_cycles(s.mean),
+            fmt_cycles(s.max - s.min),
+            lb,
+            pass
+        );
+    }
+    println!("\nexpected shape: under modulo placement only the (small) replacement");
+    println!("jitter remains and the layout's conflict pattern is never sampled —");
+    println!("the placement risk stays invisible to measurements. random-modulo and");
+    println!("hash-random expose the full placement distribution (wider max-min,");
+    println!("gate passes), and random-modulo's mean stays closest to modulo");
+    println!("because intra-window locality is preserved (the DAC 2016 argument).");
+}

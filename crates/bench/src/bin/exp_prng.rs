@@ -1,0 +1,55 @@
+//! **A6 — PRNG quality ablation**: MBPTA's dependence on the quality of
+//! the hardware randomization (the reason the paper builds on a SIL3
+//! pseudo-random number generator).
+//!
+//! Swaps the platform PRNG between the SIL3-style MWC, xorshift, and a
+//! deliberately weak 16-bit LCG, and reports health-battery results,
+//! timing diversity and the i.i.d. gate.
+//!
+//! ```text
+//! cargo run --release -p proxima-bench --bin exp_prng
+//! ```
+
+use proxima_bench::{tvca_campaign, BASE_SEED};
+use proxima_mbpta::iid::validate;
+use proxima_prng::{health, PrngKind};
+use proxima_sim::PlatformConfig;
+use proxima_workload::tvca::ControlMode;
+
+fn main() {
+    println!("=== A6: PRNG quality and MBPTA applicability ===\n");
+    println!(
+        "{:<12}{:>10}{:>14}{:>12}{:>12}{:>10}",
+        "prng", "health", "distinct-t", "sd", "LB p", "iid"
+    );
+    for kind in [PrngKind::Mwc, PrngKind::XorShift, PrngKind::WeakLcg] {
+        let mut rng = kind.build(7);
+        let healthy = health::run_battery(rng.as_mut(), 4096).all_passed();
+
+        let mut config = PlatformConfig::mbpta_compliant();
+        config.prng = kind;
+        let campaign = tvca_campaign(config, ControlMode::Nominal, 600, BASE_SEED);
+        let distinct: std::collections::HashSet<u64> =
+            campaign.times().iter().map(|&t| t as u64).collect();
+        let sd = campaign.summary().map(|s| s.std_dev).unwrap_or(0.0);
+        let gate = validate(campaign.times(), 0.05, None);
+        let (lb, pass) = match &gate {
+            Ok(r) => (format!("{:.3}", r.ljung_box.p_value), r.passed.to_string()),
+            Err(e) => (format!("{e}"), "n/a".into()),
+        };
+        println!(
+            "{:<12}{:>10}{:>14}{:>12.1}{:>12}{:>10}",
+            kind.to_string(),
+            if healthy { "pass" } else { "FAIL" },
+            distinct.len(),
+            sd,
+            lb,
+            pass
+        );
+    }
+    println!("\nexpected shape: the two certified-quality generators behave");
+    println!("identically (health pass, gate passes). the weak LCG fails the");
+    println!("online health battery a SIL3 generator must run — even when a");
+    println!("coarse workload happens to mask the defect in the timing numbers,");
+    println!("the certification evidence MBPTA rests on is gone. (Agirre DSD'15)");
+}

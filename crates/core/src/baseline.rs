@@ -1,0 +1,113 @@
+//! The industrial MBTA baseline: high watermark × engineering factor.
+//!
+//! The paper compares MBPTA against "an industrial practice based on MBTA
+//! applied to the baseline non-randomized platform … increasing by an
+//! engineering factor (e.g. 50%) the highest value observed". The factor
+//! covers unquantified uncertainty (worst cache layout, pathological
+//! replacement states); its adequacy cannot be argued from the
+//! measurements themselves, which is exactly the weakness MBPTA addresses.
+
+use crate::{Campaign, MbptaError};
+
+/// An MBTA bound: the observed high watermark inflated by a margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MbtaEstimate {
+    /// Maximum observed execution time.
+    pub high_watermark: f64,
+    /// Engineering margin (0.2 = 20%).
+    pub margin: f64,
+    /// The resulting bound: `high_watermark × (1 + margin)`.
+    pub bound: f64,
+}
+
+impl MbtaEstimate {
+    /// Compute the MBTA bound from a campaign on the deterministic
+    /// platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] for a negative margin.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_mbpta::{baseline::MbtaEstimate, Campaign};
+    ///
+    /// let campaign = Campaign::from_times(vec![900.0, 1000.0, 950.0])?;
+    /// let est = MbtaEstimate::from_campaign(&campaign, 0.5)?;
+    /// assert_eq!(est.bound, 1500.0);
+    /// # Ok::<(), proxima_mbpta::MbptaError>(())
+    /// ```
+    pub fn from_campaign(campaign: &Campaign, margin: f64) -> Result<Self, MbptaError> {
+        if !(margin >= 0.0 && margin.is_finite()) {
+            return Err(MbptaError::InvalidConfig {
+                what: "engineering margin must be non-negative and finite",
+            });
+        }
+        let hwm = campaign.high_watermark();
+        Ok(MbtaEstimate {
+            high_watermark: hwm,
+            margin,
+            bound: hwm * (1.0 + margin),
+        })
+    }
+
+    /// The customary margins quoted in industrial practice (20% and 50%).
+    pub fn customary_margins() -> [f64; 2] {
+        [0.2, 0.5]
+    }
+}
+
+impl std::fmt::Display for MbtaEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MBTA bound {:.0} (hwm {:.0} + {:.0}%)",
+            self.bound,
+            self.high_watermark,
+            self.margin * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign() -> Campaign {
+        Campaign::from_times(vec![100.0, 120.0, 110.0, 118.0]).unwrap()
+    }
+
+    #[test]
+    fn bound_is_hwm_times_factor() {
+        let e = MbtaEstimate::from_campaign(&campaign(), 0.5).unwrap();
+        assert_eq!(e.high_watermark, 120.0);
+        assert_eq!(e.bound, 180.0);
+        let e20 = MbtaEstimate::from_campaign(&campaign(), 0.2).unwrap();
+        assert_eq!(e20.bound, 144.0);
+    }
+
+    #[test]
+    fn zero_margin_is_plain_hwm() {
+        let e = MbtaEstimate::from_campaign(&campaign(), 0.0).unwrap();
+        assert_eq!(e.bound, e.high_watermark);
+    }
+
+    #[test]
+    fn negative_margin_rejected() {
+        assert!(MbtaEstimate::from_campaign(&campaign(), -0.1).is_err());
+        assert!(MbtaEstimate::from_campaign(&campaign(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = MbtaEstimate::from_campaign(&campaign(), 0.5).unwrap();
+        let s = e.to_string();
+        assert!(s.contains("180") && s.contains("50%"));
+    }
+
+    #[test]
+    fn customary_margins_listed() {
+        assert_eq!(MbtaEstimate::customary_margins(), [0.2, 0.5]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Measurement campaigns: collections of execution-time observations.
+
+use proxima_sim::{Inst, Platform};
+use proxima_stats::descriptive::Summary;
+use proxima_stats::StatsError;
+
+use crate::MbptaError;
+
+/// A measurement campaign: the execution times (in cycles) of repeated
+/// runs of one program path under the MBPTA protocol.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::Campaign;
+///
+/// let c = Campaign::from_times(vec![100.0, 105.0, 103.0, 108.0])?;
+/// assert_eq!(c.len(), 4);
+/// assert_eq!(c.high_watermark(), 108.0);
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    times: Vec<f64>,
+}
+
+impl Campaign {
+    /// Wrap a vector of measured execution times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Stats`] if the sample is empty or contains
+    /// non-finite values.
+    pub fn from_times(times: Vec<f64>) -> Result<Self, MbptaError> {
+        if times.is_empty() {
+            return Err(MbptaError::Stats(StatsError::InsufficientData {
+                needed: 1,
+                got: 0,
+            }));
+        }
+        if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err(MbptaError::Stats(StatsError::NonFiniteData));
+        }
+        Ok(Campaign { times })
+    }
+
+    /// Read a campaign from a reader: one execution time per line (blank
+    /// lines and `#` comments skipped) — the interchange format of
+    /// measurement rigs and of the `mbpta` CLI. Pass `&mut reader` if you
+    /// need the reader back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Stats`] for unparsable lines (reported as
+    /// non-finite data) or an empty file.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_mbpta::Campaign;
+    ///
+    /// let data = "# cycles\n100\n105.5\n\n103\n";
+    /// let c = Campaign::from_reader(data.as_bytes())?;
+    /// assert_eq!(c.len(), 3);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_reader<R: std::io::Read>(reader: R) -> Result<Self, MbptaError> {
+        use std::io::BufRead;
+        let buf = std::io::BufReader::new(reader);
+        let mut times = Vec::new();
+        for line in buf.lines() {
+            let line = line.map_err(|_| MbptaError::Stats(StatsError::NonFiniteData))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let value: f64 = line
+                .parse()
+                .map_err(|_| MbptaError::Stats(StatsError::NonFiniteData))?;
+            times.push(value);
+        }
+        Campaign::from_times(times)
+    }
+
+    /// Write the campaign in the same one-time-per-line format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for t in &self.times {
+            writeln!(writer, "{t}")?;
+        }
+        Ok(())
+    }
+
+    /// Execute the paper's measurement protocol on a simulated platform:
+    /// `runs` executions of `trace`, flushing and reseeding per run
+    /// (the platform does this inside `run`), with per-run seeds
+    /// `base_seed, base_seed + 1, …`.
+    pub fn measure(
+        platform: &mut Platform,
+        trace: &[Inst],
+        runs: usize,
+        base_seed: u64,
+    ) -> Result<Self, MbptaError> {
+        let obs = platform.campaign(trace, runs, base_seed);
+        Campaign::from_times(obs.into_iter().map(|o| o.cycles as f64).collect())
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the campaign holds no observations (impossible by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The observations, in measurement order (order matters: the
+    /// independence test runs over this sequence).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The maximum observed execution time — industry's *high watermark*.
+    pub fn high_watermark(&self) -> f64 {
+        self.times.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Descriptive summary of the observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Stats`] for campaigns of fewer than 2 runs.
+    pub fn summary(&self) -> Result<Summary, MbptaError> {
+        Ok(Summary::of(&self.times)?)
+    }
+
+    /// A prefix of the campaign (used by the convergence analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::CampaignTooSmall`] if `n` exceeds the number
+    /// of observations.
+    pub fn prefix(&self, n: usize) -> Result<Campaign, MbptaError> {
+        if n > self.times.len() || n == 0 {
+            return Err(MbptaError::CampaignTooSmall {
+                needed: n.max(1),
+                got: self.times.len(),
+            });
+        }
+        Ok(Campaign {
+            times: self.times[..n].to_vec(),
+        })
+    }
+}
+
+impl AsRef<[f64]> for Campaign {
+    fn as_ref(&self) -> &[f64] {
+        &self.times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxima_sim::{Inst, Platform, PlatformConfig};
+
+    #[test]
+    fn construction_validates() {
+        assert!(Campaign::from_times(vec![]).is_err());
+        assert!(Campaign::from_times(vec![f64::NAN]).is_err());
+        assert!(Campaign::from_times(vec![-1.0]).is_err());
+        assert!(Campaign::from_times(vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn high_watermark_is_max() {
+        let c = Campaign::from_times(vec![5.0, 9.0, 7.0]).unwrap();
+        assert_eq!(c.high_watermark(), 9.0);
+    }
+
+    #[test]
+    fn measure_runs_protocol() {
+        let prog: Vec<Inst> = (0..100)
+            .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * (i % 40)))
+            .collect();
+        let mut p = Platform::new(PlatformConfig::mbpta_compliant());
+        let c = Campaign::measure(&mut p, &prog, 50, 0).unwrap();
+        assert_eq!(c.len(), 50);
+        assert!(c.times().iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn prefix_takes_first_runs() {
+        let c = Campaign::from_times(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let p = c.prefix(2).unwrap();
+        assert_eq!(p.times(), &[1.0, 2.0]);
+        assert!(c.prefix(5).is_err());
+        assert!(c.prefix(0).is_err());
+    }
+
+    #[test]
+    fn reader_round_trip() {
+        let c = Campaign::from_times(vec![100.0, 105.5, 103.0]).unwrap();
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let back = Campaign::from_reader(buf.as_slice()).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn reader_skips_comments_and_blanks() {
+        let text = "# header\n\n1\n  2.5 \n# mid\n3\n";
+        let c = Campaign::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(c.times(), &[1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn reader_rejects_garbage_and_empty() {
+        assert!(Campaign::from_reader("abc\n".as_bytes()).is_err());
+        assert!(Campaign::from_reader("# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn summary_consistent() {
+        let c = Campaign::from_times(vec![10.0, 20.0, 30.0]).unwrap();
+        let s = c.summary().unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.max, c.high_watermark());
+    }
+}

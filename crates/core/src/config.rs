@@ -1,0 +1,115 @@
+//! Analysis configuration.
+
+/// How the block size for block-maxima extraction is chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockSpec {
+    /// A fixed block size.
+    Fixed(usize),
+    /// Scan the candidate sizes and keep the one whose Gumbel fit has the
+    /// best (smallest) Anderson-Darling statistic.
+    Auto(Vec<usize>),
+}
+
+impl Default for BlockSpec {
+    fn default() -> Self {
+        // The default candidates bracket the customary choices in the
+        // MBPTA literature for campaigns of a few thousand runs.
+        BlockSpec::Auto(vec![20, 25, 50, 100])
+    }
+}
+
+/// Configuration of the MBPTA pipeline.
+///
+/// The defaults mirror the paper's protocol: 3,000-run campaigns, 5%
+/// significance for the i.i.d. tests, per-path analysis with max across
+/// paths, and a Gumbel tail on block maxima.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbptaConfig {
+    /// Significance level for the i.i.d. gate and goodness-of-fit tests
+    /// (the paper uses 0.05).
+    pub alpha: f64,
+    /// Number of Ljung-Box lags; `None` selects `min(20, n/5)`.
+    pub ljung_box_lags: Option<usize>,
+    /// Block-maxima block size policy.
+    pub block: BlockSpec,
+    /// Minimum number of runs the pipeline accepts.
+    pub min_runs: usize,
+    /// Whether a failed Gumbel goodness-of-fit aborts the analysis
+    /// (`true`) or is merely recorded in the report (`false`).
+    pub strict_gof: bool,
+}
+
+impl Default for MbptaConfig {
+    fn default() -> Self {
+        MbptaConfig {
+            alpha: 0.05,
+            ljung_box_lags: None,
+            block: BlockSpec::default(),
+            min_runs: 100,
+            strict_gof: false,
+        }
+    }
+}
+
+impl MbptaConfig {
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MbptaError::InvalidConfig`] if `alpha` is outside
+    /// `(0, 0.5]`, a fixed block size is zero, or the candidate list is
+    /// empty.
+    pub fn validate(&self) -> Result<(), crate::MbptaError> {
+        if !(self.alpha > 0.0 && self.alpha <= 0.5) {
+            return Err(crate::MbptaError::InvalidConfig {
+                what: "alpha must be in (0, 0.5]",
+            });
+        }
+        match &self.block {
+            BlockSpec::Fixed(0) => Err(crate::MbptaError::InvalidConfig {
+                what: "fixed block size must be non-zero",
+            }),
+            BlockSpec::Auto(c) if c.is_empty() => Err(crate::MbptaError::InvalidConfig {
+                what: "auto block candidates must be non-empty",
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(MbptaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let zero = MbptaConfig {
+            alpha: 0.0,
+            ..MbptaConfig::default()
+        };
+        assert!(zero.validate().is_err());
+        let huge = MbptaConfig {
+            alpha: 0.9,
+            ..MbptaConfig::default()
+        };
+        assert!(huge.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_block_specs_rejected() {
+        let mut c = MbptaConfig {
+            block: BlockSpec::Fixed(0),
+            ..MbptaConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.block = BlockSpec::Auto(vec![]);
+        assert!(c.validate().is_err());
+        c.block = BlockSpec::Fixed(50);
+        assert!(c.validate().is_ok());
+    }
+}

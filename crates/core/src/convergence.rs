@@ -1,0 +1,217 @@
+//! Campaign-size convergence criterion.
+//!
+//! The paper: *"We execute TVCA 3,000 times to collect execution times
+//! which satisfied the convergence criteria defined in the MBPTA
+//! process."* The criterion implemented here follows the ECRTS 2012
+//! process: re-fit the tail on growing prefixes of the campaign and accept
+//! once the pWCET estimate at a reference cutoff stabilizes within a
+//! relative tolerance over consecutive checkpoints.
+
+use crate::config::{BlockSpec, MbptaConfig};
+use crate::evt_fit::fit_tail;
+use crate::pwcet::Pwcet;
+use crate::{Campaign, MbptaError};
+
+/// Configuration of the convergence check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceConfig {
+    /// The per-run cutoff probability the estimate is tracked at.
+    pub reference_cutoff: f64,
+    /// Relative tolerance between consecutive checkpoint estimates.
+    pub rel_tol: f64,
+    /// Number of consecutive stable checkpoints required.
+    pub stable_checkpoints: usize,
+    /// Runs added between checkpoints.
+    pub step: usize,
+    /// Smallest prefix analysed.
+    pub min_runs: usize,
+    /// Block policy used for the prefix fits (fixed sizes keep prefixes
+    /// comparable).
+    pub block: BlockSpec,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        ConvergenceConfig {
+            reference_cutoff: 1e-12,
+            rel_tol: 0.01,
+            stable_checkpoints: 3,
+            step: 250,
+            min_runs: 500,
+            block: BlockSpec::Fixed(25),
+        }
+    }
+}
+
+/// One checkpoint of the convergence trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Prefix length (number of runs used).
+    pub runs: usize,
+    /// pWCET estimate at the reference cutoff for this prefix.
+    pub estimate: f64,
+}
+
+/// Outcome of the convergence analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// The checkpoint trajectory.
+    pub trajectory: Vec<ConvergencePoint>,
+    /// The first prefix length at which the criterion was met, if any.
+    pub converged_at: Option<usize>,
+}
+
+impl ConvergenceReport {
+    /// `true` if the campaign satisfied the criterion.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+}
+
+/// Track the pWCET estimate across growing prefixes of `campaign` and
+/// report when (whether) it stabilizes.
+///
+/// # Errors
+///
+/// Returns [`MbptaError::CampaignTooSmall`] if the campaign is shorter
+/// than `config.min_runs`, or a stats error if a prefix fit fails.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::convergence::{check_convergence, ConvergenceConfig};
+/// use proxima_mbpta::Campaign;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let times: Vec<f64> = (0..3000)
+///     .map(|_| 1e5 + (0..8).map(|_| rng.gen::<f64>()).sum::<f64>() * 100.0)
+///     .collect();
+/// let campaign = Campaign::from_times(times)?;
+/// let report = check_convergence(&campaign, &ConvergenceConfig::default())?;
+/// assert!(report.converged());
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+pub fn check_convergence(
+    campaign: &Campaign,
+    config: &ConvergenceConfig,
+) -> Result<ConvergenceReport, MbptaError> {
+    if campaign.len() < config.min_runs {
+        return Err(MbptaError::CampaignTooSmall {
+            needed: config.min_runs,
+            got: campaign.len(),
+        });
+    }
+    let mut trajectory = Vec::new();
+    let mut stable_run = 0usize;
+    let mut converged_at = None;
+    let mut n = config.min_runs;
+    while n <= campaign.len() {
+        let prefix = campaign.prefix(n)?;
+        let fit = fit_tail(prefix.times(), &config.block)?;
+        let pwcet = Pwcet::new(fit.gumbel, fit.block_size);
+        let estimate = pwcet.budget_for(config.reference_cutoff)?;
+        if let Some(prev) = trajectory.last() {
+            let prev: &ConvergencePoint = prev;
+            let rel = ((estimate - prev.estimate) / prev.estimate).abs();
+            if rel <= config.rel_tol {
+                stable_run += 1;
+            } else {
+                stable_run = 0;
+            }
+        }
+        trajectory.push(ConvergencePoint { runs: n, estimate });
+        if converged_at.is_none() && stable_run >= config.stable_checkpoints {
+            converged_at = Some(n);
+        }
+        if n == campaign.len() {
+            break;
+        }
+        n = (n + config.step).min(campaign.len());
+    }
+    Ok(ConvergenceReport {
+        trajectory,
+        converged_at,
+    })
+}
+
+/// Convenience: run convergence with the pipeline defaults of an
+/// [`MbptaConfig`] (fixed block of 25, 1% tolerance).
+///
+/// # Errors
+///
+/// Same as [`check_convergence`].
+pub fn check_with_defaults(
+    campaign: &Campaign,
+    _config: &MbptaConfig,
+) -> Result<ConvergenceReport, MbptaError> {
+    check_convergence(campaign, &ConvergenceConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn stationary_campaign(n: usize, seed: u64) -> Campaign {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Campaign::from_times(
+            (0..n)
+                .map(|_| 1e5 + (0..8).map(|_| rng.gen::<f64>()).sum::<f64>() * 100.0)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stationary_campaign_converges() {
+        let c = stationary_campaign(3000, 1);
+        let r = check_convergence(&c, &ConvergenceConfig::default()).unwrap();
+        assert!(r.converged(), "trajectory: {:?}", r.trajectory);
+        assert!(r.converged_at.unwrap() <= 3000);
+        // Trajectory covers min_runs up to the full campaign.
+        assert_eq!(r.trajectory.first().unwrap().runs, 500);
+        assert_eq!(r.trajectory.last().unwrap().runs, 3000);
+    }
+
+    #[test]
+    fn drifting_campaign_converges_late_or_never() {
+        // A strong drift keeps shifting the estimate.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let times: Vec<f64> = (0..3000)
+            .map(|i| 1e5 + i as f64 * 50.0 + 100.0 * rng.gen::<f64>())
+            .collect();
+        let c = Campaign::from_times(times).unwrap();
+        let r = check_convergence(&c, &ConvergenceConfig::default()).unwrap();
+        // The estimate keeps growing with the drift: if it ever "converges"
+        // it must be only at the very end; typically it does not.
+        if let Some(at) = r.converged_at {
+            assert!(at > 2000, "drift should delay convergence, got {at}");
+        }
+    }
+
+    #[test]
+    fn short_campaign_rejected() {
+        let c = stationary_campaign(100, 3);
+        assert!(matches!(
+            check_convergence(&c, &ConvergenceConfig::default()),
+            Err(MbptaError::CampaignTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn trajectory_estimates_are_positive_and_finite() {
+        let c = stationary_campaign(2000, 4);
+        let r = check_convergence(&c, &ConvergenceConfig::default()).unwrap();
+        for p in &r.trajectory {
+            assert!(p.estimate.is_finite() && p.estimate > 0.0);
+        }
+    }
+
+    #[test]
+    fn defaults_wrapper_works() {
+        let c = stationary_campaign(1500, 5);
+        let r = check_with_defaults(&c, &crate::MbptaConfig::default()).unwrap();
+        assert!(!r.trajectory.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! EVT fitting stage: block maxima → Gumbel, with diagnostics.
+
+use proxima_stats::descriptive::quantile;
+use proxima_stats::dist::{Gev, Gpd, Gumbel};
+use proxima_stats::evt::{
+    block_maxima, fit_gev, fit_gpd, fit_gumbel, goodness_of_fit, select_block_size, GofReport,
+};
+
+use crate::config::BlockSpec;
+use crate::MbptaError;
+
+/// The fitted tail with its diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvtFit {
+    /// The production Gumbel fit on block maxima.
+    pub gumbel: Gumbel,
+    /// Block size used.
+    pub block_size: usize,
+    /// Number of block maxima the fit used.
+    pub n_maxima: usize,
+    /// Goodness-of-fit of the Gumbel on the maxima.
+    pub gof: GofReport,
+    /// Diagnostic GEV fit (its shape should be ≈ 0 for a sound campaign;
+    /// a clearly positive shape flags unbounded-looking jitter).
+    pub gev_diagnostic: Option<Gev>,
+    /// POT cross-check: GPD fitted to exceedances of the 90th percentile.
+    pub pot_cross_check: Option<Gpd>,
+}
+
+impl EvtFit {
+    /// `true` if the GEV diagnostic shape is consistent with the Gumbel
+    /// (light-tail) hypothesis: `ξ ≤ tol`.
+    pub fn shape_consistent(&self, tol: f64) -> bool {
+        self.gev_diagnostic.is_none_or(|g| g.xi() <= tol)
+    }
+}
+
+/// Fit the EVT tail to a campaign's execution times.
+///
+/// Steps: resolve the block size (fixed or Anderson-Darling-best over the
+/// candidates), extract block maxima, fit the Gumbel (PWM + MLE), attach
+/// the KS/AD goodness-of-fit, and attach the GEV and POT diagnostics when
+/// the sample supports them.
+///
+/// # Errors
+///
+/// Returns [`MbptaError::Stats`] if the campaign is too small for the
+/// requested block size or the maxima are degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::evt_fit::fit_tail;
+/// use proxima_mbpta::BlockSpec;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let times: Vec<f64> = (0..2000).map(|_| 1e5 + 300.0 * rng.gen::<f64>()).collect();
+/// let fit = fit_tail(&times, &BlockSpec::Fixed(50))?;
+/// assert_eq!(fit.block_size, 50);
+/// assert_eq!(fit.n_maxima, 40);
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+pub fn fit_tail(times: &[f64], block: &BlockSpec) -> Result<EvtFit, MbptaError> {
+    let block_size = match block {
+        BlockSpec::Fixed(b) => *b,
+        BlockSpec::Auto(candidates) => match select_block_size(times, candidates) {
+            Ok(choice) => choice.block_size,
+            // Fall back to the largest candidate that still yields enough
+            // maxima (≥ 10) for a stable fit, or n/10 as a last resort.
+            Err(_) => candidates
+                .iter()
+                .copied()
+                .filter(|&b| b > 0 && times.len() / b >= 10)
+                .max()
+                .unwrap_or_else(|| (times.len() / 10).max(1)),
+        },
+    };
+    let maxima = block_maxima(times, block_size)?;
+    let gumbel = fit_gumbel(&maxima)?;
+    let gof = goodness_of_fit(&maxima, &gumbel)?;
+    let gev_diagnostic = fit_gev(&maxima).ok();
+    let pot_cross_check = quantile(times, 0.90)
+        .ok()
+        .and_then(|u| fit_gpd(times, u).ok());
+    Ok(EvtFit {
+        gumbel,
+        block_size,
+        n_maxima: maxima.len(),
+        gof,
+        gev_diagnostic,
+        pot_cross_check,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxima_stats::dist::ContinuousDistribution;
+    use rand::{Rng, SeedableRng};
+
+    fn campaign(n: usize, seed: u64) -> Vec<f64> {
+        // Bounded, light-tailed synthetic execution times: base + sum of
+        // a few uniform contributions (cache events).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let misses = (0..8).map(|_| rng.gen::<f64>()).sum::<f64>();
+                50_000.0 + 120.0 * misses
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fixed_block_fit_sane() {
+        let times = campaign(3000, 1);
+        let fit = fit_tail(&times, &BlockSpec::Fixed(50)).unwrap();
+        assert_eq!(fit.block_size, 50);
+        assert_eq!(fit.n_maxima, 60);
+        assert!(fit.gumbel.beta() > 0.0);
+        // Location of the maxima distribution sits above the sample median.
+        let med = proxima_stats::descriptive::median(&times).unwrap();
+        assert!(fit.gumbel.mu() > med);
+    }
+
+    #[test]
+    fn auto_block_picks_candidate() {
+        let times = campaign(3000, 2);
+        let fit = fit_tail(&times, &BlockSpec::Auto(vec![20, 25, 50])).unwrap();
+        assert!([20, 25, 50].contains(&fit.block_size));
+    }
+
+    #[test]
+    fn auto_block_falls_back_on_small_campaign() {
+        // 250 runs: the 30-maxima requirement is unmet for all candidates,
+        // so the fallback picks the largest size leaving ≥ 10 maxima (25
+        // blocks of 10 maxima each → 25), or n/10 if no candidate fits.
+        let times = campaign(250, 3);
+        let fit = fit_tail(&times, &BlockSpec::Auto(vec![20, 25, 50, 100])).unwrap();
+        assert_eq!(fit.block_size, 25);
+        // And for a campaign where no candidate fits at all:
+        let tiny = campaign(150, 9);
+        let fit2 = fit_tail(&tiny, &BlockSpec::Auto(vec![50, 100])).unwrap();
+        assert_eq!(fit2.block_size, 15);
+    }
+
+    #[test]
+    fn gev_diagnostic_near_zero_shape() {
+        let times = campaign(4000, 4);
+        let fit = fit_tail(&times, &BlockSpec::Fixed(50)).unwrap();
+        let gev = fit.gev_diagnostic.expect("80 maxima support a GEV fit");
+        assert!(gev.xi().abs() < 0.4, "xi={}", gev.xi());
+        assert!(fit.shape_consistent(0.4));
+    }
+
+    #[test]
+    fn gof_acceptable_on_clean_data() {
+        let times = campaign(3000, 5);
+        let fit = fit_tail(&times, &BlockSpec::Fixed(50)).unwrap();
+        assert!(fit.gof.ks.passes(0.05), "ks p={}", fit.gof.ks.p_value);
+    }
+
+    #[test]
+    fn pot_cross_check_agrees_on_tail_direction() {
+        let times = campaign(3000, 6);
+        let fit = fit_tail(&times, &BlockSpec::Fixed(50)).unwrap();
+        let gpd = fit.pot_cross_check.expect("10% of 3000 runs exceed q90");
+        // A bounded parent gives a non-heavy POT shape.
+        assert!(gpd.xi() < 0.3, "xi={}", gpd.xi());
+    }
+
+    #[test]
+    fn extrapolation_exceeds_high_watermark_region() {
+        let times = campaign(3000, 7);
+        let hwm = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let fit = fit_tail(&times, &BlockSpec::Fixed(50)).unwrap();
+        let q = fit.gumbel.exceedance_quantile(1e-9).unwrap();
+        assert!(q > hwm * 0.99, "q={q} hwm={hwm}");
+    }
+
+    #[test]
+    fn too_small_campaign_errors() {
+        let times = campaign(30, 8);
+        assert!(fit_tail(&times, &BlockSpec::Fixed(50)).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! The i.i.d. validation gate.
+//!
+//! MBPTA requires the measured execution times to be independent and
+//! identically distributed. Following the paper's protocol (Section III):
+//! independence is tested with the **Ljung-Box** test and identical
+//! distribution with the **two-sample Kolmogorov-Smirnov** test (first half
+//! of the campaign vs second half), both at a 5% significance level —
+//! "i.i.d. is rejected only if the value for any of the tests is lower
+//! than 0.05". The paper reports p-values of 0.83 and 0.45 for the TVCA
+//! campaign.
+
+use proxima_stats::tests::{ks_two_sample, ljung_box, runs_test, TestResult};
+use proxima_stats::{autocorr, StatsError};
+
+use crate::MbptaError;
+
+/// Outcome of the i.i.d. gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IidReport {
+    /// Ljung-Box independence test result.
+    pub ljung_box: TestResult,
+    /// Two-sample KS identical-distribution test result (half vs half).
+    pub ks: TestResult,
+    /// Wald–Wolfowitz runs test — a supplementary non-parametric
+    /// independence diagnostic (ECRTS 2012 protocol); not part of the
+    /// paper's pass/fail gate. `None` if the sample had too many median
+    /// ties to dichotomize.
+    pub runs: Option<TestResult>,
+    /// Significance level used.
+    pub alpha: f64,
+    /// `true` if both gate tests (Ljung-Box, KS) pass at `alpha`.
+    pub passed: bool,
+}
+
+/// Run the i.i.d. gate over a campaign's execution times (in measurement
+/// order).
+///
+/// `lags` selects the Ljung-Box lag count; `None` uses
+/// [`autocorr::default_lag`].
+///
+/// # Errors
+///
+/// Returns [`MbptaError::Stats`] if the sample is too small or degenerate
+/// for either test.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::iid::validate;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let times: Vec<f64> = (0..1000)
+///     .map(|_| 1000.0 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 80.0)
+///     .collect();
+/// let report = validate(&times, 0.05, None)?;
+/// assert!(report.passed);
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+pub fn validate(times: &[f64], alpha: f64, lags: Option<usize>) -> Result<IidReport, MbptaError> {
+    if times.len() < 40 {
+        return Err(MbptaError::Stats(StatsError::InsufficientData {
+            needed: 40,
+            got: times.len(),
+        }));
+    }
+    let lags = lags.unwrap_or_else(|| autocorr::default_lag(times.len()));
+    let lb = ljung_box(times, lags)?;
+    let mid = times.len() / 2;
+    let ks = ks_two_sample(&times[..mid], &times[mid..])?;
+    Ok(IidReport {
+        ljung_box: lb,
+        ks,
+        runs: runs_test(times).ok(),
+        alpha,
+        passed: lb.passes(alpha) && ks.passes(alpha),
+    })
+}
+
+/// Like [`validate`] but converts a failed gate into
+/// [`MbptaError::IidRejected`], for pipelines that must not continue on
+/// non-i.i.d. data.
+///
+/// # Errors
+///
+/// [`MbptaError::IidRejected`] if either test fails; [`MbptaError::Stats`]
+/// if a test could not be run.
+pub fn validate_strict(
+    times: &[f64],
+    alpha: f64,
+    lags: Option<usize>,
+) -> Result<IidReport, MbptaError> {
+    let report = validate(times, alpha, lags)?;
+    if !report.passed {
+        return Err(MbptaError::IidRejected {
+            ljung_box_p: report.ljung_box.p_value,
+            ks_p: report.ks.p_value,
+            alpha,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn iid_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| 5000.0 + 100.0 * rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn iid_data_passes() {
+        let r = validate(&iid_sample(1000, 7), 0.05, None).unwrap();
+        assert!(r.passed, "lb={} ks={}", r.ljung_box.p_value, r.ks.p_value);
+        assert!(validate_strict(&iid_sample(1000, 7), 0.05, None).is_ok());
+    }
+
+    #[test]
+    fn trending_data_fails_ks_or_lb() {
+        // A drifting mean violates identical distribution (and usually
+        // independence too).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let times: Vec<f64> = (0..1000)
+            .map(|i| 5000.0 + i as f64 * 2.0 + 10.0 * rng.gen::<f64>())
+            .collect();
+        let r = validate(&times, 0.05, None).unwrap();
+        assert!(!r.passed);
+        let strict = validate_strict(&times, 0.05, None);
+        assert!(matches!(strict, Err(MbptaError::IidRejected { .. })));
+    }
+
+    #[test]
+    fn autocorrelated_data_fails_lb() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut x = 0.0f64;
+        let times: Vec<f64> = (0..1000)
+            .map(|_| {
+                x = 0.95 * x + rng.gen::<f64>();
+                5000.0 + 100.0 * x
+            })
+            .collect();
+        let r = validate(&times, 0.05, None).unwrap();
+        assert!(!r.ljung_box.passes(0.05));
+        assert!(!r.passed);
+    }
+
+    #[test]
+    fn small_sample_rejected() {
+        assert!(validate(&iid_sample(20, 1), 0.05, None).is_err());
+    }
+
+    #[test]
+    fn custom_lag_respected() {
+        let r5 = validate(&iid_sample(500, 2), 0.05, Some(5)).unwrap();
+        let r20 = validate(&iid_sample(500, 2), 0.05, Some(20)).unwrap();
+        // Different lag counts give different statistics.
+        assert_ne!(r5.ljung_box.statistic, r20.ljung_box.statistic);
+    }
+
+    #[test]
+    fn boundary_p_value_passes() {
+        // passes() is >= alpha; verified at the report level.
+        let r = validate(&iid_sample(400, 3), 0.05, None).unwrap();
+        assert_eq!(r.passed, r.ljung_box.passes(0.05) && r.ks.passes(0.05));
+    }
+}

@@ -1,0 +1,221 @@
+//! The probabilistic WCET distribution.
+
+use proxima_stats::dist::{ContinuousDistribution, Gumbel};
+use proxima_stats::StatsError;
+
+use crate::MbptaError;
+
+/// A probabilistic worst-case execution time distribution.
+///
+/// `Pwcet` wraps the Gumbel tail fitted to **block maxima** and answers
+/// queries in *per-run* terms. If the Gumbel `G` models the maximum of a
+/// block of `B` runs, then for a single run
+///
+/// `P(run > x) = 1 − G(x)^(1/B)`  and conversely the budget exceeded with
+/// per-run probability `p` is `G⁻¹((1 − p)^B)`.
+///
+/// Both conversions are implemented in log-space so exceedance
+/// probabilities of 10⁻¹⁵ keep full relative precision.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::Pwcet;
+/// use proxima_stats::dist::Gumbel;
+///
+/// let tail = Gumbel::new(100_000.0, 250.0)?;
+/// let pwcet = Pwcet::new(tail, 50);
+/// let budget = pwcet.budget_for(1e-12)?;
+/// let p = pwcet.exceedance_probability(budget);
+/// assert!((p / 1e-12 - 1.0).abs() < 1e-6);
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pwcet {
+    tail: Gumbel,
+    block_size: usize,
+}
+
+impl Pwcet {
+    /// Wrap a fitted block-maxima Gumbel with its block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size == 0`.
+    pub fn new(tail: Gumbel, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Pwcet { tail, block_size }
+    }
+
+    /// The underlying Gumbel distribution of block maxima.
+    pub fn tail(&self) -> &Gumbel {
+        &self.tail
+    }
+
+    /// The block size the tail was fitted at.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The execution-time budget exceeded by one run with probability `p`
+    /// (the pWCET estimate at cutoff probability `p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Stats`] unless `0 < p < 1`.
+    pub fn budget_for(&self, p: f64) -> Result<f64, MbptaError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(MbptaError::Stats(StatsError::InvalidArgument {
+                what: "exceedance probability must be in (0, 1)",
+            }));
+        }
+        // Per-block non-exceedance: (1 − p)^B, computed as exp(B·ln1p(−p)).
+        let block_cdf = (self.block_size as f64 * (-p).ln_1p()).exp();
+        // For tiny p the CDF is so close to 1 that we invert via the
+        // survival form of the Gumbel quantile instead: S_block ≈ B·p.
+        let block_sf = -((self.block_size as f64) * (-p).ln_1p()).exp_m1();
+        if block_sf < 1e-12 {
+            // Far tail: use the numerically exact exceedance inversion.
+            Ok(self
+                .tail
+                .exceedance_quantile(block_sf.max(f64::MIN_POSITIVE))?)
+        } else {
+            Ok(self
+                .tail
+                .quantile(block_cdf.clamp(f64::MIN_POSITIVE, 1.0 - 1e-16))?)
+        }
+    }
+
+    /// The per-run probability that one execution exceeds `budget` cycles.
+    pub fn exceedance_probability(&self, budget: f64) -> f64 {
+        // P(run > x) = 1 − G(x)^{1/B} = −expm1(ln G(x)/B);
+        // ln G(x) = −exp(−z) for the Gumbel, exact even in the far tail.
+        let z = (budget - self.tail.mu()) / self.tail.beta();
+        let ln_g = -(-z).exp();
+        -(ln_g / self.block_size as f64).exp_m1()
+    }
+
+    /// Sample the pWCET curve: `(budget, exceedance probability)` pairs for
+    /// the given per-run probabilities — the straight line of Figure 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any probability is outside `(0, 1)`.
+    pub fn curve(&self, probabilities: &[f64]) -> Result<Vec<(f64, f64)>, MbptaError> {
+        probabilities
+            .iter()
+            .map(|&p| Ok((self.budget_for(p)?, p)))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Pwcet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pWCET[gumbel mu={:.1} beta={:.2}, block={}]",
+            self.tail.mu(),
+            self.tail.beta(),
+            self.block_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pwcet() -> Pwcet {
+        Pwcet::new(Gumbel::new(10_000.0, 50.0).unwrap(), 50)
+    }
+
+    #[test]
+    fn budget_and_probability_are_inverse() {
+        let p = pwcet();
+        for &prob in &[1e-3, 1e-6, 1e-9, 1e-12, 1e-15] {
+            let b = p.budget_for(prob).unwrap();
+            let back = p.exceedance_probability(b);
+            assert!(
+                (back / prob - 1.0).abs() < 1e-5,
+                "prob={prob} budget={b} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_grows_as_cutoff_shrinks() {
+        let p = pwcet();
+        let mut prev = 0.0;
+        for exp in 3..=15 {
+            let b = p.budget_for(10f64.powi(-exp)).unwrap();
+            assert!(b > prev, "exp={exp}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn block_probability_relation() {
+        // For small p: budget at per-run p equals the Gumbel exceedance at
+        // ≈ B·p (the survival of a max of B runs ≈ B × per-run survival).
+        let p = pwcet();
+        let per_run = 1e-12;
+        let expected = p.tail().exceedance_quantile(50.0 * per_run).unwrap();
+        let got = p.budget_for(per_run).unwrap();
+        assert!(
+            (got - expected).abs() < 0.5,
+            "got={got} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn block_size_one_matches_raw_gumbel() {
+        let g = Gumbel::new(500.0, 10.0).unwrap();
+        let p = Pwcet::new(g, 1);
+        for &prob in &[1e-3, 1e-9] {
+            let a = p.budget_for(prob).unwrap();
+            let b = g.exceedance_quantile(prob).unwrap();
+            assert!((a - b).abs() < 1e-6, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn larger_block_means_smaller_per_run_budget() {
+        // The same fitted block-maxima tail interpreted at a larger block
+        // size implies each individual run is less extreme.
+        let g = Gumbel::new(10_000.0, 50.0).unwrap();
+        let b10 = Pwcet::new(g, 10).budget_for(1e-9).unwrap();
+        let b100 = Pwcet::new(g, 100).budget_for(1e-9).unwrap();
+        assert!(b100 < b10);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let p = pwcet();
+        let probs: Vec<f64> = (3..=15).map(|e| 10f64.powi(-e)).collect();
+        let curve = p.curve(&probs).unwrap();
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0, "budgets increase");
+            assert!(w[1].1 < w[0].1, "probabilities decrease");
+        }
+    }
+
+    #[test]
+    fn invalid_probability_errors() {
+        let p = pwcet();
+        assert!(p.budget_for(0.0).is_err());
+        assert!(p.budget_for(1.0).is_err());
+        assert!(p.curve(&[0.5, 2.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_panics() {
+        Pwcet::new(Gumbel::new(0.0, 1.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        let s = pwcet().to_string();
+        assert!(s.contains("block=50"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Converting between per-activation exceedance probabilities and
+//! per-hour failure rates.
+//!
+//! The paper: *"The particular cutoff probability is to be chosen based on
+//! the applicable domain standard, the task criticality level and the task
+//! frequency of execution."* Safety standards state their targets as
+//! failure rates per hour (e.g. 10⁻⁹/h for the highest criticality
+//! levels); MBPTA quantifies exceedance *per activation*. This module does
+//! the bookkeeping between the two for periodic tasks.
+
+use crate::MbptaError;
+
+/// A periodic task's activation rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivationRate {
+    activations_per_hour: f64,
+}
+
+impl ActivationRate {
+    /// From a task period in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] unless the period is positive
+    /// and finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_mbpta::risk::ActivationRate;
+    ///
+    /// let rate = ActivationRate::from_period_ms(10.0)?; // 100 Hz control task
+    /// assert_eq!(rate.per_hour(), 360_000.0);
+    /// # Ok::<(), proxima_mbpta::MbptaError>(())
+    /// ```
+    pub fn from_period_ms(period_ms: f64) -> Result<Self, MbptaError> {
+        if !(period_ms.is_finite() && period_ms > 0.0) {
+            return Err(MbptaError::InvalidConfig {
+                what: "task period must be positive and finite",
+            });
+        }
+        Ok(ActivationRate {
+            activations_per_hour: 3_600_000.0 / period_ms,
+        })
+    }
+
+    /// From a frequency in hertz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] unless the frequency is
+    /// positive and finite.
+    pub fn from_hz(hz: f64) -> Result<Self, MbptaError> {
+        if !(hz.is_finite() && hz > 0.0) {
+            return Err(MbptaError::InvalidConfig {
+                what: "task frequency must be positive and finite",
+            });
+        }
+        Ok(ActivationRate {
+            activations_per_hour: hz * 3600.0,
+        })
+    }
+
+    /// Activations per hour.
+    pub fn per_hour(&self) -> f64 {
+        self.activations_per_hour
+    }
+
+    /// Probability that at least one of the next hour's activations
+    /// exceeds its budget, given a per-activation exceedance probability:
+    /// `1 − (1 − p)^N`, computed in log space.
+    ///
+    /// Independence across activations is the assumption the i.i.d. gate
+    /// validated at analysis; on the randomized platform it carries over to
+    /// operation (each activation observes fresh randomization).
+    pub fn hourly_failure_probability(&self, per_activation: f64) -> f64 {
+        let p = per_activation.clamp(0.0, 1.0);
+        -((self.activations_per_hour * (-p).ln_1p()).exp_m1())
+    }
+
+    /// The per-activation exceedance probability that meets a target
+    /// hourly failure probability: the inverse of
+    /// [`ActivationRate::hourly_failure_probability`].
+    ///
+    /// This is the cutoff to feed `Pwcet::budget_for` (or
+    /// `MbptaReport::budget_for`) when the requirement is stated per hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] unless `0 < target < 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_mbpta::risk::ActivationRate;
+    ///
+    /// // DAL-A-style 1e-9/hour target for a 100 Hz task:
+    /// let rate = ActivationRate::from_hz(100.0)?;
+    /// let cutoff = rate.per_activation_cutoff(1e-9)?;
+    /// assert!(cutoff < 1e-14 && cutoff > 1e-15);
+    /// # Ok::<(), proxima_mbpta::MbptaError>(())
+    /// ```
+    pub fn per_activation_cutoff(&self, target_per_hour: f64) -> Result<f64, MbptaError> {
+        if !(target_per_hour > 0.0 && target_per_hour < 1.0) {
+            return Err(MbptaError::InvalidConfig {
+                what: "hourly failure target must be in (0, 1)",
+            });
+        }
+        // p = 1 − (1 − T)^{1/N}, in log space for tiny T.
+        let p = -((-target_per_hour).ln_1p() / self.activations_per_hour).exp_m1();
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_and_frequency_agree() {
+        let a = ActivationRate::from_period_ms(10.0).unwrap();
+        let b = ActivationRate::from_hz(100.0).unwrap();
+        assert!((a.per_hour() - b.per_hour()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hourly_probability_small_p_linearizes() {
+        // For tiny p, 1 − (1−p)^N ≈ N·p.
+        let rate = ActivationRate::from_hz(100.0).unwrap(); // N = 360,000
+        let p = 1e-15;
+        let hourly = rate.hourly_failure_probability(p);
+        let expected = 360_000.0 * p;
+        assert!((hourly / expected - 1.0).abs() < 1e-6, "hourly={hourly}");
+    }
+
+    #[test]
+    fn cutoff_round_trips() {
+        let rate = ActivationRate::from_period_ms(5.0).unwrap();
+        for &target in &[1e-6, 1e-9, 1e-12] {
+            let cutoff = rate.per_activation_cutoff(target).unwrap();
+            let back = rate.hourly_failure_probability(cutoff);
+            assert!(
+                (back / target - 1.0).abs() < 1e-9,
+                "target={target} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_tasks_need_smaller_cutoffs() {
+        let slow = ActivationRate::from_hz(1.0).unwrap();
+        let fast = ActivationRate::from_hz(1000.0).unwrap();
+        let target = 1e-9;
+        assert!(
+            fast.per_activation_cutoff(target).unwrap()
+                < slow.per_activation_cutoff(target).unwrap()
+        );
+    }
+
+    #[test]
+    fn certain_failure_saturates() {
+        let rate = ActivationRate::from_hz(10.0).unwrap();
+        assert!((rate.hourly_failure_probability(1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(rate.hourly_failure_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(ActivationRate::from_period_ms(0.0).is_err());
+        assert!(ActivationRate::from_hz(-1.0).is_err());
+        let rate = ActivationRate::from_hz(1.0).unwrap();
+        assert!(rate.per_activation_cutoff(0.0).is_err());
+        assert!(rate.per_activation_cutoff(1.0).is_err());
+    }
+}

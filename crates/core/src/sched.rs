@@ -1,0 +1,271 @@
+//! Fixed-priority schedulability analysis consuming (p)WCET budgets.
+//!
+//! WCET estimates exist to be fed into schedulability analysis: the TVCA
+//! runs three periodic tasks under a fixed-priority scheduler, and the
+//! system-level question is whether every task meets its deadline when
+//! each is budgeted at its (p)WCET. This module implements classical
+//! response-time analysis (Joseph & Pandya 1986; Audsley et al. 1993) for
+//! constrained-deadline fixed-priority task sets:
+//!
+//! `R_i = C_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ · C_j`
+//!
+//! iterated to fixed point. With the `C_i` set to pWCET budgets at a
+//! per-activation cutoff chosen via [`crate::risk`], a positive result
+//! means every deadline holds except with the budgeted probability — the
+//! end-to-end argument the MBPTA pipeline feeds.
+
+use crate::MbptaError;
+
+/// A periodic task with a fixed-priority budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Task name.
+    pub name: String,
+    /// Period (and implicit deadline if `deadline` is `None`), in cycles.
+    pub period: f64,
+    /// Relative deadline in cycles (must be ≤ period).
+    pub deadline: f64,
+    /// Budgeted worst-case execution time in cycles (e.g. a pWCET).
+    pub wcet: f64,
+}
+
+impl TaskSpec {
+    /// A task with deadline equal to its period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] unless `0 < wcet ≤ period`.
+    pub fn implicit_deadline(
+        name: impl Into<String>,
+        period: f64,
+        wcet: f64,
+    ) -> Result<Self, MbptaError> {
+        let t = TaskSpec {
+            name: name.into(),
+            period,
+            deadline: period,
+            wcet,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+
+    fn validate(&self) -> Result<(), MbptaError> {
+        let ok = self.period.is_finite()
+            && self.deadline.is_finite()
+            && self.wcet.is_finite()
+            && self.wcet > 0.0
+            && self.period > 0.0
+            && self.deadline > 0.0
+            && self.deadline <= self.period
+            && self.wcet <= self.deadline;
+        if ok {
+            Ok(())
+        } else {
+            Err(MbptaError::InvalidConfig {
+                what: "task needs 0 < wcet, 0 < deadline <= period, all finite",
+            })
+        }
+    }
+
+    /// Utilization `C/T`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet / self.period
+    }
+}
+
+/// Per-task outcome of the response-time analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskResponse {
+    /// Task name.
+    pub name: String,
+    /// Worst-case response time in cycles, or `None` if the fixed point
+    /// diverged past the deadline (unschedulable).
+    pub response_time: Option<f64>,
+    /// The task's deadline.
+    pub deadline: f64,
+}
+
+impl TaskResponse {
+    /// `true` if the task meets its deadline.
+    pub fn schedulable(&self) -> bool {
+        self.response_time.is_some_and(|r| r <= self.deadline)
+    }
+}
+
+/// Result of analysing a task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedAnalysis {
+    /// Per-task responses, in priority order (index 0 = highest).
+    pub tasks: Vec<TaskResponse>,
+    /// Total utilization of the set.
+    pub utilization: f64,
+}
+
+impl SchedAnalysis {
+    /// `true` if every task meets its deadline.
+    pub fn schedulable(&self) -> bool {
+        self.tasks.iter().all(TaskResponse::schedulable)
+    }
+}
+
+/// Rate-monotonic priority order: sort tasks by period, shortest first.
+/// Optimal among fixed-priority assignments for implicit deadlines
+/// (Liu & Layland 1973).
+pub fn rate_monotonic_order(tasks: &mut [TaskSpec]) {
+    tasks.sort_by(|a, b| a.period.partial_cmp(&b.period).expect("finite periods"));
+}
+
+/// Response-time analysis of `tasks`, which must already be in priority
+/// order (index 0 = highest priority).
+///
+/// # Errors
+///
+/// Returns [`MbptaError::InvalidConfig`] for an empty set or an invalid
+/// task.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::sched::{response_time_analysis, TaskSpec};
+///
+/// let tasks = vec![
+///     TaskSpec::implicit_deadline("sensor", 100_000.0, 20_000.0)?,
+///     TaskSpec::implicit_deadline("act-x", 200_000.0, 80_000.0)?,
+/// ];
+/// let analysis = response_time_analysis(&tasks)?;
+/// assert!(analysis.schedulable());
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+pub fn response_time_analysis(tasks: &[TaskSpec]) -> Result<SchedAnalysis, MbptaError> {
+    if tasks.is_empty() {
+        return Err(MbptaError::InvalidConfig {
+            what: "task set must be non-empty",
+        });
+    }
+    for t in tasks {
+        t.validate()?;
+    }
+    let utilization = tasks.iter().map(TaskSpec::utilization).sum();
+    let mut out = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let mut r = task.wcet;
+        let mut response = None;
+        for _ in 0..10_000 {
+            let interference: f64 = tasks[..i]
+                .iter()
+                .map(|hp| (r / hp.period).ceil() * hp.wcet)
+                .sum();
+            let next = task.wcet + interference;
+            if (next - r).abs() < 1e-9 {
+                response = Some(next);
+                break;
+            }
+            if next > task.deadline {
+                // Past the deadline: unschedulable, stop iterating.
+                response = None;
+                break;
+            }
+            r = next;
+        }
+        out.push(TaskResponse {
+            name: task.name.clone(),
+            response_time: response,
+            deadline: task.deadline,
+        });
+    }
+    Ok(SchedAnalysis {
+        tasks: out,
+        utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, period: f64, wcet: f64) -> TaskSpec {
+        TaskSpec::implicit_deadline(name, period, wcet).unwrap()
+    }
+
+    #[test]
+    fn textbook_schedulable_set() {
+        // T1 (T=10, C=3): R = 3. T2 (T=20, C=6): fixed point of
+        // R = 6 + ⌈R/10⌉·3 → 6 → 9 → 9 (one T1 release inside [0, 9]).
+        let tasks = vec![task("t1", 10.0, 3.0), task("t2", 20.0, 6.0)];
+        let a = response_time_analysis(&tasks).unwrap();
+        assert!(a.schedulable());
+        assert_eq!(a.tasks[0].response_time, Some(3.0));
+        assert_eq!(a.tasks[1].response_time, Some(9.0));
+        assert!((a.utilization - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_set_unschedulable() {
+        let tasks = vec![task("t1", 10.0, 6.0), task("t2", 20.0, 10.0)];
+        let a = response_time_analysis(&tasks).unwrap();
+        assert!(!a.schedulable());
+        assert!(a.tasks[1].response_time.is_none());
+        assert!(a.utilization > 1.0);
+    }
+
+    #[test]
+    fn highest_priority_task_response_is_its_wcet() {
+        let tasks = vec![task("hp", 100.0, 42.0), task("lp", 1000.0, 10.0)];
+        let a = response_time_analysis(&tasks).unwrap();
+        assert_eq!(a.tasks[0].response_time, Some(42.0));
+    }
+
+    #[test]
+    fn rate_monotonic_sorts_by_period() {
+        let mut tasks = vec![task("slow", 100.0, 1.0), task("fast", 10.0, 1.0)];
+        rate_monotonic_order(&mut tasks);
+        assert_eq!(tasks[0].name, "fast");
+    }
+
+    #[test]
+    fn tvca_like_set_with_pwcet_budgets() {
+        // Three tasks shaped like the TVCA: sensor every frame, actuators
+        // every other frame, budgets at a pWCET-like inflation.
+        let mut tasks = vec![
+            task("actuator-x", 200_000.0, 45_000.0),
+            task("sensor", 100_000.0, 30_000.0),
+            task("actuator-y", 200_000.0, 45_000.0),
+        ];
+        rate_monotonic_order(&mut tasks);
+        let a = response_time_analysis(&tasks).unwrap();
+        assert!(a.schedulable(), "{a:?}");
+        // Sensor (highest prio) responds in its own WCET.
+        assert_eq!(a.tasks[0].response_time, Some(30_000.0));
+        // actuator-y sees sensor + actuator-x interference.
+        let ry = a.tasks[2].response_time.unwrap();
+        assert!(ry > 120_000.0 && ry <= 200_000.0, "ry={ry}");
+    }
+
+    #[test]
+    fn invalid_tasks_rejected() {
+        assert!(TaskSpec::implicit_deadline("x", 10.0, 0.0).is_err());
+        assert!(TaskSpec::implicit_deadline("x", 0.0, 1.0).is_err());
+        assert!(TaskSpec::implicit_deadline("x", 10.0, 11.0).is_err());
+        assert!(response_time_analysis(&[]).is_err());
+    }
+
+    #[test]
+    fn constrained_deadline_respected() {
+        let t = TaskSpec {
+            name: "tight".into(),
+            period: 100.0,
+            deadline: 10.0,
+            wcet: 12.0,
+        };
+        assert!(t.validate().is_err(), "wcet beyond deadline-period bound");
+        let t2 = TaskSpec {
+            name: "ok".into(),
+            period: 100.0,
+            deadline: 50.0,
+            wcet: 40.0,
+        };
+        let a = response_time_analysis(&[t2]).unwrap();
+        assert!(a.schedulable());
+    }
+}

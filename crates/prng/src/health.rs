@@ -1,0 +1,259 @@
+//! Online health tests for PRNG output, in the spirit of the continuous
+//! self-checks required of safety-certified hardware generators.
+//!
+//! A SIL3-certified PRNG (Agirre et al., DSD 2015) must demonstrate, and
+//! keep demonstrating in the field, that its output is statistically sound.
+//! This module implements a small battery of classical tests over a window
+//! of generator output:
+//!
+//! * **monobit** — the fraction of one-bits is near 1/2;
+//! * **runs** — the number of bit-runs matches the expectation for
+//!   independent bits (Wald–Wolfowitz);
+//! * **chi-square uniformity** — byte values are uniform over 0..256;
+//! * **serial correlation** — adjacent words are uncorrelated.
+//!
+//! Each test produces a [`TestOutcome`] with its statistic and a pass flag at
+//! a fixed significance level chosen so that a healthy generator passes the
+//! battery with overwhelming probability on the window sizes used here.
+
+use crate::RandomSource;
+
+/// Outcome of a single health test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestOutcome {
+    /// Human-readable test name.
+    pub name: &'static str,
+    /// The value of the test statistic.
+    pub statistic: f64,
+    /// Threshold against which the statistic was compared.
+    pub threshold: f64,
+    /// Whether the generator passed this test.
+    pub passed: bool,
+}
+
+/// Report produced by [`run_battery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Individual test outcomes.
+    pub outcomes: Vec<TestOutcome>,
+}
+
+impl HealthReport {
+    /// `true` if every test in the battery passed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_prng::{health, Mwc64};
+    ///
+    /// let mut rng = Mwc64::new(1);
+    /// assert!(health::run_battery(&mut rng, 2048).all_passed());
+    /// ```
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.passed)
+    }
+
+    /// Names of the tests that failed.
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.passed)
+            .map(|o| o.name)
+            .collect()
+    }
+}
+
+/// Run the full health battery over `words` freshly drawn 64-bit words.
+///
+/// # Panics
+///
+/// Panics if `words < 64` — the tests are meaningless on tiny windows.
+pub fn run_battery<R: RandomSource + ?Sized>(rng: &mut R, words: usize) -> HealthReport {
+    assert!(words >= 64, "health battery needs at least 64 words");
+    let sample: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+    HealthReport {
+        outcomes: vec![
+            monobit(&sample),
+            runs(&sample),
+            byte_uniformity(&sample),
+            serial_correlation(&sample),
+        ],
+    }
+}
+
+/// Monobit test: |#ones − n/2| scaled by √n should be small.
+fn monobit(sample: &[u64]) -> TestOutcome {
+    let n_bits = (sample.len() * 64) as f64;
+    let ones: u64 = sample.iter().map(|w| w.count_ones() as u64).sum();
+    // z-score of the one-bit count under Binomial(n, 1/2).
+    let z = ((ones as f64) - n_bits / 2.0) / (0.5 * n_bits.sqrt());
+    let threshold = 4.0; // |z| < 4 ⇒ p ≈ 6e-5 two-sided false-alarm rate
+    TestOutcome {
+        name: "monobit",
+        statistic: z.abs(),
+        threshold,
+        passed: z.abs() < threshold,
+    }
+}
+
+/// Wald–Wolfowitz runs test over the bit stream.
+fn runs(sample: &[u64]) -> TestOutcome {
+    let mut runs = 1u64;
+    let mut ones = 0u64;
+    let mut prev = sample[0] & 1;
+    ones += prev;
+    let mut first = true;
+    for &w in sample {
+        let start = if first { 1 } else { 0 };
+        first = false;
+        for i in start..64 {
+            let bit = (w >> i) & 1;
+            ones += bit;
+            if bit != prev {
+                runs += 1;
+                prev = bit;
+            }
+        }
+    }
+    let n = (sample.len() * 64) as f64;
+    let pi = ones as f64 / n;
+    // Under independence, runs ~ Normal(2nπ(1−π)+1, …); NIST SP800-22 form.
+    let expected = 2.0 * n * pi * (1.0 - pi);
+    let sd = (2.0 * n).sqrt() * 2.0 * pi * (1.0 - pi);
+    let z = if sd > 0.0 {
+        (runs as f64 - expected) / sd
+    } else {
+        f64::INFINITY
+    };
+    let threshold = 4.0;
+    TestOutcome {
+        name: "runs",
+        statistic: z.abs(),
+        threshold,
+        passed: z.abs() < threshold,
+    }
+}
+
+/// Chi-square uniformity over the 256 byte values.
+fn byte_uniformity(sample: &[u64]) -> TestOutcome {
+    let mut counts = [0u64; 256];
+    for &w in sample {
+        for byte in w.to_le_bytes() {
+            counts[byte as usize] += 1;
+        }
+    }
+    let n = (sample.len() * 8) as f64;
+    let expected = n / 256.0;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // χ²(255): mean 255, sd ≈ 22.6; 255 + 5σ ≈ 368 keeps the false-alarm
+    // probability far below 1e-5.
+    let threshold = 368.0;
+    TestOutcome {
+        name: "byte-uniformity",
+        statistic: chi2,
+        threshold,
+        passed: chi2 < threshold,
+    }
+}
+
+/// Lag-1 serial correlation between successive words (mapped to [0,1)).
+fn serial_correlation(sample: &[u64]) -> TestOutcome {
+    let xs: Vec<f64> = sample
+        .iter()
+        .map(|&w| (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+        .collect();
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let cov = xs
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    let rho = if var > 0.0 { cov / var } else { 1.0 };
+    // Under independence, ρ̂ ~ Normal(0, 1/n) approximately.
+    let z = rho * n.sqrt();
+    let threshold = 4.0;
+    TestOutcome {
+        name: "serial-correlation",
+        statistic: z.abs(),
+        threshold,
+        passed: z.abs() < threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mwc64, SplitMix64, WeakLcg, XorShift64};
+
+    #[test]
+    fn good_generators_pass_every_test() {
+        let mut mwc = Mwc64::new(123);
+        let mut xs = XorShift64::new(123);
+        let mut sm = SplitMix64::new(123);
+        for report in [
+            run_battery(&mut mwc, 2048),
+            run_battery(&mut xs, 2048),
+            run_battery(&mut sm, 2048),
+        ] {
+            assert!(report.all_passed(), "failures: {:?}", report.failures());
+        }
+    }
+
+    #[test]
+    fn weak_lcg_fails_uniformity() {
+        let mut weak = WeakLcg::new(1);
+        let report = run_battery(&mut weak, 2048);
+        assert!(
+            report.failures().contains(&"byte-uniformity"),
+            "expected uniformity failure, got {:?}",
+            report
+        );
+    }
+
+    #[test]
+    fn constant_stream_fails_monobit_and_runs() {
+        struct Stuck;
+        impl RandomSource for Stuck {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let report = run_battery(&mut Stuck, 64);
+        let failures = report.failures();
+        assert!(failures.contains(&"monobit"));
+    }
+
+    #[test]
+    fn alternating_bits_fail_runs() {
+        struct Alternating;
+        impl RandomSource for Alternating {
+            fn next_u64(&mut self) -> u64 {
+                0xAAAA_AAAA_AAAA_AAAA
+            }
+        }
+        let report = run_battery(&mut Alternating, 64);
+        assert!(report.failures().contains(&"runs"), "{report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 64 words")]
+    fn tiny_window_panics() {
+        let mut rng = Mwc64::new(1);
+        let _ = run_battery(&mut rng, 8);
+    }
+
+    #[test]
+    fn report_failures_empty_when_passing() {
+        let mut rng = Mwc64::new(55);
+        let report = run_battery(&mut rng, 1024);
+        assert!(report.failures().is_empty());
+    }
+}

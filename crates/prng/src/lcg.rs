@@ -1,0 +1,88 @@
+//! A deliberately weak generator for the PRNG-quality ablation.
+
+use crate::RandomSource;
+
+/// A deliberately weak 16-bit-state linear congruential generator.
+///
+/// Experiment **A6** of the reproduction studies what happens to MBPTA when
+/// the hardware randomization is *poor*: random placement driven by a
+/// short-period, low-entropy generator leaves layout effects partially
+/// unrandomized, which shows up as i.i.d. test failures and optimistic tails.
+/// `WeakLcg` has a period of at most 2^16 and emits its state bits directly
+/// (including the notoriously regular low bits), which is exactly the kind of
+/// generator IEC-61508-style certification exists to reject.
+///
+/// Do **not** use this generator for anything except demonstrating failure.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_prng::{WeakLcg, RandomSource};
+///
+/// let mut rng = WeakLcg::new(1);
+/// let _ = rng.next_u64(); // low-quality bits, short period
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeakLcg {
+    state: u16,
+}
+
+impl WeakLcg {
+    /// Create the weak generator from a seed (only the low 16 bits are used).
+    pub fn new(seed: u64) -> Self {
+        WeakLcg {
+            state: (seed as u16) | 1,
+        }
+    }
+}
+
+impl RandomSource for WeakLcg {
+    fn next_u64(&mut self) -> u64 {
+        // Numerical-Recipes-style constants truncated to 16 bits: full of
+        // lattice structure, tiny period.
+        self.state = self.state.wrapping_mul(25173).wrapping_add(13849);
+        let s = self.state as u64;
+        // Replicate the 16-bit state across the word so that consumers of
+        // high bits see the same weakness as consumers of low bits.
+        s | (s << 16) | (s << 32) | (s << 48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health;
+
+    #[test]
+    fn short_period() {
+        let mut rng = WeakLcg::new(3);
+        let first = rng.next_u64();
+        let mut period = 1u32;
+        while rng.next_u64() != first {
+            period += 1;
+            assert!(period <= 1 << 16, "period should be at most 2^16");
+        }
+        assert!(period <= 1 << 16);
+    }
+
+    #[test]
+    fn fails_health_battery() {
+        // The whole point of WeakLcg: a health battery a real SIL3 generator
+        // must pass rejects it.
+        let mut rng = WeakLcg::new(5);
+        let report = health::run_battery(&mut rng, 4096);
+        assert!(
+            !report.all_passed(),
+            "WeakLcg unexpectedly passed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = WeakLcg::new(9);
+        let mut b = WeakLcg::new(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The [`RandomSource`] trait.
+
+/// A deterministic, seedable source of randomness for modelled hardware.
+///
+/// Every randomized structure in the platform model (random-replacement
+/// caches and TLBs, random-modulo placement hashes) draws through this trait,
+/// which keeps a whole simulation run a pure function of the per-run seed —
+/// the property that lets the measurement protocol of the paper ("set a new
+/// seed for each experiment") be reproduced exactly.
+///
+/// The trait is object-safe so that platform configuration can select the
+/// generator at run time (see `PrngKind::build`).
+pub trait RandomSource: Send {
+    /// Return the next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next 32 raw pseudo-random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Return a uniformly distributed value in `0..bound`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the result is
+    /// unbiased for every `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a non-zero bound");
+        // Lemire (2019): unbiased bounded integers via 128-bit multiply.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Return a uniformly distributed `f64` in `[0, 1)` with 53 random bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl RandomSource for Box<dyn RandomSource> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mwc64;
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = Mwc64::new(1);
+        for bound in [1u64, 2, 3, 7, 16, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn below_zero_panics() {
+        let mut rng = Mwc64::new(1);
+        let _ = rng.below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Mwc64::new(2);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = Mwc64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues of 8 should appear");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Mwc64::new(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn boxed_source_delegates() {
+        let mut direct = Mwc64::new(9);
+        let mut boxed: Box<dyn RandomSource> = Box::new(Mwc64::new(9));
+        for _ in 0..16 {
+            assert_eq!(direct.next_u64(), boxed.next_u64());
+        }
+    }
+}

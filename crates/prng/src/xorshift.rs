@@ -1,0 +1,79 @@
+//! Xorshift generator, an ablation alternative to MWC.
+
+use crate::{RandomSource, SplitMix64};
+
+/// A 64-bit xorshift* generator (Marsaglia 2003; Vigna's `xorshift64*`
+/// multiplier finish).
+///
+/// Hardware xorshift implementations were evaluated alongside MWC for
+/// MBPTA-compliant processors; this one exists so experiments can show that
+/// MBPTA results are insensitive to the choice between two good generators
+/// (while being sensitive to a bad one, see [`crate::WeakLcg`]).
+///
+/// # Examples
+///
+/// ```
+/// use proxima_prng::{XorShift64, RandomSource};
+///
+/// let mut rng = XorShift64::new(5);
+/// assert_ne!(rng.next_u64(), rng.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create a generator from a seed; a zero state (the xorshift fixed
+    /// point) is avoided by conditioning through SplitMix64.
+    pub fn new(seed: u64) -> Self {
+        let mut s = SplitMix64::new(seed);
+        let mut state = s.next_u64();
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        XorShift64 { state }
+    }
+}
+
+impl RandomSource for XorShift64 {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health;
+
+    #[test]
+    fn never_zero_state() {
+        let mut rng = XorShift64::new(0);
+        for _ in 0..10_000 {
+            rng.next_u64();
+            assert_ne!(rng.state, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn passes_health_battery() {
+        let mut rng = XorShift64::new(11);
+        let report = health::run_battery(&mut rng, 4096);
+        assert!(report.all_passed(), "{report:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Byte addresses and line/page arithmetic.
+
+use std::fmt;
+
+/// A byte address in the simulated physical address space.
+///
+/// A newtype keeps byte addresses, cache-line indices and page numbers from
+/// being mixed up in the cache and TLB models.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_sim::Addr;
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line(32), 0x1234 / 32);
+/// assert_eq!(a.page(4096), 0x1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wrap a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Cache-line index for the given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    pub fn line(self, line_size: u64) -> u64 {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        self.0 / line_size
+    }
+
+    /// Page number for the given page size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn page(self, page_size: u64) -> u64 {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        self.0 / page_size
+    }
+
+    /// Offset the address by `delta` bytes.
+    pub fn offset(self, delta: u64) -> Addr {
+        Addr(self.0.wrapping_add(delta))
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_arithmetic() {
+        let a = Addr::new(0x2345);
+        assert_eq!(a.line(32), 0x2345 / 32);
+        assert_eq!(a.line(64), 0x2345 / 64);
+        assert_eq!(a.page(4096), 2);
+    }
+
+    #[test]
+    fn adjacent_bytes_share_a_line() {
+        let a = Addr::new(0x100);
+        let b = Addr::new(0x11F);
+        let c = Addr::new(0x120);
+        assert_eq!(a.line(32), b.line(32));
+        assert_ne!(a.line(32), c.line(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_panics() {
+        Addr::new(0).line(48);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a: Addr = 0xDEAD_BEEF.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0xDEAD_BEEF);
+        assert_eq!(format!("{a}"), "0xdeadbeef");
+        assert_eq!(format!("{a:x}"), "deadbeef");
+    }
+
+    #[test]
+    fn offset_wraps() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.offset(1).raw(), 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Set-associative cache model with pluggable placement and replacement.
+//!
+//! The paper's hardware changes live here: **random modulo** placement
+//! (Hernandez et al., DAC 2016) and **random replacement** (Kosmidis et
+//! al., DATE 2013) turn the layout-dependent conflict behaviour of a
+//! conventional cache into a per-run random variable that MBPTA can sample.
+
+mod placement;
+mod replacement;
+mod set_assoc;
+
+pub use placement::PlacementPolicy;
+pub use replacement::ReplacementPolicy;
+pub use set_assoc::{AccessOutcome, CacheConfig, CacheStats, SetAssocCache};

@@ -1,0 +1,127 @@
+//! Cache replacement (victim selection) policies.
+
+use proxima_prng::RandomSource;
+
+/// How a victim way is chosen on a miss in a full set.
+///
+/// * [`ReplacementPolicy::Lru`] — least-recently-used: deterministic and
+///   history-sensitive; the worst-case access pattern is pathological and
+///   hard to force in a measurement protocol.
+/// * [`ReplacementPolicy::Random`] — the MBPTA-compliant choice (DATE
+///   2013): each eviction picks a uniformly random way from the platform
+///   PRNG, so miss behaviour has a distribution that measurements sample.
+/// * [`ReplacementPolicy::RoundRobin`] — FIFO-like pointer per set, the
+///   LEON3's native default; deterministic, kept for baseline studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least recently used (deterministic).
+    Lru,
+    /// Uniform random victim (MBPTA-compliant).
+    #[default]
+    Random,
+    /// Per-set round-robin pointer (deterministic).
+    RoundRobin,
+}
+
+impl ReplacementPolicy {
+    /// `true` if victim selection is randomized.
+    pub fn is_randomized(self) -> bool {
+        matches!(self, ReplacementPolicy::Random)
+    }
+
+    /// Choose a victim way among `ways` given the per-way LRU stamps, the
+    /// set's round-robin pointer and the platform RNG.
+    pub(crate) fn victim<R: RandomSource + ?Sized>(
+        self,
+        stamps: &[u64],
+        rr_ptr: &mut usize,
+        rng: &mut R,
+    ) -> usize {
+        let ways = stamps.len();
+        debug_assert!(ways > 0);
+        match self {
+            ReplacementPolicy::Lru => stamps
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &s)| s)
+                .map(|(i, _)| i)
+                .expect("at least one way"),
+            ReplacementPolicy::Random => rng.below(ways as u64) as usize,
+            ReplacementPolicy::RoundRobin => {
+                let v = *rr_ptr % ways;
+                *rr_ptr = (v + 1) % ways;
+                v
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::Random => "random",
+            ReplacementPolicy::RoundRobin => "round-robin",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxima_prng::Mwc64;
+
+    #[test]
+    fn lru_picks_oldest_stamp() {
+        let mut rng = Mwc64::new(1);
+        let mut ptr = 0;
+        let stamps = vec![10, 3, 7, 9];
+        let v = ReplacementPolicy::Lru.victim(&stamps, &mut ptr, &mut rng);
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rng = Mwc64::new(1);
+        let mut ptr = 0;
+        let stamps = vec![0; 4];
+        let seq: Vec<usize> = (0..8)
+            .map(|_| ReplacementPolicy::RoundRobin.victim(&stamps, &mut ptr, &mut rng))
+            .collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_covers_all_ways() {
+        let mut rng = Mwc64::new(2);
+        let mut ptr = 0;
+        let stamps = vec![0; 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = ReplacementPolicy::Random.victim(&stamps, &mut ptr, &mut rng);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let stamps = vec![0; 8];
+        let run = |seed| {
+            let mut rng = Mwc64::new(seed);
+            let mut ptr = 0;
+            (0..32)
+                .map(|_| ReplacementPolicy::Random.victim(&stamps, &mut ptr, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn randomization_flags() {
+        assert!(ReplacementPolicy::Random.is_randomized());
+        assert!(!ReplacementPolicy::Lru.is_randomized());
+        assert!(!ReplacementPolicy::RoundRobin.is_randomized());
+    }
+}

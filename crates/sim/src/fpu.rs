@@ -1,0 +1,156 @@
+//! Floating-point unit latency model.
+
+/// Timing-relevant class of the operand values of an FDIV/FSQRT.
+///
+/// On the real LEON3 FPU the iteration count of divide and square root
+/// depends on the operand values. The trace generator tags each such
+/// instruction with the class its operands fall into; the FPU model maps
+/// the class to a latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ValueClass {
+    /// Early-exit operands (e.g. exact powers of two): best case.
+    Fast,
+    /// Typical operands.
+    #[default]
+    Typical,
+    /// Full-iteration operands: worst case.
+    Worst,
+}
+
+/// Whether FDIV/FSQRT run with their natural value-dependent latency or are
+/// forced to worst-case latency.
+///
+/// The paper's platform change: *"for MBPTA we changed the FPU so that
+/// during the analysis phase, both operations exhibit a fixed latency that
+/// matches their highest latency"* — making the FPU jitterless at analysis
+/// so its analysis-time impact upper-bounds operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FpuLatencyMode {
+    /// Value-dependent latency (the DET/operation behaviour).
+    Variable,
+    /// Fixed worst-case latency (the MBPTA analysis-mode behaviour).
+    #[default]
+    ForcedWorst,
+}
+
+/// The FPU latency model.
+///
+/// Latencies are representative of LEON3-class FPUs (GRFPU): FADD/FMUL are
+/// pipelined short-latency ops; FDIV takes ~15–25 cycles and FSQRT ~22–35
+/// depending on operands.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_sim::{FpuLatencyMode, FpuModel, ValueClass};
+///
+/// let analysis = FpuModel::new(FpuLatencyMode::ForcedWorst);
+/// let operation = FpuModel::new(FpuLatencyMode::Variable);
+/// // Analysis-mode latency upper-bounds every operation-mode latency.
+/// assert!(analysis.div_latency(ValueClass::Fast) >= operation.div_latency(ValueClass::Worst));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpuModel {
+    mode: FpuLatencyMode,
+}
+
+/// FDIV latency by value class (cycles).
+const DIV_LATENCY: [u64; 3] = [15, 18, 25];
+/// FSQRT latency by value class (cycles).
+const SQRT_LATENCY: [u64; 3] = [22, 26, 35];
+/// FADD/FSUB latency (cycles, fixed).
+const ADD_LATENCY: u64 = 4;
+/// FMUL latency (cycles, fixed).
+const MUL_LATENCY: u64 = 4;
+
+impl FpuModel {
+    /// Create the FPU model in the given latency mode.
+    pub fn new(mode: FpuLatencyMode) -> Self {
+        FpuModel { mode }
+    }
+
+    /// The configured latency mode.
+    pub fn mode(&self) -> FpuLatencyMode {
+        self.mode
+    }
+
+    /// Latency of an FADD/FSUB (always fixed — jitterless resource).
+    pub fn add_latency(&self) -> u64 {
+        ADD_LATENCY
+    }
+
+    /// Latency of an FMUL (always fixed — jitterless resource).
+    pub fn mul_latency(&self) -> u64 {
+        MUL_LATENCY
+    }
+
+    /// Latency of an FDIV with operands of the given class.
+    pub fn div_latency(&self, class: ValueClass) -> u64 {
+        match self.mode {
+            FpuLatencyMode::ForcedWorst => DIV_LATENCY[2],
+            FpuLatencyMode::Variable => DIV_LATENCY[class as usize],
+        }
+    }
+
+    /// Latency of an FSQRT with operands of the given class.
+    pub fn sqrt_latency(&self, class: ValueClass) -> u64 {
+        match self.mode {
+            FpuLatencyMode::ForcedWorst => SQRT_LATENCY[2],
+            FpuLatencyMode::Variable => SQRT_LATENCY[class as usize],
+        }
+    }
+}
+
+impl Default for FpuModel {
+    fn default() -> Self {
+        FpuModel::new(FpuLatencyMode::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_worst_is_constant() {
+        let fpu = FpuModel::new(FpuLatencyMode::ForcedWorst);
+        let classes = [ValueClass::Fast, ValueClass::Typical, ValueClass::Worst];
+        for c in classes {
+            assert_eq!(fpu.div_latency(c), DIV_LATENCY[2]);
+            assert_eq!(fpu.sqrt_latency(c), SQRT_LATENCY[2]);
+        }
+    }
+
+    #[test]
+    fn variable_latency_orders_by_class() {
+        let fpu = FpuModel::new(FpuLatencyMode::Variable);
+        assert!(fpu.div_latency(ValueClass::Fast) < fpu.div_latency(ValueClass::Typical));
+        assert!(fpu.div_latency(ValueClass::Typical) < fpu.div_latency(ValueClass::Worst));
+        assert!(fpu.sqrt_latency(ValueClass::Fast) < fpu.sqrt_latency(ValueClass::Worst));
+    }
+
+    #[test]
+    fn forced_worst_upper_bounds_variable() {
+        let analysis = FpuModel::new(FpuLatencyMode::ForcedWorst);
+        let operation = FpuModel::new(FpuLatencyMode::Variable);
+        for c in [ValueClass::Fast, ValueClass::Typical, ValueClass::Worst] {
+            assert!(analysis.div_latency(c) >= operation.div_latency(c));
+            assert!(analysis.sqrt_latency(c) >= operation.sqrt_latency(c));
+        }
+    }
+
+    #[test]
+    fn pipelined_ops_fixed() {
+        let fpu = FpuModel::default();
+        assert_eq!(fpu.add_latency(), 4);
+        assert_eq!(fpu.mul_latency(), 4);
+    }
+
+    #[test]
+    fn sqrt_slower_than_div() {
+        let fpu = FpuModel::new(FpuLatencyMode::Variable);
+        for c in [ValueClass::Fast, ValueClass::Typical, ValueClass::Worst] {
+            assert!(fpu.sqrt_latency(c) > fpu.div_latency(c));
+        }
+    }
+}

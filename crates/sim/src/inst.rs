@@ -1,0 +1,118 @@
+//! The trace-level instruction representation.
+
+use crate::addr::Addr;
+use crate::fpu::ValueClass;
+
+/// What an instruction does, at the granularity the timing model needs.
+///
+/// The simulator is trace-driven: it does not interpret operand values,
+/// only their timing-relevant attributes (memory addresses, FPU operand
+/// value classes, branch direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Single-cycle integer ALU operation (add, logic, shift, compare) —
+    /// jitterless by construction on the LEON3.
+    IntAlu,
+    /// Integer multiply (fixed latency).
+    IntMul,
+    /// Integer divide (fixed worst-case latency on this platform).
+    IntDiv,
+    /// Memory load from the given data address.
+    Load(Addr),
+    /// Memory store to the given data address (write-through, no-allocate).
+    Store(Addr),
+    /// Control transfer; `taken` selects the (fixed) taken-branch penalty.
+    Branch {
+        /// Whether the branch is taken in this trace.
+        taken: bool,
+    },
+    /// Floating-point add/sub (fixed latency).
+    FpAdd,
+    /// Floating-point multiply (fixed latency).
+    FpMul,
+    /// Floating-point divide; latency depends on the operand value class
+    /// unless the FPU is in forced-worst-latency (analysis) mode.
+    FpDiv(ValueClass),
+    /// Floating-point square root; value-dependent like [`InstKind::FpDiv`].
+    FpSqrt(ValueClass),
+    /// No-op (consumes a pipeline slot only).
+    Nop,
+}
+
+/// One executed instruction in a trace: its fetch address plus its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Program counter (instruction fetch address) — drives IL1 and ITLB.
+    pub pc: Addr,
+    /// Operation kind with its timing-relevant attributes.
+    pub kind: InstKind,
+}
+
+impl Inst {
+    /// Construct an instruction record.
+    pub fn new(pc: impl Into<Addr>, kind: InstKind) -> Self {
+        Inst {
+            pc: pc.into(),
+            kind,
+        }
+    }
+
+    /// Convenience: an integer ALU instruction at `pc`.
+    pub fn alu(pc: u64) -> Self {
+        Inst::new(pc, InstKind::IntAlu)
+    }
+
+    /// Convenience: a load at `pc` from `addr`.
+    pub fn load(pc: u64, addr: u64) -> Self {
+        Inst::new(pc, InstKind::Load(Addr::new(addr)))
+    }
+
+    /// Convenience: a store at `pc` to `addr`.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        Inst::new(pc, InstKind::Store(Addr::new(addr)))
+    }
+
+    /// Convenience: a branch at `pc`.
+    pub fn branch(pc: u64, taken: bool) -> Self {
+        Inst::new(pc, InstKind::Branch { taken })
+    }
+
+    /// The data address touched by this instruction, if it is a memory op.
+    pub fn data_addr(&self) -> Option<Addr> {
+        match self.kind {
+            InstKind::Load(a) | InstKind::Store(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `true` if this instruction uses the floating-point unit.
+    pub fn is_fp(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::FpAdd | InstKind::FpMul | InstKind::FpDiv(_) | InstKind::FpSqrt(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let l = Inst::load(0x100, 0x8000);
+        assert_eq!(l.pc, Addr::new(0x100));
+        assert_eq!(l.data_addr(), Some(Addr::new(0x8000)));
+        assert!(!l.is_fp());
+
+        let s = Inst::store(0x104, 0x8004);
+        assert_eq!(s.data_addr(), Some(Addr::new(0x8004)));
+
+        let d = Inst::new(0x108, InstKind::FpDiv(ValueClass::Worst));
+        assert!(d.is_fp());
+        assert_eq!(d.data_addr(), None);
+
+        let b = Inst::branch(0x10c, true);
+        assert!(matches!(b.kind, InstKind::Branch { taken: true }));
+    }
+}

@@ -1,0 +1,202 @@
+//! Program memory layout: where code and data objects sit in the address
+//! space.
+//!
+//! On the deterministic platform the layout *is* the jitter source: which
+//! cache sets two objects share depends on their addresses, so linking the
+//! same program at a different base address changes its execution time.
+//! Experiment **E3** sweeps layouts on the DET platform to expose exactly
+//! this sensitivity, which random-modulo placement removes.
+
+use crate::addr::Addr;
+
+/// What a segment holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Executable code (fetched through IL1).
+    Code,
+    /// Read-only data (tables, coefficients).
+    Rodata,
+    /// Read-write data (state vectors, buffers).
+    Data,
+    /// Stack.
+    Stack,
+}
+
+/// A contiguous region of the address space assigned to one object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Human-readable name (e.g. `"task_x_code"`).
+    pub name: String,
+    /// What the segment holds.
+    pub kind: SegmentKind,
+    /// First byte address.
+    pub base: Addr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl Segment {
+    /// Byte address at `offset` into the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= size`.
+    pub fn at(&self, offset: u64) -> Addr {
+        assert!(
+            offset < self.size,
+            "offset {offset} out of segment {}",
+            self.name
+        );
+        self.base.offset(offset)
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> Addr {
+        self.base.offset(self.size)
+    }
+}
+
+/// A full program layout: an ordered collection of segments.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_sim::mem::{MemoryLayout, SegmentKind};
+///
+/// let mut layout = MemoryLayout::new(0x4000_0000);
+/// let code = layout.add("main_code", SegmentKind::Code, 4096);
+/// let data = layout.add("state", SegmentKind::Data, 1024);
+/// assert!(layout.segment(code).end().raw() <= layout.segment(data).base.raw());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLayout {
+    segments: Vec<Segment>,
+    cursor: u64,
+    align: u64,
+}
+
+/// Handle to a segment inside a [`MemoryLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentId(usize);
+
+impl MemoryLayout {
+    /// Start an empty layout at `base` with 32-byte (cache-line) alignment.
+    pub fn new(base: u64) -> Self {
+        MemoryLayout {
+            segments: Vec::new(),
+            cursor: base,
+            align: 32,
+        }
+    }
+
+    /// Start an empty layout with a custom allocation alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn with_alignment(base: u64, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        MemoryLayout {
+            segments: Vec::new(),
+            cursor: base,
+            align,
+        }
+    }
+
+    /// Append a segment of `size` bytes, returning its handle.
+    pub fn add(&mut self, name: impl Into<String>, kind: SegmentKind, size: u64) -> SegmentId {
+        let base = self.cursor.next_multiple_of(self.align);
+        self.segments.push(Segment {
+            name: name.into(),
+            kind,
+            base: Addr::new(base),
+            size,
+        });
+        self.cursor = base + size;
+        SegmentId(self.segments.len() - 1)
+    }
+
+    /// Insert padding (a link-time gap) before the next segment — the knob
+    /// the DET layout sweep turns.
+    pub fn pad(&mut self, bytes: u64) {
+        self.cursor += bytes;
+    }
+
+    /// Look up a segment by handle.
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.0]
+    }
+
+    /// Iterate over all segments in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter()
+    }
+
+    /// Total footprint from the first segment base to the last segment end,
+    /// or 0 for an empty layout.
+    pub fn footprint(&self) -> u64 {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(first), Some(last)) => last.end().raw() - first.base.raw(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_are_disjoint_and_ordered() {
+        let mut l = MemoryLayout::new(0x1000);
+        let a = l.add("a", SegmentKind::Code, 100);
+        let b = l.add("b", SegmentKind::Data, 64);
+        let sa = l.segment(a);
+        let sb = l.segment(b);
+        assert!(sa.end().raw() <= sb.base.raw());
+        assert_eq!(sa.base.raw() % 32, 0);
+        assert_eq!(sb.base.raw() % 32, 0);
+    }
+
+    #[test]
+    fn padding_shifts_following_segments() {
+        let mut plain = MemoryLayout::new(0);
+        plain.add("x", SegmentKind::Code, 32);
+        let x0 = plain.add("y", SegmentKind::Data, 32);
+
+        let mut padded = MemoryLayout::new(0);
+        padded.add("x", SegmentKind::Code, 32);
+        padded.pad(4096);
+        let x1 = padded.add("y", SegmentKind::Data, 32);
+
+        assert_eq!(
+            padded.segment(x1).base.raw(),
+            plain.segment(x0).base.raw() + 4096
+        );
+    }
+
+    #[test]
+    fn at_checks_bounds() {
+        let mut l = MemoryLayout::new(0);
+        let a = l.add("a", SegmentKind::Stack, 64);
+        assert_eq!(l.segment(a).at(63).raw(), 63);
+        let result = std::panic::catch_unwind(|| l.segment(a).at(64));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn footprint_spans_all_segments() {
+        let mut l = MemoryLayout::new(0x100);
+        l.add("a", SegmentKind::Code, 10);
+        l.pad(100);
+        l.add("b", SegmentKind::Data, 10);
+        assert!(l.footprint() >= 120);
+        assert_eq!(MemoryLayout::new(0).footprint(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        MemoryLayout::with_alignment(0, 48);
+    }
+}

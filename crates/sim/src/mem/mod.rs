@@ -1,0 +1,8 @@
+//! Memory hierarchy beyond the caches: the DRAM controller model and the
+//! program memory layout.
+
+mod dram;
+mod layout;
+
+pub use dram::DramModel;
+pub use layout::{MemoryLayout, Segment, SegmentKind};

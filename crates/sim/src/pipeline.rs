@@ -1,0 +1,64 @@
+//! In-order pipeline timing model.
+
+/// Fixed per-stage timing parameters of the 7-stage LEON3 integer
+/// pipeline.
+///
+/// All latencies here are *jitterless*: they are either constant by
+/// construction (ALU, branch penalty) or upper bounds adopted by the
+/// platform (integer divide). The jittery resources — caches, TLBs, bus,
+/// FPU — are modelled separately and their stalls added on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineTiming {
+    /// Base cycles per issued instruction (CPI of the hit/ALU fast path).
+    pub base_cpi: u64,
+    /// Extra cycles for an integer multiply.
+    pub int_mul_extra: u64,
+    /// Extra cycles for an integer divide (fixed worst case).
+    pub int_div_extra: u64,
+    /// Extra cycles for a taken branch (no branch prediction on LEON3;
+    /// the penalty is fixed).
+    pub taken_branch_extra: u64,
+    /// Extra cycles for a store (write-through buffer drain slot —
+    /// jitterless because the buffer is sized for the worst case).
+    pub store_extra: u64,
+    /// Cycles for a TLB miss page-table walk (fixed-latency walk).
+    pub tlb_walk_cycles: u64,
+}
+
+impl PipelineTiming {
+    /// Representative LEON3 timing.
+    pub fn leon3() -> Self {
+        PipelineTiming {
+            base_cpi: 1,
+            int_mul_extra: 2,
+            int_div_extra: 34,
+            taken_branch_extra: 2,
+            store_extra: 1,
+            tlb_walk_cycles: 24,
+        }
+    }
+}
+
+impl Default for PipelineTiming {
+    fn default() -> Self {
+        PipelineTiming::leon3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leon3_values_sane() {
+        let t = PipelineTiming::leon3();
+        assert_eq!(t.base_cpi, 1);
+        assert!(t.int_div_extra > t.int_mul_extra);
+        assert!(t.tlb_walk_cycles > 0);
+    }
+
+    #[test]
+    fn default_is_leon3() {
+        assert_eq!(PipelineTiming::default(), PipelineTiming::leon3());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the platform model.
+
+use proptest::prelude::*;
+use proxima_prng::Mwc64;
+use proxima_sim::{
+    Addr, CacheConfig, Inst, PlacementPolicy, Platform, PlatformConfig, ReplacementPolicy,
+    SetAssocCache, Tlb, TlbConfig,
+};
+
+proptest! {
+    /// Random modulo never maps two lines of the same alignment window to
+    /// the same set — for any window, any seed, any power-of-two geometry.
+    #[test]
+    fn random_modulo_intra_window_injective(
+        window in 0u64..1_000_000,
+        seed in any::<u64>(),
+        log_sets in 4u32..10,
+    ) {
+        let n_sets = 1u64 << log_sets;
+        let mut seen = vec![false; n_sets as usize];
+        for i in 0..n_sets {
+            let line = window * n_sets + i;
+            let s = PlacementPolicy::RandomModulo.set_index(line, n_sets, seed) as usize;
+            prop_assert!(!seen[s], "collision in window {window}");
+            seen[s] = true;
+        }
+    }
+
+    /// Every placement policy stays within the set range.
+    #[test]
+    fn placement_in_range(line in any::<u64>(), seed in any::<u64>(), log_sets in 1u32..12) {
+        let n_sets = 1u64 << log_sets;
+        for policy in [PlacementPolicy::Modulo, PlacementPolicy::RandomModulo, PlacementPolicy::HashRandom] {
+            prop_assert!(policy.set_index(line, n_sets, seed) < n_sets);
+        }
+    }
+
+    /// A line just loaded is always resident (probe sees it), regardless of
+    /// policies and prior traffic.
+    #[test]
+    fn loaded_line_is_resident(
+        traffic in prop::collection::vec(0u64..(1 << 22), 0..200),
+        target in 0u64..(1 << 22),
+        seed in any::<u64>(),
+    ) {
+        let cfg = CacheConfig::leon3_l1(PlacementPolicy::RandomModulo, ReplacementPolicy::Random);
+        let mut cache = SetAssocCache::new(cfg);
+        cache.reseed(seed);
+        let mut rng = Mwc64::new(seed);
+        for a in traffic {
+            cache.access(Addr::new(a * 32), false, &mut rng);
+        }
+        cache.access(Addr::new(target * 32), false, &mut rng);
+        prop_assert!(cache.probe(Addr::new(target * 32)));
+    }
+
+    /// Cache statistics are consistent: hits + misses equals accesses.
+    #[test]
+    fn cache_stats_consistent(
+        accesses in prop::collection::vec((0u64..(1 << 20), any::<bool>()), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut cache = SetAssocCache::new(CacheConfig::default());
+        cache.reseed(seed);
+        let mut rng = Mwc64::new(seed);
+        for (a, is_write) in &accesses {
+            cache.access(Addr::new(*a), *is_write, &mut rng);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses() as usize, accesses.len());
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    /// TLB capacity invariant: after touching k ≤ entries distinct pages,
+    /// all of them hit on a second pass (LRU).
+    #[test]
+    fn tlb_no_spurious_evictions(pages in prop::collection::hash_set(0u64..10_000, 1..64)) {
+        let mut tlb = Tlb::new(TlbConfig::leon3(ReplacementPolicy::Lru));
+        let mut rng = Mwc64::new(0);
+        let pages: Vec<u64> = pages.into_iter().collect();
+        for &p in &pages {
+            tlb.access(Addr::new(p * 4096), &mut rng);
+        }
+        for &p in &pages {
+            prop_assert!(tlb.access(Addr::new(p * 4096), &mut rng), "page {p} evicted early");
+        }
+    }
+
+    /// Platform timing is deterministic per seed and strictly positive,
+    /// and instruction counts are preserved, for arbitrary load traces.
+    #[test]
+    fn run_deterministic_and_counted(
+        addrs in prop::collection::vec(0u64..(1 << 26), 1..150),
+        seed in any::<u64>(),
+    ) {
+        let trace: Vec<Inst> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Inst::load(0x1000 + 4 * i as u64, a))
+            .collect();
+        let mut p = Platform::new(PlatformConfig::mbpta_compliant());
+        let r1 = p.run(&trace, seed);
+        let r2 = p.run(&trace, seed);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(r1.stats.instructions as usize, trace.len());
+        prop_assert!(r1.cycles >= trace.len() as u64);
+    }
+
+    /// DET timing is seed-independent for arbitrary traces.
+    #[test]
+    fn det_seed_independent(
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..100),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let trace: Vec<Inst> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Inst::load(0x1000 + 4 * i as u64, a))
+            .collect();
+        let mut p = Platform::new(PlatformConfig::deterministic());
+        prop_assert_eq!(p.run(&trace, s1).cycles, p.run(&trace, s2).cycles);
+    }
+}

@@ -1,0 +1,152 @@
+//! Empirical cumulative distribution functions.
+
+use crate::StatsError;
+
+/// An empirical CDF built from a sample.
+///
+/// pWCET plots (Figure 2 of the paper) put the *empirical survival function*
+/// `1 − F̂(x)` of the observed execution times on a log scale and overlay the
+/// fitted EVT tail; [`Ecdf`] is that empirical side.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), proxima_stats::StatsError> {
+/// use proxima_stats::ecdf::Ecdf;
+///
+/// let ecdf = Ecdf::new(&[1.0, 2.0, 2.0, 3.0])?;
+/// assert_eq!(ecdf.eval(2.0), 0.75);
+/// assert_eq!(ecdf.survival(2.0), 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build the ECDF of `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] on an empty sample and
+    /// [`StatsError::NonFiniteData`] if any value is NaN/infinite.
+    pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
+        crate::error::check_len(sample, 1)?;
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the ECDF holds no observations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)`: fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.count_le(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// `1 − F̂(x)`: fraction of observations strictly greater than `x`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Empirical quantile: smallest observation `x` with `F̂(x) ≥ p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < p ≤ 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(StatsError::InvalidArgument {
+                what: "ECDF quantile probability must be in (0, 1]",
+            });
+        }
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Ok(self.sorted[idx])
+    }
+
+    /// The sorted observations.
+    pub fn as_sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The survival-plot points `(x_(i), (n−i)/n)` for ascending `i = 1..n`,
+    /// i.e. the staircase used as the empirical side of a pWCET plot.
+    pub fn survival_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (n - i - 1) as f64 / n as f64))
+            .collect()
+    }
+
+    fn count_le(&self, x: f64) -> usize {
+        // partition_point: first index with value > x.
+        self.sorted.partition_point(|&v| v <= x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_staircase() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn survival_complements_eval() {
+        let e = Ecdf::new(&[5.0, 1.0, 3.0]).unwrap();
+        for &x in &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            assert!((e.eval(x) + e.survival(x) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn ties_counted_together() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(2.0), 0.75);
+    }
+
+    #[test]
+    fn quantile_inverts_eval() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(e.quantile(0.2).unwrap(), 10.0);
+        assert_eq!(e.quantile(0.21).unwrap(), 20.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 50.0);
+        assert!(e.quantile(0.0).is_err());
+        assert!(e.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn survival_points_descend_to_zero() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]).unwrap();
+        let pts = e.survival_points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 2.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 0.0));
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[f64::NAN]).is_err());
+    }
+}

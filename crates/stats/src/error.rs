@@ -1,0 +1,103 @@
+//! Error type for the statistics crate.
+
+use std::fmt;
+
+/// Errors produced by statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The sample is too small for the requested computation.
+    InsufficientData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+    /// An argument was outside its valid domain.
+    InvalidArgument {
+        /// Which argument was invalid.
+        what: &'static str,
+    },
+    /// The sample contained a non-finite value (NaN or infinity).
+    NonFiniteData,
+    /// The sample was degenerate (e.g. all values identical) where variation
+    /// is required.
+    DegenerateSample,
+    /// An iterative fit failed to converge.
+    NoConvergence {
+        /// Which fit failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { needed, got } => {
+                write!(
+                    f,
+                    "insufficient data: need at least {needed} observations, got {got}"
+                )
+            }
+            StatsError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            StatsError::NonFiniteData => write!(f, "sample contains non-finite values"),
+            StatsError::DegenerateSample => write!(f, "sample is degenerate (no variation)"),
+            StatsError::NoConvergence { what } => write!(f, "iteration did not converge: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Validate that a sample is non-empty and all-finite.
+pub(crate) fn check_finite(sample: &[f64]) -> Result<(), StatsError> {
+    if sample.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData);
+    }
+    Ok(())
+}
+
+/// Validate a minimum sample size.
+pub(crate) fn check_len(sample: &[f64], needed: usize) -> Result<(), StatsError> {
+    if sample.len() < needed {
+        return Err(StatsError::InsufficientData {
+            needed,
+            got: sample.len(),
+        });
+    }
+    check_finite(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StatsError::InsufficientData { needed: 30, got: 3 };
+        assert!(e.to_string().contains("30"));
+        assert!(e.to_string().contains('3'));
+        assert!(StatsError::NonFiniteData.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn check_finite_rejects_nan() {
+        assert_eq!(
+            check_finite(&[1.0, f64::NAN]),
+            Err(StatsError::NonFiniteData)
+        );
+        assert!(check_finite(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn check_len_enforces_minimum() {
+        assert!(check_len(&[1.0], 2).is_err());
+        assert!(check_len(&[1.0, 2.0], 2).is_ok());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<StatsError>();
+    }
+}

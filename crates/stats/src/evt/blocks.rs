@@ -1,0 +1,189 @@
+//! Block-maxima and peaks-over-threshold extraction.
+
+use crate::error::check_len;
+use crate::StatsError;
+
+/// Split `sample` into consecutive blocks of `block_size` and return the
+/// maximum of each block. A trailing partial block is discarded (standard
+/// practice — a short block's maximum is biased low).
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidArgument`] if `block_size == 0`;
+/// * [`StatsError::InsufficientData`] if fewer than 2 complete blocks fit.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), proxima_stats::StatsError> {
+/// use proxima_stats::evt::block_maxima;
+///
+/// let maxima = block_maxima(&[1.0, 5.0, 2.0, 7.0, 3.0], 2)?;
+/// assert_eq!(maxima, vec![5.0, 7.0]); // trailing 3.0 discarded
+/// # Ok(())
+/// # }
+/// ```
+pub fn block_maxima(sample: &[f64], block_size: usize) -> Result<Vec<f64>, StatsError> {
+    if block_size == 0 {
+        return Err(StatsError::InvalidArgument {
+            what: "block_size must be at least 1",
+        });
+    }
+    check_len(sample, 2 * block_size)?;
+    Ok(sample
+        .chunks_exact(block_size)
+        .map(|chunk| chunk.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect())
+}
+
+/// Return the observations strictly above `threshold` (the *exceedances*,
+/// kept at their original values — subtract the threshold yourself if you
+/// need excesses).
+///
+/// # Errors
+///
+/// Returns [`StatsError::NonFiniteData`] if the sample contains NaN and
+/// [`StatsError::InsufficientData`] if fewer than 10 observations exceed the
+/// threshold (too few for a stable GPD fit).
+pub fn peaks_over_threshold(sample: &[f64], threshold: f64) -> Result<Vec<f64>, StatsError> {
+    crate::error::check_finite(sample)?;
+    let peaks: Vec<f64> = sample.iter().copied().filter(|&x| x > threshold).collect();
+    if peaks.len() < 10 {
+        return Err(StatsError::InsufficientData {
+            needed: 10,
+            got: peaks.len(),
+        });
+    }
+    Ok(peaks)
+}
+
+/// Outcome of the automatic block-size search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSizeChoice {
+    /// The selected block size.
+    pub block_size: usize,
+    /// Anderson-Darling statistic of the Gumbel fit at that size (smaller
+    /// is better).
+    pub ad_statistic: f64,
+    /// All candidates that were evaluated, as `(block_size, A²)` pairs.
+    pub candidates: Vec<(usize, f64)>,
+}
+
+/// Pick a block size from `candidates` by fitting a Gumbel to each candidate
+/// block-maxima set and choosing the size with the smallest Anderson-Darling
+/// statistic (the best tail fit).
+///
+/// This mirrors the MBPTA practice of scanning block sizes until the
+/// extremal model stabilizes: too small a block contaminates the maxima
+/// with the bulk of the distribution, too large a block leaves too few
+/// maxima to fit.
+///
+/// Candidates that leave fewer than 30 maxima or whose fit fails are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if no candidate produces a
+/// usable fit.
+pub fn select_block_size(
+    sample: &[f64],
+    candidates: &[usize],
+) -> Result<BlockSizeChoice, StatsError> {
+    let mut evaluated = Vec::new();
+    for &bs in candidates {
+        if bs == 0 || sample.len() / bs < 30 {
+            continue;
+        }
+        let Ok(maxima) = block_maxima(sample, bs) else {
+            continue;
+        };
+        let Ok(gumbel) = super::fit_gumbel(&maxima) else {
+            continue;
+        };
+        let Ok(gof) = crate::tests::anderson_darling(&maxima, &gumbel) else {
+            continue;
+        };
+        evaluated.push((bs, gof.statistic));
+    }
+    let best = evaluated
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite AD statistics"))
+        .ok_or(StatsError::InsufficientData { needed: 30, got: 0 })?;
+    Ok(BlockSizeChoice {
+        block_size: best.0,
+        ad_statistic: best.1,
+        candidates: evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxima_of_known_blocks() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        assert_eq!(block_maxima(&xs, 4).unwrap(), vec![4.0, 9.0]);
+        assert_eq!(block_maxima(&xs, 2).unwrap(), vec![3.0, 4.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn trailing_partial_block_dropped() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(block_maxima(&xs, 2).unwrap(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn maxima_dominate_sample_quantiles() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 997) as f64).collect();
+        let maxima = block_maxima(&xs, 50).unwrap();
+        let sample_median = crate::descriptive::median(&xs).unwrap();
+        assert!(maxima.iter().all(|&m| m > sample_median));
+    }
+
+    #[test]
+    fn errors_for_bad_inputs() {
+        assert!(block_maxima(&[1.0, 2.0], 0).is_err());
+        assert!(block_maxima(&[1.0, 2.0, 3.0], 2).is_err()); // < 2 full blocks
+    }
+
+    #[test]
+    fn pot_filters_strictly_above() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let peaks = peaks_over_threshold(&xs, 89.0).unwrap();
+        assert_eq!(peaks.len(), 10);
+        assert!(peaks.iter().all(|&p| p > 89.0));
+    }
+
+    #[test]
+    fn pot_too_few_peaks_errors() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(peaks_over_threshold(&xs, 95.0).is_err());
+    }
+
+    #[test]
+    fn block_size_selection_prefers_gumbel_like_scale() {
+        // Synthetic max-stable data: at any grouping the maxima stay
+        // Gumbel; selection should succeed and report candidates.
+        let g = crate::dist::Gumbel::new(100.0, 8.0).unwrap();
+        use crate::dist::ContinuousDistribution;
+        let xs: Vec<f64> = (1..4000)
+            .map(|i| {
+                let u = (i as f64 * 0.618_033_988_749_894_9) % 1.0;
+                g.quantile(u.clamp(1e-9, 1.0 - 1e-9)).unwrap()
+            })
+            .collect();
+        let choice = select_block_size(&xs, &[10, 20, 50, 100]).unwrap();
+        assert!(choice.candidates.len() >= 2);
+        assert!([10, 20, 50, 100].contains(&choice.block_size));
+        assert!(choice.ad_statistic.is_finite());
+    }
+
+    #[test]
+    fn block_size_selection_empty_candidates_errors() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(select_block_size(&xs, &[]).is_err());
+        assert!(select_block_size(&xs, &[1000]).is_err());
+    }
+}

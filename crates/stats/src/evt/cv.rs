@@ -1,0 +1,296 @@
+//! MBPTA-CV: exponential-tail fitting guided by the residual coefficient
+//! of variation.
+//!
+//! MBPTA-CV (Abella et al., "Measurement-Based Worst-Case Execution Time
+//! Estimation Using the Coefficient of Variation", ACM TODAES 2017 — the
+//! same group's successor to the block-maxima process used in the DATE
+//! 2017 paper) exploits a classical characterization: a distribution's
+//! tail is exponential **iff** the *residual coefficient of variation*
+//!
+//! `CV(u) = std(X − u | X > u) / mean(X − u | X > u)`
+//!
+//! tends to 1 as the threshold `u` grows. The method walks thresholds from
+//! the highest order statistics downward, keeps the largest exceedance set
+//! whose residual CV is statistically compatible with 1, and fits an
+//! exponential tail (a GPD with ξ = 0) to those exceedances. Light-tailed
+//! (CV < 1) regions are also accepted, the exponential fit then being an
+//! upper bound.
+
+use crate::descriptive::{mean, std_dev};
+use crate::dist::Exponential;
+use crate::StatsError;
+
+/// One point of the residual-CV plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvPoint {
+    /// Number of exceedances used (tail size).
+    pub tail_size: usize,
+    /// Threshold (the order statistic below the tail).
+    pub threshold: f64,
+    /// Residual coefficient of variation of the excesses.
+    pub cv: f64,
+}
+
+/// The residual-CV plot: `CV(u)` for tails of decreasing size, the
+/// diagnostic picture MBPTA-CV reads.
+///
+/// Tail sizes run from `min_tail` up to `max_tail` (clamped to n−1),
+/// thresholds being the corresponding order statistics.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if the sample cannot support
+/// `min_tail` exceedances.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), proxima_stats::StatsError> {
+/// use proxima_stats::evt::cv_plot;
+///
+/// let xs: Vec<f64> = (1..2000).map(|i| (i as f64).ln() * 100.0).collect();
+/// let plot = cv_plot(&xs, 10, 200)?;
+/// assert!(plot.len() > 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cv_plot(
+    sample: &[f64],
+    min_tail: usize,
+    max_tail: usize,
+) -> Result<Vec<CvPoint>, StatsError> {
+    if min_tail < 5 {
+        return Err(StatsError::InvalidArgument {
+            what: "cv plot needs at least 5 exceedances per point",
+        });
+    }
+    crate::error::check_len(sample, min_tail + 1)?;
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let max_tail = max_tail.min(n - 1);
+    let mut points = Vec::new();
+    for k in min_tail..=max_tail {
+        let threshold = sorted[n - k - 1];
+        let excesses: Vec<f64> = sorted[n - k..].iter().map(|&x| x - threshold).collect();
+        let m = mean(&excesses)?;
+        if m <= 0.0 {
+            continue; // ties at the threshold
+        }
+        let s = std_dev(&excesses)?;
+        points.push(CvPoint {
+            tail_size: k,
+            threshold,
+            cv: s / m,
+        });
+    }
+    if points.is_empty() {
+        return Err(StatsError::DegenerateSample);
+    }
+    Ok(points)
+}
+
+/// Result of the MBPTA-CV tail selection and fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvFit {
+    /// The selected threshold.
+    pub threshold: f64,
+    /// Number of exceedances the fit used.
+    pub tail_size: usize,
+    /// Residual CV at the selected threshold.
+    pub cv: f64,
+    /// The fitted exponential tail over the threshold (rate = 1/mean
+    /// excess). `P(X > threshold + y | X > threshold) = exp(−λy)`.
+    pub tail: Exponential,
+    /// Fraction of the sample above the threshold: `P(X > threshold)`.
+    pub tail_fraction: f64,
+}
+
+impl CvFit {
+    /// Per-observation exceedance probability of `x` under the fitted
+    /// exponential tail: `tail_fraction × exp(−λ(x − threshold))`.
+    pub fn exceedance_probability(&self, x: f64) -> f64 {
+        if x <= self.threshold {
+            return self.tail_fraction;
+        }
+        use crate::dist::ContinuousDistribution;
+        self.tail_fraction * self.tail.survival(x - self.threshold)
+    }
+
+    /// The execution-time budget exceeded with per-observation probability
+    /// `p` (the MBPTA-CV pWCET estimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < p <
+    /// tail_fraction` (budgets inside the empirical range should be read
+    /// off the ECDF instead).
+    pub fn budget_for(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < self.tail_fraction) {
+            return Err(StatsError::InvalidArgument {
+                what: "cv budget requires 0 < p < tail fraction",
+            });
+        }
+        // tail_fraction·exp(−λ y) = p  ⇒  y = ln(tail_fraction/p)/λ.
+        let y = (self.tail_fraction / p).ln() / self.tail.rate();
+        Ok(self.threshold + y)
+    }
+}
+
+/// The asymptotic 95% acceptance band for |CV − 1| at tail size `k`:
+/// the residual CV of an exponential sample of size `k` is approximately
+/// `Normal(1, 1/√k)`.
+fn cv_band(k: usize) -> f64 {
+    1.96 / (k as f64).sqrt()
+}
+
+/// MBPTA-CV tail selection: walk tail sizes from `max_tail` down to
+/// `min_tail` and keep the **largest** exceedance set whose residual CV is
+/// within the 95% band around 1 (or below it — light tails are upper-
+/// bounded by the exponential fit).
+///
+/// # Errors
+///
+/// * anything [`cv_plot`] returns;
+/// * [`StatsError::NoConvergence`] if no tail size is compatible with an
+///   exponential-or-lighter tail (a heavy tail: MBPTA-CV must refuse, as
+///   a ξ > 0 tail cannot be soundly upper-bounded by an exponential).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), proxima_stats::StatsError> {
+/// use proxima_stats::evt::fit_cv_tail;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let xs: Vec<f64> = (0..3000)
+///     .map(|_| 1000.0 - 50.0 * (1.0 - rng.gen::<f64>()).ln())
+///     .collect();
+/// let fit = fit_cv_tail(&xs, 20, 300)?;
+/// assert!((fit.cv - 1.0).abs() < 0.3); // exponential data: CV ≈ 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_cv_tail(sample: &[f64], min_tail: usize, max_tail: usize) -> Result<CvFit, StatsError> {
+    let plot = cv_plot(sample, min_tail, max_tail)?;
+    let n = sample.len() as f64;
+    // Largest tail whose CV is ≤ 1 + band (exponential or lighter).
+    let chosen = plot
+        .iter()
+        .rev() // largest tail sizes first
+        .find(|p| p.cv <= 1.0 + cv_band(p.tail_size))
+        .copied()
+        .ok_or(StatsError::NoConvergence {
+            what: "no threshold with exponential-compatible residual CV",
+        })?;
+    let excesses: Vec<f64> = sample
+        .iter()
+        .filter(|&&x| x > chosen.threshold)
+        .map(|&x| x - chosen.threshold)
+        .collect();
+    let m = mean(&excesses)?;
+    Ok(CvFit {
+        threshold: chosen.threshold,
+        tail_size: excesses.len(),
+        cv: chosen.cv,
+        tail: Exponential::new(1.0 / m)?,
+        tail_fraction: excesses.len() as f64 / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDistribution, Exponential as ExpDist, Gpd, Uniform};
+    use rand::{Rng, SeedableRng};
+
+    fn draws<D: ContinuousDistribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                d.quantile(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12))
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exponential_tail_has_cv_one() {
+        let xs = draws(&ExpDist::new(0.01).unwrap(), 4000, 1);
+        let fit = fit_cv_tail(&xs, 20, 400).unwrap();
+        assert!((fit.cv - 1.0).abs() < 0.2, "cv={}", fit.cv);
+        // Rate recovered: mean excess of Exp(λ) is 1/λ at any threshold.
+        assert!(
+            (fit.tail.rate() / 0.01 - 1.0).abs() < 0.3,
+            "rate={}",
+            fit.tail.rate()
+        );
+    }
+
+    #[test]
+    fn light_tail_accepted_with_cv_below_one() {
+        // Uniform: bounded, residual CV < 1 in the tail.
+        let xs = draws(&Uniform::new(0.0, 100.0).unwrap(), 4000, 2);
+        let fit = fit_cv_tail(&xs, 20, 400).unwrap();
+        assert!(fit.cv < 1.1, "cv={}", fit.cv);
+    }
+
+    #[test]
+    fn heavy_tail_rejected() {
+        // GPD with ξ = 0.6: residual CV > 1 at every threshold; the method
+        // must refuse rather than underestimate.
+        let xs = draws(&Gpd::new(0.0, 1.0, 0.6).unwrap(), 4000, 3);
+        let result = fit_cv_tail(&xs, 30, 200);
+        assert!(
+            matches!(result, Err(StatsError::NoConvergence { .. })),
+            "heavy tail must be refused, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn budget_inverts_exceedance() {
+        let xs = draws(&ExpDist::new(0.05).unwrap(), 3000, 4);
+        let fit = fit_cv_tail(&xs, 20, 300).unwrap();
+        for &p in &[1e-6, 1e-9, 1e-12] {
+            let b = fit.budget_for(p).unwrap();
+            let back = fit.exceedance_probability(b);
+            assert!((back / p - 1.0).abs() < 1e-9, "p={p} back={back}");
+        }
+    }
+
+    #[test]
+    fn budget_monotone_and_above_threshold() {
+        let xs = draws(&ExpDist::new(0.05).unwrap(), 3000, 5);
+        let fit = fit_cv_tail(&xs, 20, 300).unwrap();
+        let b6 = fit.budget_for(1e-6).unwrap();
+        let b12 = fit.budget_for(1e-12).unwrap();
+        assert!(fit.threshold < b6 && b6 < b12);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let xs = draws(&ExpDist::new(1.0).unwrap(), 1000, 6);
+        let fit = fit_cv_tail(&xs, 20, 100).unwrap();
+        assert!(fit.budget_for(0.0).is_err());
+        assert!(fit.budget_for(0.9).is_err()); // above the tail fraction
+    }
+
+    #[test]
+    fn cv_plot_shapes() {
+        let xs = draws(&ExpDist::new(1.0).unwrap(), 2000, 7);
+        let plot = cv_plot(&xs, 10, 200).unwrap();
+        assert!(plot.len() >= 150);
+        for w in plot.windows(2) {
+            assert!(w[1].tail_size > w[0].tail_size);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn cv_plot_input_validation() {
+        assert!(cv_plot(&[1.0, 2.0], 10, 50).is_err());
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(cv_plot(&xs, 2, 50).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Statistics substrate for measurement-based probabilistic timing analysis.
+//!
+//! MBPTA (Cucu-Grosjean et al., ECRTS 2012; Fernandez et al., DATE 2017)
+//! needs a small but precise statistical stack:
+//!
+//! * **i.i.d. validation** — the Ljung-Box independence test and the
+//!   two-sample Kolmogorov-Smirnov identical-distribution test gate the
+//!   applicability of extreme value theory to the measured execution times
+//!   ([`tests`]);
+//! * **extreme value theory** — block maxima / peaks-over-threshold
+//!   extraction and Gumbel/GEV/GPD fitting produce the pWCET tail
+//!   ([`evt`], [`dist`]);
+//! * **supporting machinery** — special functions ([`special`]), descriptive
+//!   statistics ([`descriptive`]), empirical CDFs ([`ecdf`]) and sample
+//!   autocorrelation ([`autocorr`]).
+//!
+//! There is no canonical EVT-for-WCET library in the Rust ecosystem, so
+//! everything here is implemented from first principles and validated in the
+//! test suite against published critical values and closed-form identities.
+//!
+//! # Examples
+//!
+//! Fit a Gumbel tail to block maxima and query a rare quantile:
+//!
+//! ```
+//! use proxima_stats::evt::{block_maxima, fit_gumbel};
+//! use proxima_stats::dist::ContinuousDistribution;
+//!
+//! // A synthetic sample (e.g. execution times in cycles).
+//! let sample: Vec<f64> = (0..1000).map(|i| 1000.0 + (i % 97) as f64).collect();
+//! let maxima = block_maxima(&sample, 50)?;
+//! let gumbel = fit_gumbel(&maxima)?;
+//! let p_wcet = gumbel.quantile(1.0 - 1e-12)?;
+//! assert!(p_wcet > 1000.0);
+//! # Ok::<(), proxima_stats::StatsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autocorr;
+pub mod descriptive;
+pub mod dist;
+pub mod ecdf;
+pub mod evt;
+pub mod special;
+pub mod tests;
+
+mod error;
+
+pub use error::StatsError;

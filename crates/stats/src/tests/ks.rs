@@ -1,0 +1,201 @@
+//! Kolmogorov-Smirnov tests (one- and two-sample).
+
+use super::TestResult;
+use crate::dist::{ContinuousDistribution, Kolmogorov};
+use crate::error::check_len;
+use crate::StatsError;
+
+/// Two-sample Kolmogorov-Smirnov test of identical distribution.
+///
+/// `D = sup_x |F̂₁(x) − F̂₂(x)|` with asymptotic p-value from the Kolmogorov
+/// distribution using the effective size `nₑ = n₁n₂/(n₁+n₂)` and the
+/// Stephens small-sample correction
+/// `λ = (√nₑ + 0.12 + 0.11/√nₑ) · D` (Numerical Recipes `kstwo`).
+///
+/// This is the identical-distribution half of the MBPTA i.i.d. gate: the
+/// protocol splits the measured execution times into two halves and checks
+/// they are drawn from the same distribution; the paper reports p = 0.45.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer than
+/// 8 observations (the asymptotic p-value is unreliable below that).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), proxima_stats::StatsError> {
+/// use proxima_stats::tests::ks_two_sample;
+///
+/// let a: Vec<f64> = (0..200).map(|i| (i as f64 * 0.754877) % 1.0).collect();
+/// let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.569840) % 1.0).collect();
+/// let r = ks_two_sample(&a, &b)?;
+/// assert!(r.passes(0.05)); // same (uniform) distribution
+/// # Ok(())
+/// # }
+/// ```
+pub fn ks_two_sample(first: &[f64], second: &[f64]) -> Result<TestResult, StatsError> {
+    check_len(first, 8)?;
+    check_len(second, 8)?;
+    let mut a = first.to_vec();
+    let mut b = second.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+
+    let (n1, n2) = (a.len(), b.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x1 = a[i];
+        let x2 = b[j];
+        if x1 <= x2 {
+            i += 1;
+        }
+        if x2 <= x1 {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    Ok(TestResult {
+        statistic: d,
+        p_value: Kolmogorov::new().survival(lambda),
+    })
+}
+
+/// One-sample Kolmogorov-Smirnov goodness-of-fit test against a fully
+/// specified continuous distribution.
+///
+/// Used as a goodness-of-fit check of the fitted EVT tail on the block
+/// maxima (with the caveat, noted in the MBPTA literature, that fitting the
+/// parameters on the same data makes the test conservative).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if the sample has fewer than 8
+/// observations.
+pub fn ks_one_sample<D: ContinuousDistribution + ?Sized>(
+    sample: &[f64],
+    dist: &D,
+) -> Result<TestResult, StatsError> {
+    check_len(sample, 8)?;
+    let mut xs = sample.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (idx, &x) in xs.iter().enumerate() {
+        let f = dist.cdf(x);
+        let hi = (idx as f64 + 1.0) / n - f;
+        let lo = f - idx as f64 / n;
+        d = d.max(hi.max(lo));
+    }
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    Ok(TestResult {
+        statistic: d,
+        p_value: Kolmogorov::new().survival(lambda),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Gumbel, Normal, Uniform};
+
+    fn weyl(n: usize, alpha: f64, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * alpha + phase) % 1.0).collect()
+    }
+
+    #[test]
+    fn identical_distributions_pass() {
+        let a = weyl(500, 0.754_877_666_2, 0.1);
+        let b = weyl(500, 0.569_840_290_998, 0.7);
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.passes(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distributions_fail() {
+        let a = weyl(500, 0.754_877_666_2, 0.0);
+        let b: Vec<f64> = weyl(500, 0.754_877_666_2, 0.0)
+            .iter()
+            .map(|x| x + 0.3)
+            .collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(!r.passes(0.05));
+        assert!(r.statistic > 0.25);
+    }
+
+    #[test]
+    fn scale_difference_detected() {
+        let a = weyl(800, 0.754_877_666_2, 0.0);
+        let b: Vec<f64> = weyl(800, 0.569_840_290_998, 0.0)
+            .iter()
+            .map(|x| x * 2.0)
+            .collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(!r.passes(0.05));
+    }
+
+    #[test]
+    fn statistic_is_sup_difference() {
+        // Two disjoint samples: D must be 1.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = vec![11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        // With nₑ = 4 the asymptotic p-value bottoms out near 1.5e-4.
+        assert!(r.p_value < 1e-3, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn one_sample_uniform_fit_passes() {
+        let xs = weyl(1000, 0.618_033_988_749_894_9, 0.0);
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let r = ks_one_sample(&xs, &u).unwrap();
+        assert!(r.passes(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn one_sample_wrong_model_fails() {
+        let xs = weyl(1000, 0.618_033_988_749_894_9, 0.0);
+        let n = Normal::new(0.5, 0.05).unwrap(); // far too concentrated
+        let r = ks_one_sample(&xs, &n).unwrap();
+        assert!(!r.passes(0.05));
+    }
+
+    #[test]
+    fn one_sample_gumbel_synthetic_quantiles_pass() {
+        // Gumbel sample via inverse-CDF of a uniform grid: best-case fit.
+        let g = Gumbel::new(100.0, 5.0).unwrap();
+        let xs: Vec<f64> = (1..500)
+            .map(|i| g.quantile(i as f64 / 500.0).unwrap())
+            .collect();
+        let r = ks_one_sample(&xs, &g).unwrap();
+        assert!(r.passes(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn small_samples_rejected() {
+        let a = vec![1.0; 4];
+        let b = vec![2.0; 100];
+        assert!(ks_two_sample(&a, &b).is_err());
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        assert!(ks_one_sample(&a, &u).is_err());
+    }
+
+    #[test]
+    fn ties_handled() {
+        let a = vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        let b = vec![1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.statistic <= 1.0 && r.statistic >= 0.0);
+        assert!(r.passes(0.05));
+    }
+}

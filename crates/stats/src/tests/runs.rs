@@ -1,0 +1,144 @@
+//! Wald–Wolfowitz runs test for randomness.
+
+use super::TestResult;
+use crate::descriptive::median;
+use crate::error::check_len;
+use crate::special::std_normal_sf;
+use crate::StatsError;
+
+/// Wald–Wolfowitz runs test of randomness about the median.
+///
+/// The sequence is dichotomized at its median; under independence the
+/// number of runs (maximal same-side stretches) is asymptotically normal
+/// with mean `2 n₊ n₋/n + 1`. Used in the MBPTA literature (Cucu-Grosjean
+/// et al., ECRTS 2012) as a second, non-parametric independence check next
+/// to Ljung-Box: the runs test catches level shifts and clustering that a
+/// few autocorrelation lags can miss.
+///
+/// Values equal to the median are discarded (the standard treatment).
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] if fewer than 20 usable observations;
+/// * [`StatsError::DegenerateSample`] if one side of the median is empty.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), proxima_stats::StatsError> {
+/// use proxima_stats::tests::runs_test;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let xs: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
+/// assert!(runs_test(&xs)?.passes(0.05));
+/// # Ok(())
+/// # }
+/// ```
+pub fn runs_test(sample: &[f64]) -> Result<TestResult, StatsError> {
+    check_len(sample, 20)?;
+    let med = median(sample)?;
+    let signs: Vec<bool> = sample
+        .iter()
+        .filter(|&&x| x != med)
+        .map(|&x| x > med)
+        .collect();
+    if signs.len() < 20 {
+        return Err(StatsError::InsufficientData {
+            needed: 20,
+            got: signs.len(),
+        });
+    }
+    let n_pos = signs.iter().filter(|&&s| s).count() as f64;
+    let n_neg = signs.len() as f64 - n_pos;
+    if n_pos == 0.0 || n_neg == 0.0 {
+        return Err(StatsError::DegenerateSample);
+    }
+    let runs = 1 + signs.windows(2).filter(|w| w[0] != w[1]).count();
+    let n = n_pos + n_neg;
+    let mean = 2.0 * n_pos * n_neg / n + 1.0;
+    let var = 2.0 * n_pos * n_neg * (2.0 * n_pos * n_neg - n) / (n * n * (n - 1.0));
+    let z = (runs as f64 - mean) / var.sqrt();
+    // Two-sided p-value.
+    let p = 2.0 * std_normal_sf(z.abs());
+    Ok(TestResult {
+        statistic: z,
+        p_value: p.min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn random_sequence_passes() {
+        for seed in [1, 2, 3] {
+            let r = runs_test(&noise(500, seed)).unwrap();
+            assert!(r.passes(0.01), "seed {seed}: p={}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn level_shift_fails() {
+        // First half low, second half high: 2 runs, way too few.
+        let mut xs = vec![0.0; 100];
+        xs.extend(vec![1.0; 100]);
+        // Add tiny jitter so the median split is clean.
+        for (i, x) in xs.iter_mut().enumerate() {
+            *x += (i % 7) as f64 * 1e-6;
+        }
+        let r = runs_test(&xs).unwrap();
+        assert!(!r.passes(0.05));
+        assert!(
+            r.statistic < -5.0,
+            "strongly too few runs: z={}",
+            r.statistic
+        );
+    }
+
+    #[test]
+    fn alternating_sequence_fails() {
+        // Perfect alternation: too many runs (negative dependence).
+        let xs: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let r = runs_test(&xs).unwrap();
+        assert!(!r.passes(0.05));
+        assert!(r.statistic > 5.0, "z={}", r.statistic);
+    }
+
+    #[test]
+    fn short_sample_rejected() {
+        assert!(runs_test(&noise(10, 1)).is_err());
+    }
+
+    #[test]
+    fn constant_sample_rejected() {
+        let xs = vec![5.0; 100];
+        assert!(runs_test(&xs).is_err());
+    }
+
+    #[test]
+    fn median_ties_discarded() {
+        // Half the values sit exactly on the median: still testable.
+        let mut xs = Vec::new();
+        let noise = noise(200, 9);
+        for (i, &u) in noise.iter().enumerate() {
+            if i % 2 == 0 {
+                xs.push(0.5);
+            } else {
+                xs.push(u);
+            }
+        }
+        // Should not panic; outcome depends on the kept subsequence.
+        let r = runs_test(&xs);
+        assert!(r.is_ok());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests over the statistics substrate.
+
+use proptest::prelude::*;
+use proxima_stats::descriptive;
+use proxima_stats::dist::{
+    ChiSquared, ContinuousDistribution, Exponential, Gev, Gpd, Gumbel, Normal,
+};
+use proxima_stats::special::{gamma_p, gamma_q, ln_gamma, std_normal_cdf, std_normal_quantile};
+
+proptest! {
+    /// `P(a, x) + Q(a, x) = 1` everywhere in the domain.
+    #[test]
+    fn incomplete_gamma_complementarity(a in 0.01f64..100.0, x in 0.0f64..500.0) {
+        let s = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-10, "a={a} x={x} s={s}");
+    }
+
+    /// `ln Γ` satisfies the recurrence `ln Γ(x+1) = ln x + ln Γ(x)`.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..150.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "x={x}");
+    }
+
+    /// Probit inverts the normal CDF across the full probability range.
+    #[test]
+    fn probit_round_trip(p in 1e-12f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-12);
+        let z = std_normal_quantile(p);
+        let back = std_normal_cdf(z);
+        prop_assert!((back - p).abs() < 1e-9 + 1e-6 * p, "p={p} back={back}");
+    }
+
+    /// CDF monotonicity for the whole distribution zoo.
+    #[test]
+    fn cdf_monotone_everywhere(
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        mu in -50.0f64..50.0,
+        sigma in 0.1f64..50.0,
+        xi in -0.45f64..0.45,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let dists: Vec<Box<dyn ContinuousDistribution>> = vec![
+            Box::new(Normal::new(mu, sigma).unwrap()),
+            Box::new(Gumbel::new(mu, sigma).unwrap()),
+            Box::new(Gev::new(mu, sigma, xi).unwrap()),
+            Box::new(Gpd::new(mu, sigma, xi).unwrap()),
+            Box::new(Exponential::new(sigma).unwrap()),
+            Box::new(ChiSquared::new(sigma).unwrap()),
+        ];
+        for d in &dists {
+            prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+            prop_assert!(d.pdf(lo) >= 0.0 && d.pdf(hi) >= 0.0);
+            prop_assert!((d.cdf(lo) + d.survival(lo) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Quantile/CDF round trip for the EVT family at arbitrary parameters.
+    #[test]
+    fn evt_quantile_round_trip(
+        mu in -1e4f64..1e4,
+        sigma in 0.01f64..1e3,
+        xi in -0.4f64..0.4,
+        p in 0.001f64..0.999,
+    ) {
+        let gev = Gev::new(mu, sigma, xi).unwrap();
+        let x = gev.quantile(p).unwrap();
+        prop_assert!((gev.cdf(x) - p).abs() < 1e-7, "gev p={p} x={x}");
+        let gpd = Gpd::new(mu, sigma, xi).unwrap();
+        let y = gpd.quantile(p).unwrap();
+        prop_assert!((gpd.cdf(y) - p).abs() < 1e-7, "gpd p={p} y={y}");
+    }
+
+    /// Type-7 quantiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn sample_quantiles_monotone(
+        sample in prop::collection::vec(-1e6f64..1e6, 1..200),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let qlo = descriptive::quantile(&sample, lo).unwrap();
+        let qhi = descriptive::quantile(&sample, hi).unwrap();
+        prop_assert!(qlo <= qhi + 1e-9);
+        let min = descriptive::min(&sample).unwrap();
+        let max = descriptive::max(&sample).unwrap();
+        prop_assert!(qlo >= min - 1e-9 && qhi <= max + 1e-9);
+    }
+
+    /// Mean/variance are translation-equivariant / invariant.
+    #[test]
+    fn moments_translation(
+        sample in prop::collection::vec(-1e5f64..1e5, 2..100),
+        shift in -1e5f64..1e5,
+    ) {
+        let shifted: Vec<f64> = sample.iter().map(|x| x + shift).collect();
+        let m0 = descriptive::mean(&sample).unwrap();
+        let m1 = descriptive::mean(&shifted).unwrap();
+        prop_assert!((m1 - (m0 + shift)).abs() < 1e-6 * (1.0 + m0.abs() + shift.abs()));
+        let v0 = descriptive::variance(&sample).unwrap();
+        let v1 = descriptive::variance(&shifted).unwrap();
+        prop_assert!((v0 - v1).abs() < 1e-6 * (1.0 + v0.abs()));
+    }
+
+    /// The uniform ECDF evaluated at its own observations gives i/n.
+    #[test]
+    fn ecdf_at_sorted_points(sample in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let ecdf = proxima_stats::ecdf::Ecdf::new(&sample).unwrap();
+        let sorted = ecdf.as_sorted().to_vec();
+        let n = sorted.len() as f64;
+        for (i, &x) in sorted.iter().enumerate() {
+            let f = ecdf.eval(x);
+            // At a (possibly tied) observation, F̂ ≥ (i+1)/n.
+            prop_assert!(f >= (i as f64 + 1.0) / n - 1e-12);
+        }
+    }
+
+    /// Gumbel exceedance quantile is consistent with survival for tiny p.
+    #[test]
+    fn gumbel_far_tail_consistency(
+        mu in -1e6f64..1e6,
+        beta in 0.01f64..1e4,
+        exp in 3i32..16,
+    ) {
+        let g = Gumbel::new(mu, beta).unwrap();
+        let p = 10f64.powi(-exp);
+        let x = g.exceedance_quantile(p).unwrap();
+        let s = g.survival(x);
+        prop_assert!((s / p - 1.0).abs() < 1e-6, "p={p} s={s}");
+    }
+}

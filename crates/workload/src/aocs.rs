@@ -1,0 +1,354 @@
+//! A second space case study: a synthetic Attitude and Orbit Control
+//! System (AOCS) application.
+//!
+//! Where the TVCA is a tight closed-loop actuator controller, an AOCS is
+//! the spacecraft's attitude brain: quaternion kinematics, a Kalman-style
+//! state estimator, star-tracker catalogue matching and wheel-command
+//! generation. It stresses the platform differently — bigger data tables
+//! (the star catalogue), longer matrix chains (the covariance update) and
+//! more FSQRT (quaternion normalization) — so reproducing the paper's
+//! claims on it demonstrates that the MBPTA result is not a TVCA
+//! idiosyncrasy (experiment **E5**).
+//!
+//! Structure (one major cycle):
+//!
+//! 1. **gyro propagation** — quaternion integration + normalization;
+//! 2. **star-tracker update** (every cycle in `Tracking`, twice in
+//!    `Acquisition`) — catalogue window search + attitude correction;
+//! 3. **estimator** — 6×6 covariance propagation and gain computation;
+//! 4. **wheel commands** — torque distribution with divide-based scaling.
+//!
+//! Paths: [`AocsMode::Tracking`] (nominal), [`AocsMode::Acquisition`]
+//! (double star processing, worst-class divides) and [`AocsMode::Safe`]
+//! (sun-pointing fallback, shorter).
+
+use crate::kernels;
+use crate::trace::{DataObject, TraceBuilder};
+use proxima_prng::{RandomSource, SplitMix64};
+use proxima_sim::{Inst, ValueClass};
+
+/// Operating mode of the AOCS — its execution paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AocsMode {
+    /// Fine attitude tracking (nominal).
+    #[default]
+    Tracking,
+    /// Attitude acquisition: extra star-tracker processing, worst-case
+    /// divide operands.
+    Acquisition,
+    /// Safe mode: sun-pointing fallback (shortest path).
+    Safe,
+}
+
+impl AocsMode {
+    /// All execution paths.
+    pub fn all() -> [AocsMode; 3] {
+        [AocsMode::Tracking, AocsMode::Acquisition, AocsMode::Safe]
+    }
+}
+
+impl std::fmt::Display for AocsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AocsMode::Tracking => "tracking",
+            AocsMode::Acquisition => "acquisition",
+            AocsMode::Safe => "safe",
+        })
+    }
+}
+
+/// AOCS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AocsConfig {
+    /// Link-time layout identifier (same semantics as the TVCA's).
+    pub layout_seed: u64,
+    /// Star catalogue entries (default 4096 → a 16 KB table, filling the
+    /// DL1: catalogue lines occupy every set, so the other objects always
+    /// contend for ways — the cache pressure a real catalogue search has).
+    pub catalogue_len: u64,
+}
+
+impl Default for AocsConfig {
+    fn default() -> Self {
+        AocsConfig {
+            layout_seed: 0,
+            catalogue_len: 4096,
+        }
+    }
+}
+
+/// Code segment bases.
+const CODE_GYRO: u64 = 0x4800_0000;
+const CODE_STAR: u64 = 0x4800_4000;
+const CODE_EST: u64 = 0x4800_8000;
+const CODE_WHEEL: u64 = 0x4800_C000;
+/// Data segment base (separate from the TVCA's).
+const DATA_BASE: u64 = 0x6800_0000;
+
+/// The synthetic AOCS application.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_workload::aocs::{Aocs, AocsConfig, AocsMode};
+///
+/// let aocs = Aocs::new(AocsConfig::default());
+/// let tracking = aocs.trace(AocsMode::Tracking);
+/// let safe = aocs.trace(AocsMode::Safe);
+/// assert!(tracking.len() > safe.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aocs {
+    config: AocsConfig,
+    quat: DataObject,
+    gyro_raw: DataObject,
+    catalogue: DataObject,
+    measurements: DataObject,
+    covariance: DataObject,
+    gain: DataObject,
+    state: DataObject,
+    wheel_cmd: DataObject,
+    sun_vector: DataObject,
+}
+
+impl Aocs {
+    /// Instantiate the application.
+    pub fn new(config: AocsConfig) -> Self {
+        // Window-aligned objects with a layout-seed stagger, as in the TVCA.
+        let mut cursor = DATA_BASE;
+        let mut obj_index = 0u64;
+        let mut place = |len: u64, elem: u64| {
+            let window = cursor.next_multiple_of(4096);
+            let pad_lines = SplitMix64::new(config.layout_seed ^ obj_index.wrapping_mul(0x51ED))
+                .next_u64()
+                % 64;
+            obj_index += 1;
+            let base = window + pad_lines * 32;
+            cursor = base + len * elem;
+            DataObject::new(base, len, elem)
+        };
+        Aocs {
+            quat: place(4, 4),
+            gyro_raw: place(192, 4),
+            catalogue: place(config.catalogue_len, 4),
+            measurements: place(64, 4),
+            covariance: place(36, 4),
+            gain: place(36, 4),
+            state: place(12, 4),
+            wheel_cmd: place(8, 4),
+            sun_vector: place(3, 4),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AocsConfig {
+        &self.config
+    }
+
+    /// The enumerable execution paths.
+    pub fn paths(&self) -> Vec<AocsMode> {
+        AocsMode::all().to_vec()
+    }
+
+    /// Emit the instruction trace for `mode`: four consecutive control
+    /// cycles, so estimator state evicted by catalogue traffic in one
+    /// cycle is re-fetched in the next — the interleaved-reuse pattern
+    /// whose cost depends on (randomized) placement.
+    pub fn trace(&self, mode: AocsMode) -> Vec<Inst> {
+        let mut b = TraceBuilder::new(CODE_GYRO);
+        let class = if mode == AocsMode::Acquisition {
+            ValueClass::Worst
+        } else {
+            ValueClass::Typical
+        };
+
+        b.loop_n(4, |b, _cycle| {
+            self.gyro_propagation(b, class);
+            match mode {
+                AocsMode::Tracking => {
+                    self.star_update(b, class);
+                    self.estimator(b);
+                    self.wheel_commands(b, class);
+                }
+                AocsMode::Acquisition => {
+                    // Acquisition processes two star frames per cycle.
+                    self.star_update(b, class);
+                    self.star_update(b, class);
+                    self.estimator(b);
+                    self.wheel_commands(b, class);
+                }
+                AocsMode::Safe => {
+                    // Sun-pointing fallback: no star processing.
+                    b.call(CODE_WHEEL, |b| {
+                        b.stream_load(&self.sun_vector);
+                        kernels::vec_normalize(b, &self.sun_vector, &self.wheel_cmd, class);
+                        b.loop_n(8, |b, i| {
+                            b.load(self.wheel_cmd.elem(i));
+                            b.alu(2);
+                            b.store(self.wheel_cmd.elem(i));
+                        });
+                    });
+                }
+            }
+        });
+        b.finish()
+    }
+
+    /// Quaternion integration from gyro increments + normalization.
+    fn gyro_propagation(&self, b: &mut TraceBuilder, class: ValueClass) {
+        b.call(CODE_GYRO, |b| {
+            b.stream_load(&self.gyro_raw);
+            // Quaternion kinematics: 16 mul-adds per integration step.
+            b.loop_n(16, |b, _| {
+                b.load(self.quat.elem(0));
+                b.fmul();
+                b.fadd();
+            });
+            // Renormalize: the FSQRT at the heart of quaternion hygiene.
+            kernels::vec_normalize(b, &self.quat, &self.quat, class);
+        });
+    }
+
+    /// Star-tracker measurement processing: catalogue window search +
+    /// attitude correction.
+    fn star_update(&self, b: &mut TraceBuilder, class: ValueClass) {
+        b.call(CODE_STAR, |b| {
+            b.stream_load(&self.measurements);
+            // Catalogue search: strided probes over the (large) table —
+            // binary-search-like access pattern per measured star. The
+            // probe sequence spreads across the whole catalogue so the
+            // search churns many cache lines per frame.
+            let n = self.catalogue.len();
+            b.loop_n(32, |b, i| {
+                let mut span = n / 2;
+                let mut idx = (i.wrapping_mul(2654435761)) % n;
+                while span > 1 {
+                    b.load(self.catalogue.elem(idx));
+                    b.alu(3); // compare magnitude/position
+                    b.branch(i % 2 == 0);
+                    span /= 2;
+                    idx = (idx + span + i * 97) % n;
+                }
+            });
+            // Attitude correction via table interpolation.
+            kernels::table_interp(b, &self.catalogue, &self.measurements, &self.state, class);
+        });
+    }
+
+    /// Covariance propagation and gain computation (6×6 chains).
+    fn estimator(&self, b: &mut TraceBuilder) {
+        b.call(CODE_EST, |b| {
+            kernels::matmul(b, &self.covariance, &self.gain, &self.covariance, 6);
+            kernels::pid_step(b, &self.state, &self.measurements, &self.gain, &self.state);
+        });
+    }
+
+    /// Wheel torque distribution (divide-based scaling per wheel).
+    fn wheel_commands(&self, b: &mut TraceBuilder, class: ValueClass) {
+        b.call(CODE_WHEEL, |b| {
+            b.loop_n(8, |b, i| {
+                b.load(self.state.elem(i));
+                b.fmul();
+                b.fdiv(class); // torque scaling
+                b.store(self.wheel_cmd.elem(i));
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxima_sim::{InstKind, Platform, PlatformConfig};
+
+    #[test]
+    fn traces_deterministic_per_mode() {
+        let a = Aocs::new(AocsConfig::default());
+        for mode in AocsMode::all() {
+            assert_eq!(a.trace(mode), a.trace(mode), "{mode}");
+        }
+    }
+
+    #[test]
+    fn path_ordering_by_work() {
+        let a = Aocs::new(AocsConfig::default());
+        let len = |m| a.trace(m).len();
+        assert!(len(AocsMode::Safe) < len(AocsMode::Tracking));
+        assert!(len(AocsMode::Tracking) < len(AocsMode::Acquisition));
+    }
+
+    #[test]
+    fn acquisition_uses_worst_class() {
+        let a = Aocs::new(AocsConfig::default());
+        let has_worst = |m: AocsMode| {
+            a.trace(m).iter().any(|i| {
+                matches!(
+                    i.kind,
+                    InstKind::FpDiv(ValueClass::Worst) | InstKind::FpSqrt(ValueClass::Worst)
+                )
+            })
+        };
+        assert!(!has_worst(AocsMode::Tracking));
+        assert!(has_worst(AocsMode::Acquisition));
+    }
+
+    #[test]
+    fn catalogue_spans_multiple_windows() {
+        let a = Aocs::new(AocsConfig::default());
+        // 4096 × 4 B = 16 KB = at least 4 alignment windows.
+        let t = a.trace(AocsMode::Tracking);
+        let catalogue_windows: std::collections::HashSet<u64> = t
+            .iter()
+            .filter_map(|i| i.data_addr())
+            .filter(|d| {
+                // The catalogue is the only multi-KB object.
+                d.raw() >= DATA_BASE && d.raw() < DATA_BASE + 0x10_0000
+            })
+            .map(|d| d.raw() / 4096)
+            .collect();
+        assert!(catalogue_windows.len() >= 4, "{}", catalogue_windows.len());
+    }
+
+    #[test]
+    fn jitters_on_rand_platform() {
+        let a = Aocs::new(AocsConfig::default());
+        let trace = a.trace(AocsMode::Tracking);
+        let mut p = Platform::new(PlatformConfig::mbpta_compliant());
+        let times: std::collections::HashSet<u64> =
+            (0..10).map(|s| p.run(&trace, s).cycles).collect();
+        assert!(times.len() > 1);
+    }
+
+    #[test]
+    fn layout_seed_moves_data() {
+        let a = Aocs::new(AocsConfig {
+            layout_seed: 0,
+            ..AocsConfig::default()
+        });
+        let b = Aocs::new(AocsConfig {
+            layout_seed: 5,
+            ..AocsConfig::default()
+        });
+        let ta = a.trace(AocsMode::Tracking);
+        let tb = b.trace(AocsMode::Tracking);
+        assert_eq!(ta.len(), tb.len());
+        assert!(ta
+            .iter()
+            .zip(&tb)
+            .any(|(x, y)| x.data_addr() != y.data_addr()));
+    }
+
+    #[test]
+    fn code_and_data_in_own_regions() {
+        let a = Aocs::new(AocsConfig::default());
+        for mode in AocsMode::all() {
+            for inst in a.trace(mode) {
+                assert!(inst.pc.raw() >= CODE_GYRO && inst.pc.raw() < CODE_GYRO + 0x10_0000);
+                if let Some(d) = inst.data_addr() {
+                    assert!(d.raw() >= DATA_BASE);
+                }
+            }
+        }
+    }
+}

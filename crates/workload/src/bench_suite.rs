@@ -1,0 +1,152 @@
+//! Auxiliary single-kernel benchmarks.
+//!
+//! Experiment **E4** (average performance) and ablation **A1** (placement
+//! policies) compare DET and RAND across more than one program; this module
+//! packages small standalone kernels with fixed data layouts for that
+//! purpose.
+
+use crate::kernels;
+use crate::trace::{DataObject, TraceBuilder};
+use proxima_sim::{Inst, ValueClass};
+
+/// A named standalone benchmark program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Streaming FIR filter over a 2 KB signal.
+    Fir,
+    /// 8×8 matrix multiply.
+    Matmul,
+    /// CRC over an 8 KB buffer.
+    Crc,
+    /// Calibration-table interpolation (FDIV-heavy).
+    TableInterp,
+    /// Vector normalization (FSQRT + FDIV).
+    VecNorm,
+    /// Pointer-chase-like strided reads across 32 KB (cache-hostile).
+    StrideSweep,
+}
+
+impl Benchmark {
+    /// All benchmarks in the suite.
+    pub fn all() -> [Benchmark; 6] {
+        [
+            Benchmark::Fir,
+            Benchmark::Matmul,
+            Benchmark::Crc,
+            Benchmark::TableInterp,
+            Benchmark::VecNorm,
+            Benchmark::StrideSweep,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Fir => "fir",
+            Benchmark::Matmul => "matmul",
+            Benchmark::Crc => "crc",
+            Benchmark::TableInterp => "table-interp",
+            Benchmark::VecNorm => "vec-norm",
+            Benchmark::StrideSweep => "stride-sweep",
+        }
+    }
+
+    /// Build the benchmark's instruction trace.
+    pub fn trace(self) -> Vec<Inst> {
+        let mut b = TraceBuilder::new(0x4010_0000);
+        let base = 0x7000_0000u64;
+        match self {
+            Benchmark::Fir => {
+                let input = DataObject::new(base, 512, 4);
+                let coeffs = DataObject::new(base + 0x1000, 16, 4);
+                let output = DataObject::new(base + 0x2000, 256, 4);
+                kernels::fir_filter(&mut b, &input, &coeffs, &output, 16);
+            }
+            Benchmark::Matmul => {
+                let a = DataObject::new(base, 64, 4);
+                let m = DataObject::new(base + 0x1000, 64, 4);
+                let c = DataObject::new(base + 0x2000, 64, 4);
+                kernels::matmul(&mut b, &a, &m, &c, 8);
+            }
+            Benchmark::Crc => {
+                let buf = DataObject::new(base, 2048, 4);
+                kernels::crc(&mut b, &buf);
+            }
+            Benchmark::TableInterp => {
+                let table = DataObject::new(base, 1024, 4);
+                let queries = DataObject::new(base + 0x2000, 128, 4);
+                let out = DataObject::new(base + 0x3000, 128, 4);
+                kernels::table_interp(&mut b, &table, &queries, &out, ValueClass::Typical);
+            }
+            Benchmark::VecNorm => {
+                let v = DataObject::new(base, 64, 4);
+                let out = DataObject::new(base + 0x1000, 64, 4);
+                // Repeat to give the benchmark some weight.
+                b.loop_n(16, |b, _| {
+                    kernels::vec_normalize(b, &v, &out, ValueClass::Typical);
+                });
+            }
+            Benchmark::StrideSweep => {
+                let buf = DataObject::new(base, 8192, 4); // 32 KB
+                b.loop_n(4, |b, _| {
+                    // Page-stride sweep: hostile to both cache and DTLB.
+                    b.loop_n(64, |b, i| {
+                        b.load(buf.elem(i * 1024));
+                        b.alu(1);
+                    });
+                });
+            }
+        }
+        b.finish()
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxima_sim::{Platform, PlatformConfig};
+
+    #[test]
+    fn all_benchmarks_build_and_run() {
+        let mut p = Platform::new(PlatformConfig::mbpta_compliant());
+        for bench in Benchmark::all() {
+            let t = bench.trace();
+            assert!(!t.is_empty(), "{bench}");
+            let r = p.run(&t, 1);
+            assert!(r.cycles as usize >= t.len(), "{bench}");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        for bench in Benchmark::all() {
+            assert_eq!(bench.trace(), bench.trace());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn stride_sweep_is_cache_hostile() {
+        let mut p = Platform::new(PlatformConfig::deterministic());
+        let sweep = p.run(&Benchmark::StrideSweep.trace(), 0);
+        let crc = p.run(&Benchmark::Crc.trace(), 0);
+        let sweep_miss = sweep.stats.dl1.1 as f64 / (sweep.stats.dl1.0 + sweep.stats.dl1.1) as f64;
+        let crc_miss = crc.stats.dl1.1 as f64 / (crc.stats.dl1.0 + crc.stats.dl1.1) as f64;
+        assert!(
+            sweep_miss > crc_miss,
+            "sweep {sweep_miss} vs crc {crc_miss}"
+        );
+    }
+}

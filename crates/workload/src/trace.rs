@@ -1,0 +1,359 @@
+//! Structured instruction-trace construction.
+
+use proxima_sim::{Addr, Inst, InstKind, ValueClass};
+
+/// A data object in the simulated address space: a named array the trace
+/// builder can address element-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataObject {
+    base: Addr,
+    len_bytes: u64,
+    elem_size: u64,
+}
+
+impl DataObject {
+    /// Define an object of `len` elements of `elem_size` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_size == 0` or `len == 0`.
+    pub fn new(base: u64, len: u64, elem_size: u64) -> Self {
+        assert!(elem_size > 0 && len > 0, "object must have elements");
+        DataObject {
+            base: Addr::new(base),
+            len_bytes: len * elem_size,
+            elem_size,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len_bytes / self.elem_size
+    }
+
+    /// `true` if the object has no elements (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    /// Address of element `i` (wrapping modulo the object length, which
+    /// models the index masking of generated control code).
+    pub fn elem(&self, i: u64) -> Addr {
+        let idx = (i % self.len()) * self.elem_size;
+        self.base.offset(idx)
+    }
+
+    /// Base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Size of the object in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+}
+
+/// Structured builder for instruction traces.
+///
+/// Emits [`Inst`] records while maintaining a program-counter cursor so the
+/// fetch stream is realistic: loop bodies re-execute the same PCs (IL1
+/// temporal locality), calls jump to the callee's code segment, and every
+/// loop iteration ends in a taken back-edge branch except the last.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_workload::trace::{DataObject, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new(0x4000_0000);
+/// let arr = DataObject::new(0x5000_0000, 64, 4);
+/// b.loop_n(4, |b, _i| {
+///     b.load(arr.elem(0));
+///     b.alu(2);
+/// });
+/// let trace = b.finish();
+/// assert!(trace.len() > 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    trace: Vec<Inst>,
+    pc: u64,
+}
+
+/// Bytes per instruction (SPARC V8 fixed 32-bit encoding).
+const INST_BYTES: u64 = 4;
+
+impl TraceBuilder {
+    /// Start a trace with the code cursor at `code_base`.
+    pub fn new(code_base: u64) -> Self {
+        TraceBuilder {
+            trace: Vec::new(),
+            pc: code_base,
+        }
+    }
+
+    /// The current program-counter cursor.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Finish and return the trace.
+    pub fn finish(self) -> Vec<Inst> {
+        self.trace
+    }
+
+    fn emit(&mut self, kind: InstKind) {
+        self.trace.push(Inst::new(self.pc, kind));
+        self.pc += INST_BYTES;
+    }
+
+    /// Emit `n` integer ALU instructions.
+    pub fn alu(&mut self, n: u64) {
+        for _ in 0..n {
+            self.emit(InstKind::IntAlu);
+        }
+    }
+
+    /// Emit an integer multiply.
+    pub fn mul(&mut self) {
+        self.emit(InstKind::IntMul);
+    }
+
+    /// Emit an integer divide.
+    pub fn div(&mut self) {
+        self.emit(InstKind::IntDiv);
+    }
+
+    /// Emit a load from `addr`.
+    pub fn load(&mut self, addr: Addr) {
+        self.emit(InstKind::Load(addr));
+    }
+
+    /// Emit a store to `addr`.
+    pub fn store(&mut self, addr: Addr) {
+        self.emit(InstKind::Store(addr));
+    }
+
+    /// Emit a floating-point add.
+    pub fn fadd(&mut self) {
+        self.emit(InstKind::FpAdd);
+    }
+
+    /// Emit a floating-point multiply.
+    pub fn fmul(&mut self) {
+        self.emit(InstKind::FpMul);
+    }
+
+    /// Emit a floating-point divide with the given operand class.
+    pub fn fdiv(&mut self, class: ValueClass) {
+        self.emit(InstKind::FpDiv(class));
+    }
+
+    /// Emit a floating-point square root with the given operand class.
+    pub fn fsqrt(&mut self, class: ValueClass) {
+        self.emit(InstKind::FpSqrt(class));
+    }
+
+    /// Emit an explicit (conditional) branch.
+    pub fn branch(&mut self, taken: bool) {
+        self.emit(InstKind::Branch { taken });
+    }
+
+    /// Emit a counted loop: the body executes `iters` times at the *same*
+    /// PCs, each iteration closed by a back-edge branch (taken on all but
+    /// the final iteration). The body callback receives the iteration
+    /// index.
+    pub fn loop_n(&mut self, iters: u64, mut body: impl FnMut(&mut Self, u64)) {
+        if iters == 0 {
+            return;
+        }
+        let start = self.pc;
+        let mut end = start;
+        for i in 0..iters {
+            self.pc = start;
+            body(self, i);
+            self.emit(InstKind::Branch {
+                taken: i + 1 < iters,
+            });
+            end = self.pc;
+        }
+        self.pc = end;
+    }
+
+    /// Emit a call: jump to `callee_base`, run `body` there, and return.
+    /// Models the fetch-stream redirection of a real call/return pair.
+    pub fn call(&mut self, callee_base: u64, body: impl FnOnce(&mut Self)) {
+        self.emit(InstKind::Branch { taken: true }); // call
+        let ret_pc = self.pc;
+        self.pc = callee_base;
+        body(self);
+        self.emit(InstKind::Branch { taken: true }); // return
+        self.pc = ret_pc;
+    }
+
+    /// Emit an if/else: exactly one arm's instructions appear in the trace
+    /// (this is a *trace*, not a CFG), with the branch instruction itself
+    /// modelling the direction. The not-taken arm's code still occupies
+    /// address space, so `else_len_insts` advances the PC cursor past the
+    /// skipped arm.
+    pub fn if_else(
+        &mut self,
+        take_then: bool,
+        then_len_insts: u64,
+        else_len_insts: u64,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        // Conditional branch jumps to the else arm when `!take_then`.
+        self.emit(InstKind::Branch { taken: !take_then });
+        let then_start = self.pc;
+        let else_start = then_start + then_len_insts * INST_BYTES + INST_BYTES; // skip jump
+        let join = else_start + else_len_insts * INST_BYTES;
+        if take_then {
+            then_body(self);
+            self.emit(InstKind::Branch { taken: true }); // jump over else
+        } else {
+            self.pc = else_start;
+            else_body(self);
+        }
+        self.pc = join;
+    }
+
+    /// Sequentially load every element of `obj` (a streaming read).
+    pub fn stream_load(&mut self, obj: &DataObject) {
+        for i in 0..obj.len() {
+            self.load(obj.elem(i));
+        }
+    }
+
+    /// Sequentially store every element of `obj` (a streaming write).
+    pub fn stream_store(&mut self, obj: &DataObject) {
+        for i in 0..obj.len() {
+            self.store(obj.elem(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_reuses_pcs() {
+        let mut b = TraceBuilder::new(0x1000);
+        b.loop_n(3, |b, _| {
+            b.alu(2);
+        });
+        let t = b.finish();
+        // 3 iterations × (2 alu + 1 branch) = 9 instructions.
+        assert_eq!(t.len(), 9);
+        assert_eq!(t[0].pc, t[3].pc, "iterations share PCs");
+        assert_eq!(t[0].pc, t[6].pc);
+        // Back-edges: taken, taken, not-taken.
+        assert_eq!(t[2].kind, InstKind::Branch { taken: true });
+        assert_eq!(t[5].kind, InstKind::Branch { taken: true });
+        assert_eq!(t[8].kind, InstKind::Branch { taken: false });
+    }
+
+    #[test]
+    fn loop_body_sees_iteration_index() {
+        let mut seen = Vec::new();
+        let mut b = TraceBuilder::new(0);
+        b.loop_n(4, |b, i| {
+            seen.push(i);
+            b.alu(1);
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_iteration_loop_emits_nothing() {
+        let mut b = TraceBuilder::new(0);
+        b.loop_n(0, |b, _| b.alu(100));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn call_redirects_and_returns() {
+        let mut b = TraceBuilder::new(0x1000);
+        b.alu(1);
+        let before = b.pc();
+        b.call(0x9000, |b| b.alu(2));
+        // After the call the cursor continues after the call site.
+        assert_eq!(b.pc(), before + 4);
+        let t = b.finish();
+        // alu, call-branch, 2×alu at callee, ret-branch.
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[2].pc.raw(), 0x9000);
+        assert_eq!(t[3].pc.raw(), 0x9004);
+    }
+
+    #[test]
+    fn if_else_emits_exactly_one_arm() {
+        let build = |take_then: bool| {
+            let mut b = TraceBuilder::new(0x1000);
+            b.if_else(take_then, 2, 3, |b| b.alu(2), |b| b.alu(3));
+            b.alu(1); // join point
+            b.finish()
+        };
+        let then_trace = build(true);
+        let else_trace = build(false);
+        // then: branch + 2 alu + jump + join-alu = 5.
+        assert_eq!(then_trace.len(), 5);
+        // else: branch + 3 alu + join-alu = 5.
+        assert_eq!(else_trace.len(), 5);
+        // Join PC identical on both paths.
+        assert_eq!(then_trace.last().unwrap().pc, else_trace.last().unwrap().pc);
+        // Different arm PCs.
+        assert_ne!(then_trace[1].pc, else_trace[1].pc);
+    }
+
+    #[test]
+    fn data_object_addressing() {
+        let obj = DataObject::new(0x8000, 16, 4);
+        assert_eq!(obj.len(), 16);
+        assert_eq!(obj.elem(0).raw(), 0x8000);
+        assert_eq!(obj.elem(3).raw(), 0x800C);
+        assert_eq!(obj.elem(16).raw(), 0x8000, "wraps modulo length");
+        assert_eq!(obj.size_bytes(), 64);
+    }
+
+    #[test]
+    fn stream_ops_touch_every_element() {
+        let obj = DataObject::new(0x8000, 8, 8);
+        let mut b = TraceBuilder::new(0);
+        b.stream_load(&obj);
+        b.stream_store(&obj);
+        let t = b.finish();
+        assert_eq!(t.len(), 16);
+        assert_eq!(t[0].data_addr().unwrap().raw(), 0x8000);
+        assert_eq!(t[7].data_addr().unwrap().raw(), 0x8038);
+    }
+
+    #[test]
+    fn pcs_advance_by_four() {
+        let mut b = TraceBuilder::new(0x100);
+        b.alu(3);
+        let t = b.finish();
+        assert_eq!(t[0].pc.raw(), 0x100);
+        assert_eq!(t[1].pc.raw(), 0x104);
+        assert_eq!(t[2].pc.raw(), 0x108);
+    }
+
+    #[test]
+    #[should_panic(expected = "elements")]
+    fn empty_object_panics() {
+        DataObject::new(0, 0, 4);
+    }
+}

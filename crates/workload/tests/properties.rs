@@ -1,0 +1,89 @@
+//! Property-based tests for the trace builder and workloads.
+
+use proptest::prelude::*;
+use proxima_sim::InstKind;
+use proxima_workload::trace::{DataObject, TraceBuilder};
+use proxima_workload::tvca::{ControlMode, Scale, Tvca, TvcaConfig};
+
+proptest! {
+    /// `loop_n` emits exactly iters × (body + 1) instructions, reuses PCs
+    /// across iterations, and the final back-edge is the only untaken one.
+    #[test]
+    fn loop_structure(iters in 1u64..50, body_len in 1u64..20) {
+        let mut b = TraceBuilder::new(0x1000);
+        b.loop_n(iters, |b, _| b.alu(body_len));
+        let t = b.finish();
+        prop_assert_eq!(t.len() as u64, iters * (body_len + 1));
+        // PC reuse between iterations.
+        if iters > 1 {
+            prop_assert_eq!(t[0].pc, t[(body_len + 1) as usize].pc);
+        }
+        let untaken = t
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Branch { taken: false }))
+            .count();
+        prop_assert_eq!(untaken, 1);
+    }
+
+    /// `if_else` joins at the same PC regardless of the branch direction
+    /// and arm lengths.
+    #[test]
+    fn if_else_join_pc(then_len in 0u64..20, else_len in 0u64..20) {
+        let build = |take_then: bool| {
+            let mut b = TraceBuilder::new(0x2000);
+            b.if_else(
+                take_then,
+                then_len,
+                else_len,
+                |b| b.alu(then_len),
+                |b| b.alu(else_len),
+            );
+            b.alu(1);
+            let t = b.finish();
+            t.last().unwrap().pc
+        };
+        prop_assert_eq!(build(true), build(false));
+    }
+
+    /// DataObject element addressing stays within the object and respects
+    /// the wrap-around semantics.
+    #[test]
+    fn object_addressing(base in 0u64..(1 << 40), len in 1u64..10_000, elem in 1u64..16, idx in any::<u64>()) {
+        let obj = DataObject::new(base, len, elem);
+        let a = obj.elem(idx).raw();
+        prop_assert!(a >= base);
+        prop_assert!(a < base + len * elem);
+        prop_assert_eq!((a - base) % elem, 0);
+    }
+
+    /// Every TVCA path trace is deterministic and non-trivial at both
+    /// scales, and data addresses never collide with code addresses.
+    #[test]
+    fn tvca_traces_well_formed(layout_seed in any::<u64>(), mode_idx in 0usize..4, small in any::<bool>()) {
+        let mode = ControlMode::all()[mode_idx];
+        let tvca = Tvca::new(TvcaConfig {
+            scale: if small { Scale::Small } else { Scale::Full },
+            layout_seed,
+        });
+        let t1 = tvca.trace(mode);
+        let t2 = tvca.trace(mode);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert!(t1.len() > 100);
+        for inst in &t1 {
+            prop_assert!(inst.pc.raw() >= 0x4000_0000 && inst.pc.raw() < 0x5000_0000);
+            if let Some(d) = inst.data_addr() {
+                prop_assert!(d.raw() >= 0x6000_0000, "data below the data segment: {d}");
+            }
+        }
+    }
+
+    /// The call primitive always returns the cursor to the call site + 4.
+    #[test]
+    fn call_returns(callee in 0x8000u64..0x10_0000, body in 0u64..30) {
+        let mut b = TraceBuilder::new(0x3000);
+        b.alu(2);
+        let before = b.pc();
+        b.call(callee & !3, |b| b.alu(body));
+        prop_assert_eq!(b.pc(), before + 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! `mbpta` — command-line probabilistic timing analysis.
+//!
+//! Reads execution-time measurements (one per line, `#` comments allowed)
+//! and runs the MBPTA pipeline on them — the open equivalent of feeding a
+//! commercial timing-analysis tool a measurement file.
+//!
+//! ```text
+//! USAGE:
+//!   mbpta analyze <file> [--cutoff 1e-12] [--alpha 0.05] [--block N] [--cv] [--csv]
+//!   mbpta measure [--runs 3000] [--seed 10000000] [--path nominal|saturated-x|saturated-y|fault-recovery]
+//!   mbpta --help
+//! ```
+//!
+//! `analyze` consumes a measurement file; `measure` generates one from the
+//! built-in simulated TVCA campaign (useful for demos and pipelines).
+
+use std::process::ExitCode;
+
+use proxima::mbpta::cv::analyze_cv;
+use proxima::prelude::*;
+use proxima::workload::tvca::{ControlMode, Tvca, TvcaConfig};
+
+const USAGE: &str = "\
+mbpta - measurement-based probabilistic timing analysis
+
+USAGE:
+  mbpta analyze <file> [--cutoff <p>] [--alpha <a>] [--block <n>] [--cv] [--csv]
+  mbpta measure [--runs <n>] [--seed <s>] [--path <name>]
+  mbpta --help
+
+COMMANDS:
+  analyze   run the MBPTA pipeline on a measurement file
+            (one execution time per line; '#' starts a comment)
+  measure   print a synthetic TVCA campaign in that format (simulated
+            MBPTA-compliant platform; paths: nominal, saturated-x,
+            saturated-y, fault-recovery)
+
+OPTIONS (analyze):
+  --cutoff <p>   exceedance probability for the headline budget [1e-12]
+  --alpha <a>    significance level of the i.i.d. gate          [0.05]
+  --block <n>    fixed block size (default: automatic selection)
+  --cv           use MBPTA-CV (exponential tail) instead of block maxima
+  --csv          also print the pWCET curve as CSV
+
+OPTIONS (measure):
+  --runs <n>     number of measured executions                  [3000]
+  --seed <s>     base seed of the campaign                      [10000000]
+  --path <name>  TVCA execution path                            [nominal]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `mbpta --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("analyze") => analyze_cmd(&args[1..]),
+        Some("measure") => measure_cmd(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parse `--flag value` pairs after the positional arguments.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value for {flag}: `{raw}`")),
+    }
+}
+
+fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    let file = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or("analyze needs a measurement file")?;
+    let cutoff: f64 = parse_flag(args, "--cutoff", 1e-12)?;
+    let alpha: f64 = parse_flag(args, "--alpha", 0.05)?;
+    let use_cv = args.iter().any(|a| a == "--cv");
+    let want_csv = args.iter().any(|a| a == "--csv");
+
+    let reader = std::fs::File::open(file).map_err(|e| format!("cannot open {file}: {e}"))?;
+    let campaign = Campaign::from_reader(reader).map_err(|e| e.to_string())?;
+
+    let mut config = MbptaConfig {
+        alpha,
+        ..MbptaConfig::default()
+    };
+    if let Some(block) = flag_value(args, "--block")? {
+        let n: usize = block
+            .parse()
+            .map_err(|_| format!("invalid block size `{block}`"))?;
+        config.block = BlockSpec::Fixed(n);
+    }
+
+    if use_cv {
+        let report = analyze_cv(campaign.times(), &config).map_err(|e| e.to_string())?;
+        println!(
+            "MBPTA-CV: threshold {:.0}, {} exceedances, residual CV {:.3}",
+            report.fit.threshold, report.fit.tail_size, report.fit.cv
+        );
+        println!(
+            "i.i.d. gate: Ljung-Box p={:.3}, KS p={:.3}",
+            report.iid.ljung_box.p_value, report.iid.ks.p_value
+        );
+        let budget = report.budget_for(cutoff).map_err(|e| e.to_string())?;
+        println!("pWCET @ {cutoff:e}: {budget:.0}");
+    } else {
+        let report = analyze(campaign.times(), &config).map_err(|e| e.to_string())?;
+        print!("{}", render_report(&report));
+        let budget = report.budget_for(cutoff).map_err(|e| e.to_string())?;
+        println!("headline budget @ {cutoff:e}: {budget:.0}");
+        if want_csv {
+            let probs: Vec<f64> = (3..=15).map(|e| 10f64.powi(-e)).collect();
+            let csv =
+                proxima::mbpta::render_pwcet_csv(&report, &probs).map_err(|e| e.to_string())?;
+            print!("{csv}");
+        }
+    }
+    Ok(())
+}
+
+/// `true` if `candidate` is the value of some `--flag` (so it is not the
+/// positional file argument).
+fn is_flag_value(args: &[String], candidate: &str) -> bool {
+    args.windows(2)
+        .any(|w| w[0].starts_with("--") && w[1] == candidate)
+}
+
+fn measure_cmd(args: &[String]) -> Result<(), String> {
+    let runs: usize = parse_flag(args, "--runs", 3000)?;
+    let seed: u64 = parse_flag(args, "--seed", 10_000_000u64)?;
+    let path = flag_value(args, "--path")?.unwrap_or("nominal");
+    let mode = match path {
+        "nominal" => ControlMode::Nominal,
+        "saturated-x" => ControlMode::SaturatedX,
+        "saturated-y" => ControlMode::SaturatedY,
+        "fault-recovery" => ControlMode::FaultRecovery,
+        other => return Err(format!("unknown path `{other}`")),
+    };
+    let tvca = Tvca::new(TvcaConfig::default());
+    let trace = tvca.trace(mode);
+    let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
+    let campaign =
+        Campaign::measure(&mut platform, &trace, runs, seed).map_err(|e| e.to_string())?;
+    println!("# TVCA path `{mode}` on the simulated MBPTA-compliant platform");
+    println!("# runs={runs} base_seed={seed}");
+    campaign
+        .write_to(std::io::stdout().lock())
+        .map_err(|e| e.to_string())
+}

@@ -1,0 +1,89 @@
+//! Integration tests of the `mbpta` CLI binary.
+//!
+//! Uses `CARGO_BIN_EXE_mbpta`, which Cargo points at the freshly built
+//! binary when running integration tests of the defining package.
+
+use std::process::Command;
+
+fn mbpta() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mbpta"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = mbpta().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("analyze"));
+    assert!(text.contains("measure"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = mbpta().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn measure_then_analyze_pipeline() {
+    // measure → file → analyze: the round trip a real user would run.
+    let out = mbpta()
+        .args(["measure", "--runs", "600", "--seed", "10000000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let file = dir.join("campaign.txt");
+    std::fs::write(&file, &out.stdout).expect("write campaign");
+
+    let out = mbpta()
+        .args([
+            "analyze",
+            file.to_str().expect("utf8 path"),
+            "--cutoff",
+            "1e-9",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PASSED"), "{text}");
+    assert!(text.contains("headline budget @ 1e-9"));
+
+    // The CV mode runs on the same file.
+    let out = mbpta()
+        .args(["analyze", file.to_str().expect("utf8 path"), "--cv"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MBPTA-CV"));
+}
+
+#[test]
+fn analyze_missing_file_fails() {
+    let out = mbpta()
+        .args(["analyze", "/nonexistent/measurements.txt"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn analyze_rejects_degenerate_input() {
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let file = dir.join("constant.txt");
+    std::fs::write(&file, "100\n".repeat(500)).expect("write");
+    let out = mbpta()
+        .args(["analyze", file.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}

