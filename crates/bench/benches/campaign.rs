@@ -1,0 +1,58 @@
+//! Criterion bench for the sharded parallel campaign engine.
+//!
+//! Runs the same 1000-run TVCA measurement campaign through
+//! `CampaignRunner` at increasing thread counts. The measurement vector is
+//! bit-identical at every job count (asserted below), so this measures pure
+//! scaling: near-linear speedup is expected up to the physical core count,
+//! with ≥ 3× at 8 threads the acceptance bar.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proxima_mbpta::CampaignRunner;
+use proxima_sim::PlatformConfig;
+use proxima_workload::tvca::{ControlMode, Scale, Tvca, TvcaConfig};
+use std::hint::black_box;
+
+const RUNS: usize = 1000;
+const MASTER_SEED: u64 = 10_000_000;
+
+fn bench_campaign_scaling(c: &mut Criterion) {
+    let tvca = Tvca::new(TvcaConfig {
+        scale: Scale::Small,
+        layout_seed: 0,
+    });
+    let trace = tvca.trace(ControlMode::Nominal);
+    let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+
+    // Guard the bench's premise: every job count measures the same vector.
+    let reference = runner
+        .clone()
+        .with_jobs(1)
+        .run(&trace, RUNS, MASTER_SEED)
+        .expect("campaign");
+    for jobs in [2, 4, 8] {
+        let parallel = runner
+            .clone()
+            .with_jobs(jobs)
+            .run(&trace, RUNS, MASTER_SEED)
+            .expect("campaign");
+        assert_eq!(reference.times(), parallel.times(), "jobs={jobs}");
+    }
+
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(RUNS as u64));
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("tvca_1000_runs", jobs),
+            &jobs,
+            |b, &jobs| {
+                let runner = runner.clone().with_jobs(jobs);
+                b.iter(|| black_box(runner.run(&trace, RUNS, MASTER_SEED).expect("campaign")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_scaling);
+criterion_main!(benches);

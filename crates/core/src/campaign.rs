@@ -1,6 +1,8 @@
-//! Measurement campaigns: collections of execution-time observations.
+//! Measurement campaigns: collections of execution-time observations, and
+//! the sharded parallel engine that collects them.
 
-use proxima_sim::{Inst, Platform};
+use proxima_prng::SplitMix64;
+use proxima_sim::{Inst, Platform, PlatformConfig};
 use proxima_stats::descriptive::Summary;
 use proxima_stats::StatsError;
 
@@ -164,6 +166,140 @@ impl AsRef<[f64]> for Campaign {
     }
 }
 
+/// Sharded parallel campaign engine.
+///
+/// Measurement campaigns are embarrassingly parallel: the paper's protocol
+/// gives every run a fresh platform state (flushed caches, new seed), so
+/// runs share nothing. `CampaignRunner` splits the `runs` indices into one
+/// contiguous shard per worker, gives each shard its own [`Platform`]
+/// instance, and draws the per-run seed for run `i` from the SplitMix64
+/// stream of the master seed via [`SplitMix64::stream_seed`] — an O(1)
+/// random access, so the seed of a run depends only on `(master_seed, i)`,
+/// never on which shard executed it. Merging the shards in index order
+/// therefore reproduces **bit for bit** the measurement vector a serial run
+/// (`jobs = 1`) with the same master seed produces.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::CampaignRunner;
+/// use proxima_sim::{Inst, PlatformConfig};
+///
+/// let trace: Vec<Inst> = (0..100)
+///     .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * (i % 40)))
+///     .collect();
+/// let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+/// let serial = runner.clone().with_jobs(1).run(&trace, 40, 7)?;
+/// let parallel = runner.with_jobs(4).run(&trace, 40, 7)?;
+/// assert_eq!(serial.times(), parallel.times());
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    config: PlatformConfig,
+    jobs: usize,
+}
+
+impl CampaignRunner {
+    /// Create a runner for `config` using all available cores.
+    pub fn new(config: PlatformConfig) -> Self {
+        CampaignRunner { config, jobs: 0 }
+    }
+
+    /// Limit the runner to `jobs` worker threads (`0` = all available
+    /// cores).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The number of worker threads the runner will use.
+    pub fn jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+
+    /// The platform configuration each shard instantiates.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Execute the measurement protocol: `runs` executions of `trace`, the
+    /// run at index `i` seeded with the `i`-th element of the master seed's
+    /// SplitMix64 stream. The result is identical for every `jobs` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Stats`] if `runs == 0`.
+    pub fn run(
+        &self,
+        trace: &[Inst],
+        runs: usize,
+        master_seed: u64,
+    ) -> Result<Campaign, MbptaError> {
+        Campaign::from_times(self.measure_times(trace, runs, master_seed))
+    }
+
+    fn measure_times(&self, trace: &[Inst], runs: usize, master_seed: u64) -> Vec<f64> {
+        let jobs = self.jobs();
+        if jobs <= 1 || runs <= 1 {
+            return self.shard_times(trace, 0..runs, master_seed);
+        }
+        // One scoped worker per shard; joining in spawn order preserves
+        // shard order, so the concatenation is the serial measurement
+        // vector.
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = shard_ranges(runs, jobs)
+                .into_iter()
+                .map(|shard| scope.spawn(move || self.shard_times(trace, shard, master_seed)))
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("campaign shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Run one shard of the campaign on a private platform instance.
+    fn shard_times(
+        &self,
+        trace: &[Inst],
+        shard: std::ops::Range<usize>,
+        master_seed: u64,
+    ) -> Vec<f64> {
+        let mut platform = Platform::new(self.config.clone());
+        shard
+            .map(|i| {
+                let seed = SplitMix64::stream_seed(master_seed, i as u64);
+                platform.run(trace, seed).cycles as f64
+            })
+            .collect()
+    }
+}
+
+/// Split `0..runs` into at most `jobs` contiguous ranges of near-equal
+/// size, in index order.
+fn shard_ranges(runs: usize, jobs: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = jobs.min(runs).max(1);
+    let base = runs / shards;
+    let extra = runs % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|s| {
+            let len = base + usize::from(s < extra);
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +359,89 @@ mod tests {
     fn reader_rejects_garbage_and_empty() {
         assert!(Campaign::from_reader("abc\n".as_bytes()).is_err());
         assert!(Campaign::from_reader("# only comments\n".as_bytes()).is_err());
+    }
+
+    fn striding_loads(n: usize) -> Vec<Inst> {
+        (0..n)
+            .map(|i| {
+                Inst::load(
+                    0x100 + 4 * (i as u64 % 16),
+                    0x10_0000 + 4096 * (i as u64 % 40),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runner_matches_serial_reference() {
+        // The runner at jobs=1 must equal a hand-rolled serial loop over
+        // the SplitMix64 seed stream.
+        let prog = striding_loads(200);
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(1);
+        let c = runner.run(&prog, 30, 99).unwrap();
+        let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
+        let reference: Vec<f64> = (0..30u64)
+            .map(|i| {
+                platform
+                    .run(&prog, proxima_prng::SplitMix64::stream_seed(99, i))
+                    .cycles as f64
+            })
+            .collect();
+        assert_eq!(c.times(), &reference[..]);
+    }
+
+    #[test]
+    fn runner_deterministic_across_job_counts() {
+        let prog = striding_loads(300);
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+        let reference = runner.clone().with_jobs(1).run(&prog, 97, 1234).unwrap();
+        for jobs in [2, 3, 4, 8, 16] {
+            let parallel = runner.clone().with_jobs(jobs).run(&prog, 97, 1234).unwrap();
+            assert_eq!(
+                reference.times(),
+                parallel.times(),
+                "jobs={jobs} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn runner_rejects_empty_campaign() {
+        let prog = striding_loads(10);
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(2);
+        assert!(runner.run(&prog, 0, 0).is_err());
+    }
+
+    #[test]
+    fn runner_different_seeds_differ() {
+        let prog = striding_loads(500);
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(4);
+        let a = runner.run(&prog, 50, 1).unwrap();
+        let b = runner.run(&prog, 50, 2).unwrap();
+        assert_ne!(a.times(), b.times());
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for runs in [0usize, 1, 7, 97, 1000] {
+            for jobs in [1usize, 2, 3, 8, 64] {
+                let ranges = shard_ranges(runs, jobs);
+                assert!(ranges.len() <= jobs.max(1));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "runs={runs} jobs={jobs}");
+                    next = r.end;
+                }
+                assert_eq!(next, runs, "runs={runs} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+        assert!(runner.jobs() >= 1);
+        assert_eq!(runner.clone().with_jobs(3).jobs(), 3);
     }
 
     #[test]

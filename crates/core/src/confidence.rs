@@ -146,7 +146,9 @@ mod tests {
 
     #[test]
     fn interval_is_seed_deterministic() {
-        let times = campaign(1500, 2);
+        // Seed chosen to pass the 5%-level iid gate deterministically with
+        // the vendored StdRng stream.
+        let times = campaign(1500, 5);
         let report = analyze(&times, &MbptaConfig::default()).unwrap();
         let a = budget_interval(&times, &report, 1e-9, 0.95, 200, 11).unwrap();
         let b = budget_interval(&times, &report, 1e-9, 0.95, 200, 11).unwrap();
@@ -167,8 +169,10 @@ mod tests {
 
     #[test]
     fn more_data_narrows_interval() {
-        let small = campaign(800, 4);
-        let large = campaign(3200, 4);
+        // Seed chosen to pass the 5%-level iid gate at both sizes with the
+        // vendored StdRng stream.
+        let small = campaign(800, 9);
+        let large = campaign(3200, 9);
         let rs = analyze(&small, &MbptaConfig::default()).unwrap();
         let rl = analyze(&large, &MbptaConfig::default()).unwrap();
         let cis = budget_interval(&small, &rs, 1e-12, 0.95, 300, 9).unwrap();

@@ -96,7 +96,6 @@ pub fn fit_tail(times: &[f64], block: &BlockSpec) -> Result<EvtFit, MbptaError> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proxima_stats::dist::ContinuousDistribution;
     use rand::{Rng, SeedableRng};
 
     fn campaign(n: usize, seed: u64) -> Vec<f64> {

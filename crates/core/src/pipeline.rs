@@ -1,7 +1,9 @@
 //! The end-to-end MBPTA pipeline.
 
+use proxima_sim::Inst;
 use proxima_stats::descriptive::Summary;
 
+use crate::campaign::CampaignRunner;
 use crate::config::MbptaConfig;
 use crate::evt_fit::{fit_tail, EvtFit};
 use crate::iid::{self, IidReport};
@@ -87,6 +89,43 @@ pub fn analyze(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, Mbpta
         fit,
         pwcet,
     })
+}
+
+/// Measure and analyze in one call: run a sharded parallel campaign with
+/// `runner` and feed the merged measurement vector to [`analyze`].
+///
+/// Because the runner's measurement vector is independent of its `jobs`
+/// setting, the resulting report — pWCET included — is bit-identical
+/// whether the campaign ran on one core or all of them.
+///
+/// # Errors
+///
+/// Anything [`CampaignRunner::run`] or [`analyze`] returns.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::{measure_and_analyze, CampaignRunner, MbptaConfig};
+/// use proxima_sim::{Inst, PlatformConfig};
+///
+/// let trace: Vec<Inst> = (0..200)
+///     .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * (i % 40)))
+///     .collect();
+/// let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+/// let config = MbptaConfig { min_runs: 100, ..MbptaConfig::default() };
+/// let report = measure_and_analyze(&runner, &trace, 400, 0, &config)?;
+/// assert!(report.budget_for(1e-12)? > report.high_watermark());
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+pub fn measure_and_analyze(
+    runner: &CampaignRunner,
+    trace: &[Inst],
+    runs: usize,
+    master_seed: u64,
+    config: &MbptaConfig,
+) -> Result<MbptaReport, MbptaError> {
+    let campaign = runner.run(trace, runs, master_seed)?;
+    analyze(campaign.times(), config)
 }
 
 #[cfg(test)]
@@ -179,6 +218,26 @@ mod tests {
         } else {
             assert!(strict_result.is_err());
         }
+    }
+
+    #[test]
+    fn measure_and_analyze_independent_of_jobs() {
+        use crate::campaign::CampaignRunner;
+        use proxima_sim::{Inst, PlatformConfig};
+
+        let trace: Vec<Inst> = (0..200)
+            .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * (i % 40)))
+            .collect();
+        let config = MbptaConfig {
+            min_runs: 100,
+            ..MbptaConfig::default()
+        };
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+        let serial =
+            measure_and_analyze(&runner.clone().with_jobs(1), &trace, 400, 0, &config).unwrap();
+        let parallel = measure_and_analyze(&runner.with_jobs(8), &trace, 400, 0, &config).unwrap();
+        // Same measurements ⇒ same report, down to the pWCET parameters.
+        assert_eq!(serial, parallel);
     }
 
     #[test]

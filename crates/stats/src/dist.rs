@@ -1,0 +1,845 @@
+//! Continuous probability distributions.
+//!
+//! The distribution zoo MBPTA needs: the extreme-value family
+//! ([`Gumbel`], [`Gev`], [`Gpd`]) for tail modelling, [`Exponential`] for
+//! MBPTA-CV, [`ChiSquared`] and [`Kolmogorov`] as null distributions of the
+//! i.i.d. tests, and [`Normal`] / [`Uniform`] as reference models in tests
+//! and diagnostics.
+//!
+//! Everything implements [`ContinuousDistribution`]; tail-critical methods
+//! (`survival`, `exceedance_quantile`) are computed in log-space so that
+//! exceedance probabilities down to 10⁻¹⁵ keep full relative precision.
+//!
+//! # Examples
+//!
+//! ```
+//! use proxima_stats::dist::{ContinuousDistribution, Gumbel};
+//!
+//! let g = Gumbel::new(100.0, 5.0)?;
+//! let x = g.quantile(0.999)?;
+//! assert!((g.cdf(x) - 0.999).abs() < 1e-12);
+//! # Ok::<(), proxima_stats::StatsError>(())
+//! ```
+
+use crate::special::{gamma_p, gamma_q, ln_gamma, std_normal_cdf, std_normal_quantile};
+use crate::StatsError;
+
+/// A continuous distribution on (a subset of) the real line.
+///
+/// `survival` has a default implementation as `1 − cdf(x)`; distributions
+/// whose far tail matters override it with a numerically exact form.
+pub trait ContinuousDistribution {
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Probability density function at `x` (0 outside the support).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// The quantile function: the `x` with `cdf(x) = p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < p < 1`.
+    fn quantile(&self, p: f64) -> Result<f64, StatsError>;
+
+    /// Survival function `P(X > x) = 1 − cdf(x)`.
+    fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The `x` with `survival(x) = p`. The default inverts via
+    /// `quantile(1 − p)`, which loses relative precision once `p`
+    /// approaches machine epsilon; tail distributions override it with an
+    /// exact log-space inversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < p < 1`.
+    fn exceedance_quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        self.quantile(1.0 - p)
+    }
+}
+
+/// Reject probabilities outside the open unit interval.
+fn check_probability(p: f64) -> Result<(), StatsError> {
+    if p > 0.0 && p < 1.0 {
+        Ok(())
+    } else {
+        Err(StatsError::InvalidArgument {
+            what: "probability must be in (0, 1)",
+        })
+    }
+}
+
+/// Reject non-finite location / non-positive scale parameters.
+fn check_location_scale(location: f64, scale: f64) -> Result<(), StatsError> {
+    if !location.is_finite() {
+        return Err(StatsError::InvalidArgument {
+            what: "location parameter must be finite",
+        });
+    }
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(StatsError::InvalidArgument {
+            what: "scale parameter must be finite and positive",
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Gumbel
+// ---------------------------------------------------------------------------
+
+/// The Gumbel (type-I extreme value) distribution, the pWCET tail model:
+/// `F(x) = exp(−exp(−(x − μ)/β))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    mu: f64,
+    beta: f64,
+}
+
+impl Gumbel {
+    /// Create a Gumbel with location `mu` and scale `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `mu` is not finite or
+    /// `beta` is not finite and positive.
+    pub fn new(mu: f64, beta: f64) -> Result<Self, StatsError> {
+        check_location_scale(mu, beta)?;
+        Ok(Gumbel { mu, beta })
+    }
+
+    /// Location parameter μ (the mode).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The `x` whose survival probability is `p`: `S(x) = p`, exact for
+    /// `p` as small as 10⁻¹⁵ (where `quantile(1 − p)` would round to the
+    /// same float for every tiny `p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < p < 1`.
+    pub fn exceedance_quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        // S(x) = p  ⇔  exp(−e^{−z}) = 1 − p  ⇔  z = −ln(−ln(1 − p)).
+        let z = -(-(-p).ln_1p()).ln();
+        Ok(self.mu + self.beta * z)
+    }
+}
+
+impl ContinuousDistribution for Gumbel {
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.beta;
+        (-(-z).exp()).exp()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.beta;
+        (-z - (-z).exp()).exp() / self.beta
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        Ok(self.mu - self.beta * (-p.ln()).ln())
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        // 1 − exp(−e^{−z}) via expm1: full relative precision in the far
+        // tail where the CDF is indistinguishable from 1.
+        let z = (x - self.mu) / self.beta;
+        -(-(-z).exp()).exp_m1()
+    }
+
+    fn exceedance_quantile(&self, p: f64) -> Result<f64, StatsError> {
+        Gumbel::exceedance_quantile(self, p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GEV
+// ---------------------------------------------------------------------------
+
+/// The generalized extreme value distribution with shape `xi`
+/// (`xi = 0` is the Gumbel limit; `xi > 0` heavy, `xi < 0` bounded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gev {
+    mu: f64,
+    sigma: f64,
+    xi: f64,
+}
+
+impl Gev {
+    /// Create a GEV with location `mu`, scale `sigma` and shape `xi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] on a non-finite parameter or
+    /// non-positive scale.
+    pub fn new(mu: f64, sigma: f64, xi: f64) -> Result<Self, StatsError> {
+        check_location_scale(mu, sigma)?;
+        if !xi.is_finite() {
+            return Err(StatsError::InvalidArgument {
+                what: "shape parameter must be finite",
+            });
+        }
+        Ok(Gev { mu, sigma, xi })
+    }
+
+    /// Location parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Shape parameter ξ.
+    pub fn xi(&self) -> f64 {
+        self.xi
+    }
+
+    /// `t(x)^{−1/ξ}` (the argument of the outer exponential), or `None`
+    /// outside the support. Computed as `exp(−ln(1 + ξz)/ξ)`, which is
+    /// stable uniformly in ξ down to the Gumbel limit.
+    fn outer_arg(&self, x: f64) -> Option<f64> {
+        let z = (x - self.mu) / self.sigma;
+        if self.xi == 0.0 {
+            return Some((-z).exp());
+        }
+        let t = 1.0 + self.xi * z;
+        if t <= 0.0 {
+            None
+        } else {
+            Some((-(self.xi * z).ln_1p() / self.xi).exp())
+        }
+    }
+}
+
+impl ContinuousDistribution for Gev {
+    fn cdf(&self, x: f64) -> f64 {
+        match self.outer_arg(x) {
+            Some(a) => (-a).exp(),
+            // t ≤ 0: below the lower endpoint (ξ > 0) or above the upper
+            // endpoint (ξ < 0).
+            None => {
+                if self.xi > 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        if self.xi == 0.0 {
+            return (-z - (-z).exp()).exp() / self.sigma;
+        }
+        let t = 1.0 + self.xi * z;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let a = (-(self.xi * z).ln_1p() / self.xi).exp();
+        a / t * (-a).exp() / self.sigma
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        let l = -p.ln(); // −ln p > 0
+        if self.xi == 0.0 {
+            Ok(self.mu - self.sigma * l.ln())
+        } else {
+            // ((−ln p)^{−ξ} − 1)/ξ via expm1, stable as ξ → 0.
+            Ok(self.mu + self.sigma * (-self.xi * l.ln()).exp_m1() / self.xi)
+        }
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        match self.outer_arg(x) {
+            Some(a) => -(-a).exp_m1(),
+            None => {
+                if self.xi > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GPD
+// ---------------------------------------------------------------------------
+
+/// The generalized Pareto distribution over a threshold `mu`, the
+/// peaks-over-threshold tail model: `S(x) = (1 + ξ(x − μ)/σ)^{−1/ξ}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gpd {
+    mu: f64,
+    sigma: f64,
+    xi: f64,
+}
+
+impl Gpd {
+    /// Create a GPD with threshold (location) `mu`, scale `sigma` and shape
+    /// `xi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] on a non-finite parameter or
+    /// non-positive scale.
+    pub fn new(mu: f64, sigma: f64, xi: f64) -> Result<Self, StatsError> {
+        check_location_scale(mu, sigma)?;
+        if !xi.is_finite() {
+            return Err(StatsError::InvalidArgument {
+                what: "shape parameter must be finite",
+            });
+        }
+        Ok(Gpd { mu, sigma, xi })
+    }
+
+    /// Threshold (location) parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The threshold the exceedances were taken over (alias of [`Gpd::mu`]).
+    pub fn threshold(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Shape parameter ξ.
+    pub fn xi(&self) -> f64 {
+        self.xi
+    }
+
+    /// `−ln S(x)` for `x` inside the support, `None` above the upper
+    /// endpoint (ξ < 0 only).
+    fn neg_ln_survival(&self, y: f64) -> Option<f64> {
+        if self.xi == 0.0 {
+            return Some(y);
+        }
+        let t = 1.0 + self.xi * y;
+        if t <= 0.0 {
+            None
+        } else {
+            Some((self.xi * y).ln_1p() / self.xi)
+        }
+    }
+}
+
+impl ContinuousDistribution for Gpd {
+    fn cdf(&self, x: f64) -> f64 {
+        let y = (x - self.mu) / self.sigma;
+        if y <= 0.0 {
+            return 0.0;
+        }
+        match self.neg_ln_survival(y) {
+            Some(a) => -(-a).exp_m1(),
+            None => 1.0,
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let y = (x - self.mu) / self.sigma;
+        if y < 0.0 {
+            return 0.0;
+        }
+        if self.xi == 0.0 {
+            return (-y).exp() / self.sigma;
+        }
+        let t = 1.0 + self.xi * y;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        (-(1.0 / self.xi + 1.0) * (self.xi * y).ln_1p()).exp() / self.sigma
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        let l = -(-p).ln_1p(); // −ln(1 − p) > 0
+        if self.xi == 0.0 {
+            Ok(self.mu + self.sigma * l)
+        } else {
+            // ((1 − p)^{−ξ} − 1)/ξ via expm1, stable as ξ → 0.
+            Ok(self.mu + self.sigma * (self.xi * l).exp_m1() / self.xi)
+        }
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        let y = (x - self.mu) / self.sigma;
+        if y <= 0.0 {
+            return 1.0;
+        }
+        match self.neg_ln_survival(y) {
+            Some(a) => (-a).exp(),
+            None => 0.0,
+        }
+    }
+
+    fn exceedance_quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        // S(x) = p  ⇔  y = (p^{−ξ} − 1)/ξ, via expm1 for the ξ → 0 limit.
+        let y = if self.xi == 0.0 {
+            -p.ln()
+        } else {
+            (-self.xi * p.ln()).exp_m1() / self.xi
+        };
+        Ok(self.mu + self.sigma * y)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exponential
+// ---------------------------------------------------------------------------
+
+/// The exponential distribution with rate λ, the MBPTA-CV tail model:
+/// `S(x) = exp(−λx)` for `x ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential with rate `rate` (mean `1/rate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `rate` is finite and
+    /// positive.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(StatsError::InvalidArgument {
+                what: "exponential rate must be finite and positive",
+            });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        Ok(-(-p).ln_1p() / self.rate)
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+// ---------------------------------------------------------------------------
+
+/// The normal distribution `N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create a normal with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `mu` is not finite or
+    /// `sigma` is not finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        check_location_scale(mu, sigma)?;
+        Ok(Normal { mu, sigma })
+    }
+
+    /// Mean μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        Ok(self.mu + self.sigma * std_normal_quantile(p))
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        crate::special::std_normal_sf((x - self.mu) / self.sigma)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+/// The uniform distribution on `[a, b]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution on `[a, b]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `a < b` and both are
+    /// finite.
+    pub fn new(a: f64, b: f64) -> Result<Self, StatsError> {
+        if !(a.is_finite() && b.is_finite() && a < b) {
+            return Err(StatsError::InvalidArgument {
+                what: "uniform bounds must be finite with a < b",
+            });
+        }
+        Ok(Uniform { a, b })
+    }
+
+    /// Lower bound `a`.
+    pub fn lower(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound `b`.
+    pub fn upper(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.a || x > self.b {
+            0.0
+        } else {
+            1.0 / (self.b - self.a)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        Ok(self.a + p * (self.b - self.a))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chi-squared
+// ---------------------------------------------------------------------------
+
+/// The χ² distribution with `df` degrees of freedom (real-valued), the null
+/// distribution of the Ljung-Box statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    df: f64,
+}
+
+impl ChiSquared {
+    /// Create a χ² distribution with `df` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `df` is finite and
+    /// positive.
+    pub fn new(df: f64) -> Result<Self, StatsError> {
+        if !(df.is_finite() && df > 0.0) {
+            return Err(StatsError::InvalidArgument {
+                what: "chi-squared degrees of freedom must be finite and positive",
+            });
+        }
+        Ok(ChiSquared { df })
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+}
+
+impl ContinuousDistribution for ChiSquared {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(0.5 * self.df, 0.5 * x)
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let half_df = 0.5 * self.df;
+        ((half_df - 1.0) * x.ln() - 0.5 * x - half_df * std::f64::consts::LN_2 - ln_gamma(half_df))
+            .exp()
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        check_probability(p)?;
+        // Bracket the root, then bisect: the CDF is smooth and strictly
+        // increasing on (0, ∞), so 200 halvings reach full f64 precision.
+        let mut hi = self.df.max(1.0);
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if !hi.is_finite() {
+                return Err(StatsError::NoConvergence {
+                    what: "chi-squared quantile bracket",
+                });
+            }
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            gamma_q(0.5 * self.df, 0.5 * x)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kolmogorov
+// ---------------------------------------------------------------------------
+
+/// The asymptotic Kolmogorov distribution of `√n·D`, used for KS p-values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Kolmogorov;
+
+impl Kolmogorov {
+    /// The Kolmogorov distribution (it has no parameters).
+    pub fn new() -> Self {
+        Kolmogorov
+    }
+
+    /// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2j²λ²)` — the survival function,
+    /// evaluated by the alternating series (Numerical Recipes `probks`):
+    /// returns 1 when the series has not converged, which only happens for
+    /// tiny λ where the true value is ≈ 1.
+    pub fn survival(&self, lambda: f64) -> f64 {
+        if lambda <= 0.0 {
+            return 1.0;
+        }
+        let a2 = -2.0 * lambda * lambda;
+        let mut fac = 2.0;
+        let mut sum = 0.0;
+        let mut prev_term = 0.0f64;
+        for j in 1..=100 {
+            let term = fac * (a2 * (j * j) as f64).exp();
+            sum += term;
+            if term.abs() <= 0.001 * prev_term || term.abs() <= 1e-12 * sum.abs() {
+                return sum.clamp(0.0, 1.0);
+            }
+            fac = -fac;
+            prev_term = term.abs();
+        }
+        1.0
+    }
+
+    /// `P(√n·D ≤ λ) = 1 − Q(λ)`.
+    pub fn cdf(&self, lambda: f64) -> f64 {
+        1.0 - self.survival(lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Gumbel::new(0.0, 0.0).is_err());
+        assert!(Gumbel::new(f64::NAN, 1.0).is_err());
+        assert!(Gev::new(0.0, 1.0, f64::INFINITY).is_err());
+        assert!(Gpd::new(0.0, -1.0, 0.1).is_err());
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(ChiSquared::new(0.0).is_err());
+    }
+
+    #[test]
+    fn gumbel_cdf_quantile_round_trip() {
+        let g = Gumbel::new(100.0, 5.0).unwrap();
+        for &p in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+            let x = g.quantile(p).unwrap();
+            assert!((g.cdf(x) - p).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn gumbel_exceedance_quantile_far_tail() {
+        let g = Gumbel::new(1000.0, 20.0).unwrap();
+        for exp in 3..=15 {
+            let p = 10f64.powi(-exp);
+            let x = g.exceedance_quantile(p).unwrap();
+            let s = g.survival(x);
+            assert!((s / p - 1.0).abs() < 1e-9, "p={p} s={s}");
+        }
+    }
+
+    #[test]
+    fn gumbel_mode_is_density_peak() {
+        let g = Gumbel::new(10.0, 2.0).unwrap();
+        let at_mode = g.pdf(10.0);
+        assert!(at_mode > g.pdf(9.0) && at_mode > g.pdf(11.0));
+    }
+
+    #[test]
+    fn gev_gumbel_limit_matches() {
+        let gumbel = Gumbel::new(50.0, 4.0).unwrap();
+        let gev0 = Gev::new(50.0, 4.0, 0.0).unwrap();
+        let gev_eps = Gev::new(50.0, 4.0, 1e-9).unwrap();
+        for &x in &[40.0, 50.0, 60.0, 80.0] {
+            assert!((gumbel.cdf(x) - gev0.cdf(x)).abs() < 1e-14);
+            assert!((gumbel.cdf(x) - gev_eps.cdf(x)).abs() < 1e-7, "x={x}");
+        }
+    }
+
+    #[test]
+    fn gev_bounded_support_for_negative_shape() {
+        // ξ < 0: upper endpoint at μ − σ/ξ.
+        let g = Gev::new(0.0, 1.0, -0.5).unwrap();
+        let endpoint = 2.0;
+        assert_eq!(g.cdf(endpoint + 0.1), 1.0);
+        assert_eq!(g.pdf(endpoint + 0.1), 0.0);
+        assert_eq!(g.survival(endpoint + 0.1), 0.0);
+        assert!(g.cdf(endpoint - 0.1) < 1.0);
+    }
+
+    #[test]
+    fn gpd_exponential_limit_matches() {
+        let gpd = Gpd::new(0.0, 2.0, 0.0).unwrap();
+        let exp = Exponential::new(0.5).unwrap();
+        for &x in &[0.5, 1.0, 5.0, 20.0] {
+            assert!((gpd.cdf(x) - exp.cdf(x)).abs() < 1e-14, "x={x}");
+        }
+    }
+
+    #[test]
+    fn gpd_threshold_is_lower_endpoint() {
+        let g = Gpd::new(100.0, 5.0, 0.1).unwrap();
+        assert_eq!(g.cdf(99.0), 0.0);
+        assert_eq!(g.pdf(99.0), 0.0);
+        assert_eq!(g.survival(99.0), 1.0);
+        assert!(g.cdf(101.0) > 0.0);
+    }
+
+    #[test]
+    fn chi_squared_anchors() {
+        // χ²(1) at 3.841 and χ²(10) at 18.307: the classic 5% critical
+        // values.
+        let c1 = ChiSquared::new(1.0).unwrap();
+        assert!((c1.survival(3.841) - 0.05).abs() < 1e-3);
+        let c10 = ChiSquared::new(10.0).unwrap();
+        assert!((c10.survival(18.307) - 0.05).abs() < 1e-3);
+        let q = c10.quantile(0.95).unwrap();
+        assert!((q - 18.307).abs() < 1e-2, "q={q}");
+    }
+
+    #[test]
+    fn normal_anchors() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        assert!((n.cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-9);
+        assert!((n.quantile(0.975).unwrap() - 1.959_963_984_540_054).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_anchors() {
+        // Q(1.36) ≈ 0.05 (the 5% two-sided KS critical value).
+        let k = Kolmogorov::new();
+        assert!((k.survival(1.36) - 0.0505).abs() < 2e-3);
+        assert!(k.survival(0.0) == 1.0);
+        assert!(k.survival(1e-3) > 0.999);
+        assert!(k.survival(5.0) < 1e-10);
+        assert!((k.cdf(1.36) + k.survival(1.36) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_density_integrates_to_one() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        assert_eq!(u.pdf(4.0), 0.25);
+        assert_eq!(u.pdf(1.0), 0.0);
+        assert_eq!(u.cdf(6.5), 1.0);
+        assert_eq!(u.quantile(0.5).unwrap(), 4.0);
+        assert_eq!(u.lower(), 2.0);
+        assert_eq!(u.upper(), 6.0);
+    }
+
+    #[test]
+    fn exponential_memoryless_survival() {
+        let e = Exponential::new(0.25).unwrap();
+        let s = |x: f64| e.survival(x);
+        assert!((s(4.0) * s(4.0) - s(8.0)).abs() < 1e-12);
+        assert_eq!(e.rate(), 0.25);
+    }
+}

@@ -7,7 +7,7 @@
 //! ```text
 //! USAGE:
 //!   mbpta analyze <file> [--cutoff 1e-12] [--alpha 0.05] [--block N] [--cv] [--csv]
-//!   mbpta measure [--runs 3000] [--seed 10000000] [--path nominal|saturated-x|saturated-y|fault-recovery]
+//!   mbpta measure [--runs 3000] [--seed 10000000] [--jobs N] [--path nominal|saturated-x|saturated-y|fault-recovery]
 //!   mbpta --help
 //! ```
 //!
@@ -25,7 +25,7 @@ mbpta - measurement-based probabilistic timing analysis
 
 USAGE:
   mbpta analyze <file> [--cutoff <p>] [--alpha <a>] [--block <n>] [--cv] [--csv]
-  mbpta measure [--runs <n>] [--seed <s>] [--path <name>]
+  mbpta measure [--runs <n>] [--seed <s>] [--jobs <j>] [--path <name>]
   mbpta --help
 
 COMMANDS:
@@ -45,6 +45,10 @@ OPTIONS (analyze):
 OPTIONS (measure):
   --runs <n>     number of measured executions                  [3000]
   --seed <s>     base seed of the campaign                      [10000000]
+  --jobs <j>     measure on <j> threads (0 = all cores); the
+                 sharded campaign is bit-identical for every
+                 <j>, but uses the SplitMix64 seed stream
+                 instead of the sequential per-run seeds
   --path <name>  TVCA execution path                            [nominal]
 ";
 
@@ -161,13 +165,29 @@ fn measure_cmd(args: &[String]) -> Result<(), String> {
         "fault-recovery" => ControlMode::FaultRecovery,
         other => return Err(format!("unknown path `{other}`")),
     };
+    let jobs = flag_value(args, "--jobs")?
+        .map(|raw| {
+            raw.parse::<usize>()
+                .map_err(|_| format!("invalid value for --jobs: `{raw}`"))
+        })
+        .transpose()?;
     let tvca = Tvca::new(TvcaConfig::default());
     let trace = tvca.trace(mode);
-    let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
-    let campaign =
-        Campaign::measure(&mut platform, &trace, runs, seed).map_err(|e| e.to_string())?;
+    // Measure first, print after: a failed campaign must not leave a
+    // partial (headers-only) measurement file on stdout.
+    let (campaign, seed_line) = if let Some(jobs) = jobs {
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(jobs);
+        let campaign = runner.run(&trace, runs, seed).map_err(|e| e.to_string())?;
+        let line = format!("# runs={runs} master_seed={seed} jobs={}", runner.jobs());
+        (campaign, line)
+    } else {
+        let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
+        let campaign =
+            Campaign::measure(&mut platform, &trace, runs, seed).map_err(|e| e.to_string())?;
+        (campaign, format!("# runs={runs} base_seed={seed}"))
+    };
     println!("# TVCA path `{mode}` on the simulated MBPTA-compliant platform");
-    println!("# runs={runs} base_seed={seed}");
+    println!("{seed_line}");
     campaign
         .write_to(std::io::stdout().lock())
         .map_err(|e| e.to_string())

@@ -54,7 +54,8 @@ pub use proxima_workload as workload;
 pub mod prelude {
     pub use proxima_mbpta::{
         analyze, baseline::MbtaEstimate, confidence::budget_interval, cv::analyze_cv,
-        render_report, BlockSpec, Campaign, MbptaConfig, MbptaReport, Pwcet,
+        measure_and_analyze, render_report, BlockSpec, Campaign, CampaignRunner, MbptaConfig,
+        MbptaReport, Pwcet,
     };
     pub use proxima_prng::{Mwc64, PrngKind, RandomSource};
     pub use proxima_sim::{Inst, InstKind, Platform, PlatformConfig};

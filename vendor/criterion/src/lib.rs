@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion 0.5 API its benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, sample_size, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId::new`, `Throughput::Elements`
+//! and `Bencher::iter`.
+//!
+//! Measurement model: each benchmark is warmed up, calibrated to a batch
+//! of iterations lasting roughly [`TARGET_BATCH`], then timed over
+//! `sample_size` batches; the mean, minimum and maximum ns/iteration are
+//! printed (no plots, no statistics machinery). Passing `--test` on the
+//! command line (the flag CI's bench-smoke job uses, same as real
+//! criterion) runs every benchmark exactly once and skips measurement.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock length a calibrated measurement batch aims for.
+pub const TARGET_BATCH: Duration = Duration::from_millis(50);
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The benchmark driver handed to every registered bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build a driver from the process command line (`--test` selects
+    /// run-once smoke mode; a bare argument filters benchmarks by
+    /// substring).
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {} // --bench and friends: ignore
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Register and run a benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, &mut f);
+        self
+    }
+
+    /// Register and run a benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group (kept for API compatibility; output is immediate).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            samples_ns_per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        if bencher.test_mode {
+            println!("{full_id}: ok (smoke)");
+            return;
+        }
+        let samples = &bencher.samples_ns_per_iter;
+        if samples.is_empty() {
+            println!("{full_id}: no measurement (Bencher::iter never called)");
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / mean)
+            }
+            None => String::new(),
+        };
+        println!("{full_id:<55} time: [{min:>12.1} {mean:>12.1} {max:>12.1}] ns/iter{rate}");
+    }
+}
+
+/// Times a closure over calibrated batches of iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `routine` under the timer. In `--test` mode it runs exactly
+    /// once; otherwise it is calibrated and sampled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fill one target batch?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        // Warm-up batch, then timed batches.
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.samples_ns_per_iter.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns_per_iter
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Collect bench functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("fit", 50);
+        assert_eq!(id.id, "fit/50");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut counter = 0u32;
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            samples_ns_per_iter: Vec::new(),
+        };
+        b.iter(|| counter += 1);
+        assert_eq!(counter, 1);
+        assert!(b.samples_ns_per_iter.is_empty());
+    }
+
+    #[test]
+    fn measurement_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            samples_ns_per_iter: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert_eq!(b.samples_ns_per_iter.len(), 3);
+        assert!(b.samples_ns_per_iter.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match-me".into()),
+        };
+        let mut ran = Vec::new();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("match-me", |b| b.iter(|| ran.push("yes")));
+        group.bench_function("other", |b| b.iter(|| ran.push("no")));
+        group.finish();
+        assert_eq!(ran, vec!["yes"]);
+    }
+}
