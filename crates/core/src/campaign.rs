@@ -216,13 +216,7 @@ impl CampaignRunner {
 
     /// The number of worker threads the runner will use.
     pub fn jobs(&self) -> usize {
-        if self.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.jobs
-        }
+        resolve_jobs(self.jobs)
     }
 
     /// The platform configuration each shard instantiates.
@@ -247,22 +241,8 @@ impl CampaignRunner {
     }
 
     fn measure_times(&self, trace: &[Inst], runs: usize, master_seed: u64) -> Vec<f64> {
-        let jobs = self.jobs();
-        if jobs <= 1 || runs <= 1 {
-            return self.shard_times(trace, 0..runs, master_seed);
-        }
-        // One scoped worker per shard; joining in spawn order preserves
-        // shard order, so the concatenation is the serial measurement
-        // vector.
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = shard_ranges(runs, jobs)
-                .into_iter()
-                .map(|shard| scope.spawn(move || self.shard_times(trace, shard, master_seed)))
-                .collect();
-            workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("campaign shard worker panicked"))
-                .collect()
+        run_sharded(runs, self.jobs(), |shard| {
+            self.shard_times(trace, shard, master_seed)
         })
     }
 
@@ -283,8 +263,47 @@ impl CampaignRunner {
     }
 }
 
+/// Resolve a `jobs` knob: `0` means all available cores.
+pub(crate) fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// The sharding engine: run `work` over the shards of `0..len` on up to
+/// `jobs` scoped workers (`0` = all cores) and concatenate the per-shard
+/// results **in index order** — joining in spawn order, so the output is
+/// identical to a serial `work(0..len)` whenever `work` is a pure function
+/// of its range. Shared by the campaign runner, the bootstrap resampler
+/// and the per-path fan-out.
+pub(crate) fn run_sharded<T, F>(len: usize, jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let jobs = resolve_jobs(jobs);
+    if jobs <= 1 || len <= 1 {
+        return work(0..len);
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let workers: Vec<_> = shard_ranges(len, jobs)
+            .into_iter()
+            .map(|shard| scope.spawn(move || work(shard)))
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
 /// Split `0..runs` into at most `jobs` contiguous ranges of near-equal
-/// size, in index order.
+/// size, in index order — the work-splitting half of the sharding engine.
 fn shard_ranges(runs: usize, jobs: usize) -> Vec<std::ops::Range<usize>> {
     let shards = jobs.min(runs).max(1);
     let base = runs / shards;

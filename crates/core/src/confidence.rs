@@ -7,12 +7,17 @@
 //! refit the Gumbel, re-evaluate the budget, and report the empirical
 //! quantiles of the resampled budgets.
 //!
-//! The resampling PRNG is the workspace's own [`proxima_prng`], so the
-//! interval is a deterministic function of `(data, seed)`.
+//! Resampling is **sharded** over the same engine as the measurement
+//! campaigns: resample `r` draws its indices from a private [`Mwc64`]
+//! seeded with the `r`-th element of the master seed's SplitMix64 stream
+//! ([`SplitMix64::stream_seed`], an O(1) random access), so the interval is
+//! a deterministic function of `(data, seed)` — **bit-identical for every
+//! `jobs` setting**, exactly like [`CampaignRunner`](crate::CampaignRunner).
 
-use proxima_prng::{Mwc64, RandomSource};
+use proxima_prng::{Mwc64, RandomSource, SplitMix64};
 use proxima_stats::evt::{block_maxima, fit_gumbel};
 
+use crate::campaign::run_sharded;
 use crate::pwcet::Pwcet;
 use crate::{MbptaError, MbptaReport};
 
@@ -39,11 +44,12 @@ impl BudgetInterval {
 }
 
 /// Percentile-bootstrap confidence interval for the pWCET budget at
-/// exceedance probability `p`.
+/// exceedance probability `p`, resampling on all available cores.
 ///
 /// Resamples the campaign's block maxima `resamples` times (seeded,
-/// deterministic), refits the Gumbel and recomputes the budget each time.
-/// Resamples whose fit degenerates (all-equal maxima) are skipped.
+/// deterministic, independent of the thread count), refits the Gumbel and
+/// recomputes the budget each time. Resamples whose fit degenerates
+/// (all-equal maxima) are skipped.
 ///
 /// # Errors
 ///
@@ -75,6 +81,51 @@ pub fn budget_interval(
     resamples: usize,
     seed: u64,
 ) -> Result<BudgetInterval, MbptaError> {
+    budget_interval_with_jobs(times, report, p, level, resamples, seed, 0)
+}
+
+/// [`budget_interval`] with an explicit worker-thread count (`0` = all
+/// cores). The result is bit-identical for every `jobs` value.
+///
+/// # Errors
+///
+/// Same as [`budget_interval`].
+pub fn budget_interval_with_jobs(
+    times: &[f64],
+    report: &MbptaReport,
+    p: f64,
+    level: f64,
+    resamples: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<BudgetInterval, MbptaError> {
+    let block = report.fit.block_size;
+    let maxima = block_maxima(times, block)?;
+    let estimate = report.budget_for(p)?;
+    interval_from_maxima(&maxima, block, estimate, p, level, resamples, seed, jobs)
+}
+
+/// Percentile-bootstrap interval straight from a block-maxima vector — the
+/// entry point the streaming analyzer refits through on every snapshot
+/// (it maintains the maxima incrementally and must not re-extract them).
+///
+/// `estimate` is the caller's point estimate at `p`; `jobs = 0` uses all
+/// cores. Deterministic in `(maxima, seed)` for every `jobs`.
+///
+/// # Errors
+///
+/// Same as [`budget_interval`].
+#[allow(clippy::too_many_arguments)]
+pub fn interval_from_maxima(
+    maxima: &[f64],
+    block_size: usize,
+    estimate: f64,
+    p: f64,
+    level: f64,
+    resamples: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<BudgetInterval, MbptaError> {
     if !(level > 0.0 && level < 1.0) {
         return Err(MbptaError::InvalidConfig {
             what: "confidence level must be in (0, 1)",
@@ -85,24 +136,7 @@ pub fn budget_interval(
             what: "resamples must be positive",
         });
     }
-    let block = report.fit.block_size;
-    let maxima = block_maxima(times, block)?;
-    let estimate = report.budget_for(p)?;
-
-    let mut rng = Mwc64::new(seed);
-    let mut budgets = Vec::with_capacity(resamples);
-    let n = maxima.len();
-    let mut resample = vec![0.0f64; n];
-    for _ in 0..resamples {
-        for slot in resample.iter_mut() {
-            *slot = maxima[rng.below(n as u64) as usize];
-        }
-        if let Ok(gumbel) = fit_gumbel(&resample) {
-            if let Ok(budget) = Pwcet::new(gumbel, block).budget_for(p) {
-                budgets.push(budget);
-            }
-        }
-    }
+    let mut budgets = resample_budgets(maxima, block_size, p, resamples, seed, jobs);
     if budgets.len() < resamples / 2 {
         return Err(MbptaError::Stats(
             proxima_stats::StatsError::DegenerateSample,
@@ -118,6 +152,33 @@ pub fn budget_interval(
         upper,
         level,
         resamples: budgets.len(),
+    })
+}
+
+/// Compute the resampled budgets, sharding the resample indices over
+/// `jobs` scoped workers. Resample `r` depends only on `(maxima, seed, r)`,
+/// so the concatenation in index order is identical at every `jobs`.
+fn resample_budgets(
+    maxima: &[f64],
+    block_size: usize,
+    p: f64,
+    resamples: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<f64> {
+    run_sharded(resamples, jobs, |shard| {
+        let n = maxima.len();
+        let mut resample = vec![0.0f64; n];
+        shard
+            .filter_map(|r| {
+                let mut rng = Mwc64::new(SplitMix64::stream_seed(seed, r as u64));
+                for slot in resample.iter_mut() {
+                    *slot = maxima[rng.below(n as u64) as usize];
+                }
+                let gumbel = fit_gumbel(&resample).ok()?;
+                Pwcet::new(gumbel, block_size).budget_for(p).ok()
+            })
+            .collect()
     })
 }
 
@@ -155,6 +216,21 @@ mod tests {
         assert_eq!(a, b);
         let c = budget_interval(&times, &report, 1e-9, 0.95, 200, 12).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interval_bit_identical_across_job_counts() {
+        // The sharded resampler must reproduce the serial interval exactly:
+        // per-resample seeds come from the SplitMix64 stream, never from a
+        // worker-local sequential RNG.
+        let times = campaign(1500, 5);
+        let report = analyze(&times, &MbptaConfig::default()).unwrap();
+        let serial = budget_interval_with_jobs(&times, &report, 1e-12, 0.95, 301, 13, 1).unwrap();
+        for jobs in [2, 3, 8] {
+            let parallel =
+                budget_interval_with_jobs(&times, &report, 1e-12, 0.95, 301, 13, jobs).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs} diverged from serial");
+        }
     }
 
     #[test]

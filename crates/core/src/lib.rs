@@ -69,6 +69,6 @@ mod report;
 pub use campaign::{Campaign, CampaignRunner};
 pub use config::{BlockSpec, MbptaConfig};
 pub use error::MbptaError;
-pub use pipeline::{analyze, measure_and_analyze, MbptaReport};
+pub use pipeline::{analyze, measure_and_analyze, MbptaReport, Pipeline};
 pub use pwcet::Pwcet;
 pub use report::{render_pwcet_csv, render_report, render_survival_csv};

@@ -2,6 +2,7 @@
 //! maximum, as the paper does ("we make per-path analysis taking the
 //! maximum across paths").
 
+use crate::campaign::run_sharded;
 use crate::pipeline::{analyze, MbptaReport};
 use crate::{MbptaConfig, MbptaError};
 
@@ -56,19 +57,45 @@ impl PerPathAnalysis {
         labelled_campaigns: &[(String, Vec<f64>)],
         config: &MbptaConfig,
     ) -> Result<Self, MbptaError> {
+        Self::run_with_jobs(labelled_campaigns, config, 0)
+    }
+
+    /// [`Self::run`] with an explicit worker-thread count (`0` = all
+    /// cores): the paths are sharded over scoped threads on the same
+    /// engine as the measurement campaigns. Each path's analysis is a pure
+    /// function of its campaign, so the result — including which path's
+    /// error is reported (the first by path order, matching the serial
+    /// semantics) — is identical for every `jobs` value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_with_jobs(
+        labelled_campaigns: &[(String, Vec<f64>)],
+        config: &MbptaConfig,
+        jobs: usize,
+    ) -> Result<Self, MbptaError> {
         if labelled_campaigns.is_empty() {
             return Err(MbptaError::InvalidConfig {
                 what: "per-path analysis needs at least one path",
             });
         }
-        let mut paths = Vec::with_capacity(labelled_campaigns.len());
-        for (label, times) in labelled_campaigns {
-            let report = analyze(times, config)?;
-            paths.push(PathAnalysis {
-                label: label.clone(),
-                report,
-            });
-        }
+        let results = run_sharded(labelled_campaigns.len(), jobs, |shard| {
+            labelled_campaigns[shard]
+                .iter()
+                .map(|(label, times)| {
+                    Ok(PathAnalysis {
+                        label: label.clone(),
+                        report: analyze(times, config)?,
+                    })
+                })
+                .collect()
+        });
+        // The engine concatenates shards in path order, so the first error
+        // by path index wins deterministically.
+        let paths = results
+            .into_iter()
+            .collect::<Result<Vec<_>, MbptaError>>()?;
         Ok(PerPathAnalysis { paths })
     }
 
@@ -174,6 +201,35 @@ mod tests {
             .fold(f64::NEG_INFINITY, f64::max);
         let a = PerPathAnalysis::run(&paths, &MbptaConfig::default()).unwrap();
         assert_eq!(a.high_watermark(), expected);
+    }
+
+    #[test]
+    fn fan_out_identical_across_job_counts() {
+        let paths = three_paths();
+        let serial = PerPathAnalysis::run_with_jobs(&paths, &MbptaConfig::default(), 1).unwrap();
+        for jobs in [2, 3, 8] {
+            let parallel =
+                PerPathAnalysis::run_with_jobs(&paths, &MbptaConfig::default(), jobs).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn parallel_error_is_first_by_path_order() {
+        // Two failing paths with distinct errors: every job count must
+        // report the earlier one — the degenerate path at index 1 (stats
+        // error), not the drifting tail path (iid rejection).
+        let mut paths = three_paths();
+        paths.insert(1, ("degenerate".into(), vec![100.0; 1000]));
+        let drifting: Vec<f64> = (0..1000).map(|i| 1e5 + i as f64 * 50.0).collect();
+        paths.push(("drift".into(), drifting));
+        let serial = PerPathAnalysis::run_with_jobs(&paths, &MbptaConfig::default(), 1)
+            .expect_err("degenerate path must fail");
+        for jobs in [2, 8] {
+            let parallel = PerPathAnalysis::run_with_jobs(&paths, &MbptaConfig::default(), jobs)
+                .expect_err("degenerate path must fail");
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -128,6 +128,68 @@ pub fn measure_and_analyze(
     analyze(campaign.times(), config)
 }
 
+/// A configured MBPTA pipeline — the object form of [`analyze`] /
+/// [`measure_and_analyze`], and the anchor the streaming crate hangs its
+/// entry point on (`proxima_stream::PipelineStreamExt` adds
+/// `Pipeline::stream()`, returning an incremental analyzer that shares
+/// this pipeline's block size and significance level).
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::{MbptaConfig, Pipeline};
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let times: Vec<f64> = (0..1500)
+///     .map(|_| 2e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 150.0)
+///     .collect();
+/// let report = Pipeline::new(MbptaConfig::default()).analyze(&times)?;
+/// assert!(report.budget_for(1e-9)? >= report.high_watermark());
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pipeline {
+    config: MbptaConfig,
+}
+
+impl Pipeline {
+    /// A pipeline running `config`.
+    pub fn new(config: MbptaConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &MbptaConfig {
+        &self.config
+    }
+
+    /// Run the batch analysis: [`analyze`] with this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`analyze`].
+    pub fn analyze(&self, times: &[f64]) -> Result<MbptaReport, MbptaError> {
+        analyze(times, &self.config)
+    }
+
+    /// Measure with `runner` and analyze: [`measure_and_analyze`] with
+    /// this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`measure_and_analyze`].
+    pub fn measure_and_analyze(
+        &self,
+        runner: &CampaignRunner,
+        trace: &[Inst],
+        runs: usize,
+        master_seed: u64,
+    ) -> Result<MbptaReport, MbptaError> {
+        measure_and_analyze(runner, trace, runs, master_seed, &self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +300,16 @@ mod tests {
         let parallel = measure_and_analyze(&runner.with_jobs(8), &trace, 400, 0, &config).unwrap();
         // Same measurements ⇒ same report, down to the pWCET parameters.
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pipeline_object_matches_free_functions() {
+        let times = rand_campaign(2000, 1);
+        let config = MbptaConfig::default();
+        let object = Pipeline::new(config.clone()).analyze(&times).unwrap();
+        let free = analyze(&times, &config).unwrap();
+        assert_eq!(object, free);
+        assert_eq!(Pipeline::default().config(), &MbptaConfig::default());
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Streaming MBPTA: online ingestion, sketch-based tail tracking, and
+//! incremental pWCET refit.
+//!
+//! The batch pipeline (`proxima_mbpta::analyze`) needs the full
+//! measurement vector in memory and answers only once the campaign ends.
+//! This crate analyses a campaign **while it runs**, in bounded memory:
+//!
+//! * [`StreamAnalyzer`] ingests measurements one at a time (or in
+//!   batches), maintains a [GK quantile sketch](sketch::QuantileSketch)
+//!   for high-watermark/ECDF queries, rolling i.i.d. diagnostics
+//!   ([`monitor::IidMonitor`]: online autocorrelation + runs-test
+//!   windows), and an incremental block-maxima buffer; every `K` new
+//!   blocks it refits the Gumbel tail and emits a [`PwcetSnapshot`] until
+//!   the batch convergence criterion stabilizes.
+//! * [`replay::TraceReplay`] streams a simulated platform run-by-run with
+//!   the same SplitMix64 per-run seeds as the batch campaign engine, and
+//!   [`replay::LineSource`] streams the measurement-file format — so both
+//!   existing traces and live rigs plug straight in.
+//! * [`PipelineStreamExt`] hangs the entry point off the batch
+//!   [`Pipeline`](proxima_mbpta::Pipeline):
+//!   `Pipeline::new(config).stream()`.
+//!
+//! # Examples
+//!
+//! Stream a simulated campaign and watch the estimate settle:
+//!
+//! ```
+//! use proxima_mbpta::{MbptaConfig, Pipeline};
+//! use proxima_stream::replay::TraceReplay;
+//! use proxima_stream::{PipelineStreamExt, StreamConfig};
+//! use proxima_workload::tvca::{ControlMode, TvcaConfig};
+//!
+//! let mut analyzer = Pipeline::new(MbptaConfig::default())
+//!     .stream_with(StreamConfig {
+//!         block_size: 25,
+//!         refit_every_blocks: 4,
+//!         ..StreamConfig::default()
+//!     })?;
+//! let source = TraceReplay::tvca(ControlMode::Nominal, TvcaConfig::default(), 800, 7);
+//! for x in source {
+//!     if let Some(snapshot) = analyzer.push(x)? {
+//!         assert!(snapshot.pwcet > snapshot.high_watermark);
+//!     }
+//! }
+//! assert!(analyzer.snapshots_emitted() > 0);
+//! # Ok::<(), proxima_mbpta::MbptaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod monitor;
+pub mod replay;
+pub mod sketch;
+
+pub use analyzer::{BootstrapSpec, PipelineStreamExt, PwcetSnapshot, StreamAnalyzer, StreamConfig};
+pub use monitor::{IidHealth, IidMonitor, IidStatus};
+pub use replay::{LineSource, LineSourceError, TraceReplay};
+pub use sketch::QuantileSketch;

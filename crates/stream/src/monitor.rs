@@ -1,0 +1,273 @@
+//! Rolling i.i.d. health monitoring for measurement streams.
+//!
+//! The batch pipeline gates on Ljung-Box + KS over the whole campaign; a
+//! stream cannot wait for "the whole campaign". [`IidMonitor`] keeps a
+//! bounded window of the most recent observations and continuously re-runs
+//! two cheap non-parametric diagnostics over it:
+//!
+//! * **online autocorrelation** — [`proxima_stats::autocorr::autocorrelation`]
+//!   over the window, pooled into the Ljung-Box statistic (the batch
+//!   gate's independence test, windowed);
+//! * **runs test** — the Wald–Wolfowitz runs test of the window
+//!   ([`proxima_stats::tests::runs_test`]).
+//!
+//! Each test is held to `α/2` (Bonferroni over the pair), so the
+//! family-wise false-alarm rate per window stays at `α`. The per-lag
+//! white-noise band is still reported for display, but a single lag
+//! poking out of it does not flag the window — the pooled Ljung-Box
+//! verdict decides, matching the batch i.i.d. gate's behaviour.
+//!
+//! A flag does not abort the stream (a transient disturbance should not
+//! kill a long campaign); it is reported in every [`PwcetSnapshot`] so the
+//! consumer can discount estimates produced under suspect conditions.
+//!
+//! [`PwcetSnapshot`]: crate::analyzer::PwcetSnapshot
+
+use std::collections::VecDeque;
+
+use proxima_stats::autocorr::{autocorrelation, default_lag};
+use proxima_stats::dist::{ContinuousDistribution, Normal};
+use proxima_stats::tests::{ljung_box, runs_test};
+
+/// The health verdict over the current window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IidStatus {
+    /// Not enough observations in the window to run the diagnostics.
+    Warming,
+    /// All diagnostics consistent with an i.i.d. stream.
+    Healthy,
+    /// At least one diagnostic flagged the window.
+    Suspect,
+}
+
+impl std::fmt::Display for IidStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IidStatus::Warming => write!(f, "warming"),
+            IidStatus::Healthy => write!(f, "healthy"),
+            IidStatus::Suspect => write!(f, "suspect"),
+        }
+    }
+}
+
+/// One evaluation of the rolling diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IidHealth {
+    /// The verdict.
+    pub status: IidStatus,
+    /// Observations in the window when evaluated.
+    pub window_len: usize,
+    /// Largest `|ρ̂_k|` over the tested lags (`None` while warming or on a
+    /// degenerate window) — informational, not part of the verdict.
+    pub max_abs_autocorr: Option<f64>,
+    /// The per-lag white-noise reference band `z_{1−α/(2L)}/√W` —
+    /// informational, for display next to `max_abs_autocorr`.
+    pub autocorr_band: Option<f64>,
+    /// p-value of the windowed Ljung-Box independence test, when
+    /// computable.
+    pub ljung_box_p: Option<f64>,
+    /// p-value of the runs test over the window, when computable.
+    pub runs_p: Option<f64>,
+}
+
+impl IidHealth {
+    /// `true` unless a diagnostic flagged the window (warming counts as
+    /// not-flagged: no evidence either way).
+    pub fn acceptable(&self) -> bool {
+        self.status != IidStatus::Suspect
+    }
+}
+
+/// Bounded-window i.i.d. monitor.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_stream::monitor::{IidMonitor, IidStatus};
+///
+/// let mut m = IidMonitor::new(256, 0.05);
+/// for i in 0u64..300 {
+///     // A deterministic but well-mixed (SplitMix64-style) sequence.
+///     let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+///     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+///     m.push((z >> 11) as f64);
+/// }
+/// assert_eq!(m.health().status, IidStatus::Healthy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IidMonitor {
+    window: VecDeque<f64>,
+    capacity: usize,
+    alpha: f64,
+}
+
+/// Observations required before the diagnostics run.
+const MIN_WINDOW: usize = 50;
+
+impl IidMonitor {
+    /// Create a monitor holding the last `capacity` observations, testing
+    /// at significance `alpha` (values outside `(0, 0.5]` are clamped to
+    /// 0.05).
+    pub fn new(capacity: usize, alpha: f64) -> Self {
+        let alpha = if alpha > 0.0 && alpha <= 0.5 {
+            alpha
+        } else {
+            0.05
+        };
+        IidMonitor {
+            window: VecDeque::with_capacity(capacity.max(MIN_WINDOW)),
+            capacity: capacity.max(MIN_WINDOW),
+            alpha,
+        }
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of buffered observations.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// `true` before any observation.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Ingest one observation, evicting the oldest beyond capacity.
+    pub fn push(&mut self, x: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+    }
+
+    /// Evaluate the diagnostics over the current window.
+    pub fn health(&self) -> IidHealth {
+        let w = self.window.len();
+        if w < MIN_WINDOW {
+            return IidHealth {
+                status: IidStatus::Warming,
+                window_len: w,
+                max_abs_autocorr: None,
+                autocorr_band: None,
+                ljung_box_p: None,
+                runs_p: None,
+            };
+        }
+        let xs: Vec<f64> = self.window.iter().copied().collect();
+        let lags = default_lag(w);
+        // Reference band for display: Bonferroni across the tested lags.
+        let z = Normal::new(0.0, 1.0)
+            .expect("unit normal")
+            .quantile(1.0 - self.alpha / (2.0 * lags as f64))
+            .expect("probability in range");
+        let band = z / (w as f64).sqrt();
+        // A degenerate (constant) window supports neither test; nothing
+        // to flag beyond what the fit layer already rejects.
+        let max_abs = autocorrelation(&xs, lags)
+            .ok()
+            .map(|rho| rho.iter().fold(0.0f64, |m, r| m.max(r.abs())));
+        let lb = ljung_box(&xs, lags).ok();
+        let runs = runs_test(&xs).ok();
+        // Bonferroni over the two gate tests: each at alpha/2.
+        let per_test = self.alpha / 2.0;
+        let lb_ok = lb.is_none_or(|r| r.passes(per_test));
+        let runs_ok = runs.is_none_or(|r| r.passes(per_test));
+        IidHealth {
+            status: if lb_ok && runs_ok {
+                IidStatus::Healthy
+            } else {
+                IidStatus::Suspect
+            },
+            window_len: w,
+            max_abs_autocorr: max_abs,
+            autocorr_band: Some(band),
+            ljung_box_p: lb.map(|r| r.p_value),
+            runs_p: runs.map(|r| r.p_value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn warming_until_min_window() {
+        let mut m = IidMonitor::new(200, 0.05);
+        for i in 0..MIN_WINDOW - 1 {
+            m.push(i as f64);
+            assert_eq!(m.health().status, IidStatus::Warming);
+        }
+        m.push(0.5);
+        assert_ne!(m.health().status, IidStatus::Warming);
+    }
+
+    #[test]
+    fn iid_stream_reported_healthy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut m = IidMonitor::new(400, 0.05);
+        for _ in 0..400 {
+            m.push(1e5 + 100.0 * rng.gen::<f64>());
+        }
+        let h = m.health();
+        assert_eq!(h.status, IidStatus::Healthy, "{h:?}");
+        assert!(h.acceptable());
+        assert!(h.max_abs_autocorr.unwrap() <= h.autocorr_band.unwrap());
+    }
+
+    #[test]
+    fn strongly_autocorrelated_stream_flagged() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut m = IidMonitor::new(400, 0.05);
+        let mut level = 0.0f64;
+        for _ in 0..400 {
+            level = 0.95 * level + rng.gen::<f64>();
+            m.push(1e5 + 500.0 * level);
+        }
+        let h = m.health();
+        assert_eq!(h.status, IidStatus::Suspect, "{h:?}");
+        assert!(!h.acceptable());
+    }
+
+    #[test]
+    fn window_evicts_old_regime() {
+        // A drifting prefix followed by a long i.i.d. tail: once the drift
+        // leaves the window the monitor recovers.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut m = IidMonitor::new(200, 0.05);
+        for i in 0..200 {
+            m.push(1e5 + i as f64 * 100.0); // strong trend
+        }
+        assert_eq!(m.health().status, IidStatus::Suspect);
+        for _ in 0..400 {
+            m.push(1e5 + 100.0 * rng.gen::<f64>());
+        }
+        assert_eq!(m.health().status, IidStatus::Healthy);
+        assert_eq!(m.len(), 200);
+    }
+
+    #[test]
+    fn constant_window_not_a_crash() {
+        let mut m = IidMonitor::new(100, 0.05);
+        for _ in 0..100 {
+            m.push(42.0);
+        }
+        // Degenerate: autocorrelation and runs test both unavailable.
+        let h = m.health();
+        assert_eq!(h.window_len, 100);
+        assert!(h.max_abs_autocorr.is_none());
+    }
+
+    #[test]
+    fn bad_alpha_clamped() {
+        let m = IidMonitor::new(100, 7.0);
+        assert_eq!(m.alpha, 0.05);
+        let m = IidMonitor::new(10, 0.05);
+        assert_eq!(m.capacity(), MIN_WINDOW);
+    }
+}

@@ -1,0 +1,268 @@
+//! Measurement sources that feed a [`StreamAnalyzer`].
+//!
+//! Two sources cover the deployment shapes:
+//!
+//! * [`TraceReplay`] — run an instruction trace (built with
+//!   [`proxima_workload::trace::TraceBuilder`] or taken from the TVCA) on
+//!   a simulated MBPTA-compliant platform, one measurement per `next()`.
+//!   Per-run seeds come from the master seed's SplitMix64 stream — the
+//!   same seeds [`CampaignRunner`](proxima_mbpta::CampaignRunner) uses —
+//!   so streaming a trace observes **exactly** the measurement vector a
+//!   batch campaign with the same master seed produces.
+//! * [`LineSource`] — parse the one-time-per-line interchange format
+//!   (blank lines and `#` comments skipped) incrementally from any
+//!   reader, without materializing the campaign first.
+//!
+//! [`StreamAnalyzer`]: crate::analyzer::StreamAnalyzer
+
+use std::io::BufRead;
+
+use proxima_prng::SplitMix64;
+use proxima_sim::{Inst, Platform, PlatformConfig};
+use proxima_workload::tvca::{ControlMode, Tvca, TvcaConfig};
+
+/// Replays a measurement campaign lazily: each `next()` is one fresh run
+/// of the trace on the platform (flushed caches, new seed — the paper's
+/// protocol), yielding its execution time in cycles.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_sim::{Inst, PlatformConfig};
+/// use proxima_stream::replay::TraceReplay;
+///
+/// let trace: Vec<Inst> = (0..100)
+///     .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * (i % 40)))
+///     .collect();
+/// let times: Vec<f64> =
+///     TraceReplay::new(PlatformConfig::mbpta_compliant(), trace, 50, 7).collect();
+/// assert_eq!(times.len(), 50);
+/// assert!(times.iter().all(|&t| t > 0.0));
+/// ```
+#[derive(Debug)]
+pub struct TraceReplay {
+    platform: Platform,
+    trace: Vec<Inst>,
+    master_seed: u64,
+    next_run: u64,
+    runs: u64,
+}
+
+impl TraceReplay {
+    /// Replay `runs` executions of `trace` on a fresh platform built from
+    /// `config`, seeding run `i` with the `i`-th element of
+    /// `master_seed`'s SplitMix64 stream.
+    pub fn new(config: PlatformConfig, trace: Vec<Inst>, runs: usize, master_seed: u64) -> Self {
+        TraceReplay {
+            platform: Platform::new(config),
+            trace,
+            master_seed,
+            next_run: 0,
+            runs: runs as u64,
+        }
+    }
+
+    /// Convenience: replay a TVCA path on the MBPTA-compliant platform —
+    /// the simulator-driven source of `mbpta stream --simulate`.
+    pub fn tvca(mode: ControlMode, tvca_config: TvcaConfig, runs: usize, master_seed: u64) -> Self {
+        let tvca = Tvca::new(tvca_config);
+        TraceReplay::new(
+            PlatformConfig::mbpta_compliant(),
+            tvca.trace(mode),
+            runs,
+            master_seed,
+        )
+    }
+
+    /// Runs already replayed.
+    pub fn replayed(&self) -> u64 {
+        self.next_run
+    }
+
+    /// Total runs this source will produce.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+}
+
+impl Iterator for TraceReplay {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.next_run >= self.runs {
+            return None;
+        }
+        let seed = SplitMix64::stream_seed(self.master_seed, self.next_run);
+        self.next_run += 1;
+        Some(self.platform.run(&self.trace, seed).cycles as f64)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.runs - self.next_run) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceReplay {}
+
+/// Why a [`LineSource`] could not yield a measurement: transport failure
+/// versus malformed data. Conflating the two would send an operator
+/// debugging their rig's values when the pipe broke.
+#[derive(Debug)]
+pub enum LineSourceError {
+    /// The underlying reader failed (disk fault, closed pipe, bad UTF-8).
+    Io(std::io::Error),
+    /// A non-blank, non-comment line did not parse as a number.
+    Parse(String),
+}
+
+impl std::fmt::Display for LineSourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineSourceError::Io(e) => write!(f, "measurement stream read failed: {e}"),
+            LineSourceError::Parse(line) => {
+                write!(f, "unparsable measurement line: `{line}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LineSourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LineSourceError::Io(e) => Some(e),
+            LineSourceError::Parse(_) => None,
+        }
+    }
+}
+
+/// Incremental reader of the one-time-per-line measurement format: yields
+/// each parsed value as it is read, skipping blank lines and `#` comments.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_stream::replay::LineSource;
+///
+/// let data = "# cycles\n100\n105.5\n\n103\n";
+/// let times: Result<Vec<f64>, _> = LineSource::new(data.as_bytes()).collect();
+/// assert_eq!(times.unwrap(), vec![100.0, 105.5, 103.0]);
+/// ```
+#[derive(Debug)]
+pub struct LineSource<R> {
+    reader: R,
+    line: String,
+}
+
+impl<R: BufRead> LineSource<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        LineSource {
+            reader,
+            line: String::new(),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for LineSource<R> {
+    type Item = Result<f64, LineSourceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(LineSourceError::Io(e))),
+            }
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(
+                trimmed
+                    .parse::<f64>()
+                    .map_err(|_| LineSourceError::Parse(trimmed.to_string())),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxima_mbpta::CampaignRunner;
+
+    fn striding_loads(n: usize) -> Vec<Inst> {
+        (0..n)
+            .map(|i| {
+                Inst::load(
+                    0x100 + 4 * (i as u64 % 16),
+                    0x10_0000 + 4096 * (i as u64 % 40),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_matches_campaign_runner_bit_for_bit() {
+        // The replay source must observe the same measurement vector as a
+        // batch campaign: same per-run SplitMix64 seeds, same platform
+        // protocol.
+        let trace = striding_loads(200);
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(1);
+        let batch = runner.run(&trace, 60, 99).unwrap();
+        let streamed: Vec<f64> =
+            TraceReplay::new(PlatformConfig::mbpta_compliant(), trace, 60, 99).collect();
+        assert_eq!(batch.times(), &streamed[..]);
+    }
+
+    #[test]
+    fn replay_is_exact_size() {
+        let replay = TraceReplay::new(PlatformConfig::mbpta_compliant(), striding_loads(50), 30, 1);
+        assert_eq!(replay.len(), 30);
+        assert_eq!(replay.runs(), 30);
+        let times: Vec<f64> = replay.collect();
+        assert_eq!(times.len(), 30);
+    }
+
+    #[test]
+    fn tvca_replay_produces_positive_times() {
+        let times: Vec<f64> =
+            TraceReplay::tvca(ControlMode::Nominal, TvcaConfig::default(), 20, 5).collect();
+        assert_eq!(times.len(), 20);
+        assert!(times.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn line_source_parses_and_skips() {
+        let data = "# header\n\n1\n  2.5 \n# mid\n3\n";
+        let vals: Result<Vec<f64>, _> = LineSource::new(data.as_bytes()).collect();
+        assert_eq!(vals.unwrap(), vec![1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn line_source_reports_garbage_with_the_offending_line() {
+        let mut src = LineSource::new("1\nabc\n2\n".as_bytes());
+        assert_eq!(src.next().unwrap().unwrap(), 1.0);
+        let err = src.next().unwrap().unwrap_err();
+        assert!(matches!(&err, LineSourceError::Parse(line) if line == "abc"));
+        assert!(err.to_string().contains("abc"));
+        assert_eq!(src.next().unwrap().unwrap(), 2.0);
+        assert!(src.next().is_none());
+    }
+
+    #[test]
+    fn line_source_distinguishes_io_failure() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let mut src = LineSource::new(std::io::BufReader::new(FailingReader));
+        let err = src.next().unwrap().unwrap_err();
+        assert!(matches!(err, LineSourceError::Io(_)));
+        assert!(err.to_string().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Bounded-memory streaming quantile sketch (Greenwald–Khanna).
+//!
+//! The batch pipeline holds the full measurement vector in memory; a
+//! streaming deployment cannot. [`QuantileSketch`] summarizes an unbounded
+//! stream of execution times in `O((1/ε)·log(εn))` space while answering
+//! rank and quantile queries with additive rank error at most `εn` — the
+//! classic GK summary (Greenwald & Khanna, SIGMOD 2001), the same family of
+//! non-parametric streaming quantile estimators used by the federated
+//! quantile literature.
+//!
+//! The exact minimum, maximum (the *high watermark* — load-bearing for
+//! MBPTA reporting), count and sum are tracked exactly on the side: they
+//! cost O(1) and the watermark must never be approximated.
+
+use proxima_stats::StatsError;
+
+/// One GK summary tuple: a stored value `v` covering `g` observations, with
+/// rank uncertainty `delta`.
+///
+/// With `r_min(i) = Σ_{j≤i} g_j` and `r_max(i) = r_min(i) + delta_i`, the
+/// true rank of `v` lies in `[r_min, r_max]`; the GK invariant keeps
+/// `g_i + delta_i ≤ ⌊2εn⌋ + 1` so any rank query is answerable within `εn`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// An ε-approximate streaming quantile sketch over `f64` observations.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_stream::sketch::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new(0.01)?;
+/// for i in 0..10_000 {
+///     s.insert(i as f64);
+/// }
+/// let med = s.quantile(0.5)?;
+/// assert!((med / 5000.0 - 1.0).abs() < 0.05);
+/// assert_eq!(s.max(), Some(9999.0));
+/// assert!(s.tuples() < 600); // bounded memory, not 10k points
+/// # Ok::<(), proxima_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    n: u64,
+    inserts_since_compress: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl QuantileSketch {
+    /// Create a sketch with rank-error bound `epsilon` (e.g. `0.001` keeps
+    /// every quantile within ±0.1% of the true rank).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < epsilon < 0.5`.
+    pub fn new(epsilon: f64) -> Result<Self, StatsError> {
+        if !(epsilon > 0.0 && epsilon < 0.5) {
+            return Err(StatsError::InvalidArgument {
+                what: "sketch epsilon must be in (0, 0.5)",
+            });
+        }
+        Ok(QuantileSketch {
+            epsilon,
+            tuples: Vec::new(),
+            n: 0,
+            inserts_since_compress: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        })
+    }
+
+    /// The configured rank-error bound.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of observations ingested.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of summary tuples currently held — the memory footprint.
+    pub fn tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Exact minimum observed, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observed — the campaign's high watermark.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Exact running mean, if any observation arrived.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.sum / self.n as f64)
+    }
+
+    /// The `⌊2εn⌋` capacity bound of the GK invariant at the current `n`.
+    fn band(&self) -> u64 {
+        (2.0 * self.epsilon * self.n as f64).floor() as u64
+    }
+
+    /// Ingest one observation. Non-finite values are ignored by the sketch
+    /// proper (the analyzer validates before inserting).
+    pub fn insert(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+        // Position of the first tuple with v >= x.
+        let pos = self.tuples.partition_point(|t| t.v < x);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            // New extreme values have exact rank.
+            0
+        } else {
+            self.band().saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { v: x, g: 1, delta });
+        self.inserts_since_compress += 1;
+        if self.inserts_since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.inserts_since_compress = 0;
+        }
+    }
+
+    /// Merge adjacent tuples whose combined coverage still satisfies the GK
+    /// invariant, sweeping from the tail (standard GK compress).
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let band = self.band();
+        let mut i = self.tuples.len() - 2;
+        // Never merge away the first or last tuple: they pin min/max ranks.
+        while i >= 1 {
+            let merged_g = self.tuples[i].g + self.tuples[i + 1].g;
+            if merged_g + self.tuples[i + 1].delta <= band {
+                self.tuples[i + 1].g = merged_g;
+                self.tuples.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// The value at quantile `phi ∈ [0, 1]`, within `εn` rank error.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidArgument`] for `phi` outside `[0, 1]`;
+    /// * [`StatsError::InsufficientData`] on an empty sketch.
+    pub fn quantile(&self, phi: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&phi) {
+            return Err(StatsError::InvalidArgument {
+                what: "quantile level must be in [0, 1]",
+            });
+        }
+        if self.n == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let target = (phi * self.n as f64).ceil().max(1.0) as u64;
+        let slack = (self.epsilon * self.n as f64).ceil() as u64;
+        let mut r_min = 0u64;
+        for t in &self.tuples {
+            r_min += t.g;
+            let r_max = r_min + t.delta;
+            if target <= r_min + slack && r_max <= target + slack {
+                return Ok(t.v);
+            }
+        }
+        Ok(self.tuples.last().expect("non-empty sketch").v)
+    }
+
+    /// Approximate rank of `x`: how many observations are ≤ `x`, within
+    /// `εn`.
+    pub fn rank(&self, x: f64) -> u64 {
+        let mut r_min = 0u64;
+        let mut last_covered = 0u64;
+        for t in &self.tuples {
+            r_min += t.g;
+            if t.v <= x {
+                last_covered = r_min;
+            } else {
+                break;
+            }
+        }
+        last_covered
+    }
+
+    /// Approximate empirical CDF at `x`: `rank(x) / n` (0 on an empty
+    /// sketch).
+    pub fn ecdf(&self, x: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.rank(x) as f64 / self.n as f64
+    }
+
+    /// Approximate empirical survival `1 − F̂(x)` — the observed-tail side
+    /// of a pWCET plot.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.ecdf(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(QuantileSketch::new(0.0).is_err());
+        assert!(QuantileSketch::new(0.5).is_err());
+        assert!(QuantileSketch::new(-0.1).is_err());
+        assert!(QuantileSketch::new(0.01).is_ok());
+    }
+
+    #[test]
+    fn empty_sketch_behaviour() {
+        let s = QuantileSketch::new(0.01).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.quantile(0.5).is_err());
+        assert_eq!(s.ecdf(10.0), 0.0);
+    }
+
+    #[test]
+    fn exact_extremes_and_mean() {
+        let mut s = QuantileSketch::new(0.05).unwrap();
+        for x in [5.0, 1.0, 9.0, 3.0] {
+            s.insert(x);
+        }
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.mean(), Some(4.5));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn quantiles_within_rank_error_on_shuffled_stream() {
+        let eps = 0.01;
+        let n = 20_000usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut s = QuantileSketch::new(eps).unwrap();
+        let mut values: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = 1e5 + 1e4 * rng.gen::<f64>();
+            values.push(x);
+            s.insert(x);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let est = s.quantile(phi).unwrap();
+            // True rank of the estimate must be within eps*n of phi*n.
+            let rank = values.partition_point(|&v| v <= est) as f64;
+            let err = (rank - phi * n as f64).abs();
+            assert!(
+                err <= eps * n as f64 + 1.0,
+                "phi={phi} rank err {err} > {}",
+                eps * n as f64
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stays_sublinear() {
+        let mut s = QuantileSketch::new(0.01).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50_000 {
+            s.insert(rng.gen::<f64>());
+        }
+        // GK bound is O((1/ε)·log(εn)); allow a lazy constant. The point:
+        // 50k inserts must not retain anything near 50k tuples.
+        assert!(s.tuples() < 2_000, "tuples = {}", s.tuples());
+    }
+
+    #[test]
+    fn sorted_and_reversed_streams_agree_with_truth() {
+        let n = 5_000;
+        for reverse in [false, true] {
+            let mut s = QuantileSketch::new(0.02).unwrap();
+            let iter: Box<dyn Iterator<Item = u64>> = if reverse {
+                Box::new((0..n).rev())
+            } else {
+                Box::new(0..n)
+            };
+            for i in iter {
+                s.insert(i as f64);
+            }
+            let q = s.quantile(0.9).unwrap();
+            assert!((q / (0.9 * n as f64) - 1.0).abs() < 0.05, "q={q}");
+        }
+    }
+
+    #[test]
+    fn ecdf_and_survival_are_complementary() {
+        let mut s = QuantileSketch::new(0.01).unwrap();
+        for i in 0..1000 {
+            s.insert(i as f64);
+        }
+        let f = s.ecdf(500.0);
+        assert!((f - 0.5).abs() < 0.03, "F(500)={f}");
+        assert!((s.survival(500.0) + f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_inserts_ignored() {
+        let mut s = QuantileSketch::new(0.01).unwrap();
+        s.insert(f64::NAN);
+        s.insert(f64::INFINITY);
+        assert!(s.is_empty());
+        s.insert(1.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.quantile(0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream_is_fine() {
+        let mut s = QuantileSketch::new(0.01).unwrap();
+        for i in 0..10_000 {
+            s.insert(if i % 10 == 0 { 2.0 } else { 1.0 });
+        }
+        assert_eq!(s.quantile(0.5).unwrap(), 1.0);
+        assert_eq!(s.quantile(0.99).unwrap(), 2.0);
+        assert_eq!(s.max(), Some(2.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the streaming MBPTA subsystem.
+//!
+//! The two load-bearing claims:
+//!
+//! 1. **Agreement** — a `StreamAnalyzer` fed a full trace lands within
+//!    tolerance of the batch `analyze()` result on the same data (at the
+//!    same fixed block size the agreement is exact: the maxima buffer is
+//!    the batch `block_maxima` vector).
+//! 2. **Sketch soundness** — GK quantile queries stay within the `εn`
+//!    rank-error bound, and memory stays sublinear, for arbitrary
+//!    streams.
+
+use proptest::prelude::*;
+use proxima_mbpta::{analyze, BlockSpec, MbptaConfig};
+use proxima_stream::{QuantileSketch, StreamAnalyzer, StreamConfig};
+
+/// Deterministic synthetic campaign: base latency plus `k` summed uniform
+/// jitter terms (bounded, light-tailed — the MBPTA-compliant shape).
+fn campaign(n: usize, seed: u64) -> Vec<f64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| 1e5 + (0..8).map(|_| rng.gen::<f64>()).sum::<f64>() * 100.0)
+        .collect()
+}
+
+proptest! {
+    /// Streaming a full trace reproduces the batch pWCET at the same
+    /// fixed block size — within 1% as the acceptance criterion demands
+    /// (in fact exactly; the assert keeps the tolerance of the spec).
+    #[test]
+    fn streaming_matches_batch_within_tolerance(
+        seed in 0u64..20,
+        block_idx in 0usize..3,
+    ) {
+        let block = [25usize, 50, 100][block_idx];
+        let n = 5_000;
+        let times = campaign(n, seed);
+        let batch = analyze(
+            &times,
+            &MbptaConfig { block: BlockSpec::Fixed(block), ..MbptaConfig::default() },
+        );
+        // Fixed seeds occasionally fail the 5%-level iid gate; agreement
+        // is only defined where the batch pipeline accepts the campaign.
+        prop_assume!(batch.is_ok());
+        let batch_budget = batch.unwrap().budget_for(1e-12).unwrap();
+
+        let mut analyzer = StreamAnalyzer::new(StreamConfig {
+            block_size: block,
+            refit_every_blocks: 4,
+            bootstrap: None,
+            ..StreamConfig::default()
+        }).unwrap();
+        analyzer.extend(times.iter().copied()).unwrap();
+        let snap = analyzer.finish().unwrap();
+        let rel = (snap.pwcet / batch_budget - 1.0).abs();
+        prop_assert!(rel < 0.01, "seed={seed} block={block} rel={rel}");
+        prop_assert_eq!(snap.n, n);
+        prop_assert_eq!(snap.blocks, n / block);
+    }
+
+    /// The final snapshot of a stream equals the snapshot the analyzer
+    /// would have emitted anyway at the last refit boundary: `finish()`
+    /// adds no hidden state.
+    #[test]
+    fn finish_is_consistent_with_last_checkpoint(seed in 0u64..10) {
+        // 2000 samples, block 25, refit every 2 blocks: n is an exact
+        // refit boundary, so the last pushed snapshot and finish() see the
+        // identical maxima buffer.
+        let times = campaign(2_000, seed);
+        let mut analyzer = StreamAnalyzer::new(StreamConfig {
+            block_size: 25,
+            refit_every_blocks: 2,
+            bootstrap: None,
+            ..StreamConfig::default()
+        }).unwrap();
+        let snaps = analyzer.extend(times.iter().copied()).unwrap();
+        prop_assume!(!snaps.is_empty());
+        let last = snaps.last().unwrap();
+        let fin = analyzer.finish().unwrap();
+        prop_assert_eq!(fin.distribution, last.distribution);
+        prop_assert_eq!(fin.blocks, last.blocks);
+    }
+
+    /// GK sketch rank soundness: for any stream and any query level, the
+    /// true rank of the sketch's answer is within `εn (+1)` of the target.
+    #[test]
+    fn sketch_quantile_within_rank_bound(
+        sample in prop::collection::vec(0.0f64..1e6, 100..2_000),
+        phi in 0.0f64..1.0,
+    ) {
+        let eps = 0.02;
+        let mut sketch = QuantileSketch::new(eps).unwrap();
+        for &x in &sample {
+            sketch.insert(x);
+        }
+        let est = sketch.quantile(phi).unwrap();
+        let mut sorted = sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = sorted.partition_point(|&v| v < est);
+        let hi = sorted.partition_point(|&v| v <= est);
+        let target = phi * sample.len() as f64;
+        let slack = eps * sample.len() as f64 + 1.0;
+        // The estimate's true rank interval [lo, hi] must approach the
+        // target within the GK guarantee.
+        let dist = if target < lo as f64 {
+            lo as f64 - target
+        } else if target > hi as f64 {
+            target - hi as f64
+        } else {
+            0.0
+        };
+        prop_assert!(dist <= slack, "phi={phi} dist={dist} slack={slack}");
+    }
+
+    /// Sketch extremes are exact and memory is sublinear for any stream.
+    #[test]
+    fn sketch_extremes_exact_and_memory_bounded(
+        sample in prop::collection::vec(-1e9f64..1e9, 1..3_000),
+    ) {
+        let mut sketch = QuantileSketch::new(0.01).unwrap();
+        for &x in &sample {
+            sketch.insert(x);
+        }
+        let min = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(sketch.min().unwrap(), min);
+        prop_assert_eq!(sketch.max().unwrap(), max);
+        // Far below the raw stream length once past the warmup region.
+        if sample.len() >= 1_000 {
+            prop_assert!(
+                sketch.tuples() <= sample.len() / 2,
+                "tuples={} n={}",
+                sketch.tuples(),
+                sample.len()
+            );
+        }
+    }
+
+    /// The analyzer's exact side-channel stats agree with the raw stream:
+    /// high watermark, count, block count.
+    #[test]
+    fn analyzer_bookkeeping_is_exact(seed in 0u64..10, block in 10usize..60) {
+        let times = campaign(1_500, seed);
+        let mut analyzer = StreamAnalyzer::new(StreamConfig {
+            block_size: block,
+            bootstrap: None,
+            ..StreamConfig::default()
+        }).unwrap();
+        analyzer.extend(times.iter().copied()).unwrap();
+        let hwm = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(analyzer.high_watermark().unwrap(), hwm);
+        prop_assert_eq!(analyzer.len(), times.len());
+        prop_assert_eq!(analyzer.blocks(), times.len() / block);
+    }
+}

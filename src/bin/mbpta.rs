@@ -8,16 +8,22 @@
 //! USAGE:
 //!   mbpta analyze <file> [--cutoff 1e-12] [--alpha 0.05] [--block N] [--cv] [--csv]
 //!   mbpta measure [--runs 3000] [--seed 10000000] [--jobs N] [--path nominal|saturated-x|saturated-y|fault-recovery]
+//!   mbpta stream [<file>] [--target-p 1e-12] [--block 50] [--every 5] [--simulate] [...]
 //!   mbpta --help
 //! ```
 //!
 //! `analyze` consumes a measurement file; `measure` generates one from the
-//! built-in simulated TVCA campaign (useful for demos and pipelines).
+//! built-in simulated TVCA campaign (useful for demos and pipelines);
+//! `stream` analyses measurements incrementally as they arrive — from a
+//! file, from stdin (so a measurement rig can pipe straight in), or from
+//! the built-in simulator — printing a pWCET snapshot at every refit.
 
 use std::process::ExitCode;
 
 use proxima::mbpta::cv::analyze_cv;
 use proxima::prelude::*;
+use proxima::stream::replay::{LineSource, TraceReplay};
+use proxima::stream::{PwcetSnapshot, StreamAnalyzer, StreamConfig};
 use proxima::workload::tvca::{ControlMode, Tvca, TvcaConfig};
 
 const USAGE: &str = "\
@@ -26,6 +32,9 @@ mbpta - measurement-based probabilistic timing analysis
 USAGE:
   mbpta analyze <file> [--cutoff <p>] [--alpha <a>] [--block <n>] [--cv] [--csv]
   mbpta measure [--runs <n>] [--seed <s>] [--jobs <j>] [--path <name>]
+  mbpta stream [<file>] [--target-p <p>] [--block <n>] [--every <k>]
+               [--simulate] [--runs <n>] [--seed <s>] [--path <name>]
+               [--stop-on-converged]
   mbpta --help
 
 COMMANDS:
@@ -34,6 +43,9 @@ COMMANDS:
   measure   print a synthetic TVCA campaign in that format (simulated
             MBPTA-compliant platform; paths: nominal, saturated-x,
             saturated-y, fault-recovery)
+  stream    incremental MBPTA over a measurement stream: ingest from
+            <file>, stdin (no file argument), or the simulator
+            (--simulate); print a pWCET snapshot at every refit
 
 OPTIONS (analyze):
   --cutoff <p>   exceedance probability for the headline budget [1e-12]
@@ -50,6 +62,16 @@ OPTIONS (measure):
                  <j>, but uses the SplitMix64 seed stream
                  instead of the sequential per-run seeds
   --path <name>  TVCA execution path                            [nominal]
+
+OPTIONS (stream):
+  --target-p <p>       exceedance cutoff tracked by snapshots   [1e-12]
+  --block <n>          block size for block maxima              [50]
+  --every <k>          refit every <k> completed blocks         [5]
+  --simulate           measure the TVCA live instead of reading
+  --runs <n>           simulated runs (with --simulate)         [3000]
+  --seed <s>           simulation master seed                   [10000000]
+  --path <name>        TVCA execution path (with --simulate)    [nominal]
+  --stop-on-converged  stop ingesting once the estimate is stable
 ";
 
 fn main() -> ExitCode {
@@ -72,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("measure") => measure_cmd(&args[1..]),
+        Some("stream") => stream_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -147,24 +170,22 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `true` if `candidate` is the value of some `--flag` (so it is not the
-/// positional file argument).
+/// Flags that take no value: an argument following one of these is a
+/// positional argument, not the flag's value.
+const BOOLEAN_FLAGS: &[&str] = &["--cv", "--csv", "--simulate", "--stop-on-converged"];
+
+/// `true` if `candidate` is the value of some value-taking `--flag` (so it
+/// is not the positional file argument).
 fn is_flag_value(args: &[String], candidate: &str) -> bool {
-    args.windows(2)
-        .any(|w| w[0].starts_with("--") && w[1] == candidate)
+    args.windows(2).any(|w| {
+        w[0].starts_with("--") && !BOOLEAN_FLAGS.contains(&w[0].as_str()) && w[1] == candidate
+    })
 }
 
 fn measure_cmd(args: &[String]) -> Result<(), String> {
     let runs: usize = parse_flag(args, "--runs", 3000)?;
     let seed: u64 = parse_flag(args, "--seed", 10_000_000u64)?;
-    let path = flag_value(args, "--path")?.unwrap_or("nominal");
-    let mode = match path {
-        "nominal" => ControlMode::Nominal,
-        "saturated-x" => ControlMode::SaturatedX,
-        "saturated-y" => ControlMode::SaturatedY,
-        "fault-recovery" => ControlMode::FaultRecovery,
-        other => return Err(format!("unknown path `{other}`")),
-    };
+    let mode = parse_tvca_mode(flag_value(args, "--path")?.unwrap_or("nominal"))?;
     let jobs = flag_value(args, "--jobs")?
         .map(|raw| {
             raw.parse::<usize>()
@@ -188,7 +209,136 @@ fn measure_cmd(args: &[String]) -> Result<(), String> {
     };
     println!("# TVCA path `{mode}` on the simulated MBPTA-compliant platform");
     println!("{seed_line}");
-    campaign
-        .write_to(std::io::stdout().lock())
-        .map_err(|e| e.to_string())
+    campaign.write_to(std::io::stdout().lock()).or_else(|e| {
+        // A downstream consumer closing early (`measure | stream
+        // --stop-on-converged`, `measure | head`) is a normal way for
+        // this pipeline to end, not a measurement failure.
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            Ok(())
+        } else {
+            Err(e.to_string())
+        }
+    })
+}
+
+fn parse_tvca_mode(path: &str) -> Result<ControlMode, String> {
+    match path {
+        "nominal" => Ok(ControlMode::Nominal),
+        "saturated-x" => Ok(ControlMode::SaturatedX),
+        "saturated-y" => Ok(ControlMode::SaturatedY),
+        "fault-recovery" => Ok(ControlMode::FaultRecovery),
+        other => Err(format!("unknown path `{other}`")),
+    }
+}
+
+/// One printed line per snapshot, compact enough to tail live. Unlike
+/// `println!`, a closed stdout surfaces as an error the caller can treat
+/// as end-of-interest, not a panic.
+fn print_snapshot(target_p: f64, snap: &PwcetSnapshot) -> std::io::Result<()> {
+    use std::io::Write;
+    let delta = snap
+        .convergence_delta
+        .map_or("-".to_string(), |d| format!("{:.3}%", d * 100.0));
+    let ci = snap.ci.map_or("-".to_string(), |ci| {
+        format!("[{:.0}, {:.0}]", ci.lower, ci.upper)
+    });
+    writeln!(
+        std::io::stdout().lock(),
+        "snapshot n={} blocks={} pwcet@{target_p:e}={:.0} ci={ci} delta={delta} hwm={:.0} iid={} {}",
+        snap.n,
+        snap.blocks,
+        snap.pwcet,
+        snap.high_watermark,
+        snap.iid_status.status,
+        if snap.converged { "CONVERGED" } else { "settling" },
+    )
+}
+
+fn stream_cmd(args: &[String]) -> Result<(), String> {
+    let target_p: f64 = parse_flag(args, "--target-p", 1e-12)?;
+    let block: usize = parse_flag(args, "--block", 50)?;
+    let every: usize = parse_flag(args, "--every", 5)?;
+    let simulate = args.iter().any(|a| a == "--simulate");
+    let stop_on_converged = args.iter().any(|a| a == "--stop-on-converged");
+    if !simulate {
+        // Silently dropping these would leave the user blocked on stdin
+        // wondering why their flags did nothing.
+        for flag in ["--runs", "--seed", "--path"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!("{flag} requires --simulate"));
+            }
+        }
+    }
+
+    let config = StreamConfig {
+        block_size: block,
+        refit_every_blocks: every,
+        target_p,
+        ..StreamConfig::default()
+    };
+    let mut analyzer = StreamAnalyzer::new(config).map_err(|e| e.to_string())?;
+
+    let source: Box<dyn Iterator<Item = Result<f64, String>>> = if simulate {
+        let runs: usize = parse_flag(args, "--runs", 3000)?;
+        let seed: u64 = parse_flag(args, "--seed", 10_000_000u64)?;
+        let mode = parse_tvca_mode(flag_value(args, "--path")?.unwrap_or("nominal"))?;
+        eprintln!("streaming {runs} simulated runs of TVCA path `{mode}` (seed {seed})");
+        Box::new(TraceReplay::tvca(mode, TvcaConfig::default(), runs, seed).map(Ok))
+    } else {
+        let file = args
+            .iter()
+            .find(|a| !a.starts_with("--") && !is_flag_value(args, a));
+        match file {
+            Some(file) => {
+                let f =
+                    std::fs::File::open(file).map_err(|e| format!("cannot open {file}: {e}"))?;
+                Box::new(
+                    LineSource::new(std::io::BufReader::new(f))
+                        .map(|r| r.map_err(|e| e.to_string())),
+                )
+            }
+            None => Box::new(
+                LineSource::new(std::io::BufReader::new(std::io::stdin()))
+                    .map(|r| r.map_err(|e| e.to_string())),
+            ),
+        }
+    };
+
+    for x in source {
+        let snap = analyzer.push(x?).map_err(|e| e.to_string())?;
+        if let Some(snap) = snap {
+            match print_snapshot(target_p, &snap) {
+                Ok(()) => {}
+                // Downstream closed (`mbpta stream ... | head`): a normal
+                // way for a live tail to end, mirroring `measure`.
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+                Err(e) => return Err(e.to_string()),
+            }
+            if stop_on_converged && snap.converged {
+                break;
+            }
+        }
+    }
+    let final_snap = analyzer.finish().map_err(|e| e.to_string())?;
+    {
+        use std::io::Write;
+        let result = writeln!(
+            std::io::stdout().lock(),
+            "final n={} blocks={} pwcet@{target_p:e}={:.0} hwm={:.0} snapshots={} converged={}",
+            final_snap.n,
+            final_snap.blocks,
+            final_snap.pwcet,
+            final_snap.high_watermark,
+            analyzer.snapshots_emitted(),
+            analyzer
+                .converged_at()
+                .map_or("no".to_string(), |at| format!("at n={at}")),
+        );
+        match result {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(())
 }

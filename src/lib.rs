@@ -18,6 +18,7 @@
 //! | [`sim`] | `proxima-sim` | LEON3-like randomized platform model |
 //! | [`workload`] | `proxima-workload` | TVCA + control kernels |
 //! | [`mbpta`] | `proxima-mbpta` | the MBPTA pipeline and pWCET type |
+//! | [`stream`] | `proxima-stream` | streaming MBPTA: online ingestion + incremental refit |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ pub use proxima_mbpta as mbpta;
 pub use proxima_prng as prng;
 pub use proxima_sim as sim;
 pub use proxima_stats as stats;
+pub use proxima_stream as stream;
 pub use proxima_workload as workload;
 
 /// The most common imports in one place.
@@ -55,11 +57,14 @@ pub mod prelude {
     pub use proxima_mbpta::{
         analyze, baseline::MbtaEstimate, confidence::budget_interval, cv::analyze_cv,
         measure_and_analyze, render_report, BlockSpec, Campaign, CampaignRunner, MbptaConfig,
-        MbptaReport, Pwcet,
+        MbptaReport, Pipeline, Pwcet,
     };
     pub use proxima_prng::{Mwc64, PrngKind, RandomSource};
     pub use proxima_sim::{Inst, InstKind, Platform, PlatformConfig};
     pub use proxima_stats::dist::ContinuousDistribution;
+    pub use proxima_stream::{
+        LineSource, PipelineStreamExt, PwcetSnapshot, StreamAnalyzer, StreamConfig, TraceReplay,
+    };
     pub use proxima_workload::bench_suite::Benchmark;
     pub use proxima_workload::tvca::{ControlMode, Scale, Tvca, TvcaConfig};
 }

@@ -67,6 +67,83 @@ fn measure_then_analyze_pipeline() {
 }
 
 #[test]
+fn stream_from_file_emits_snapshots_and_final() {
+    // measure → file → stream: incremental analysis of a recorded
+    // campaign.
+    let out = mbpta()
+        .args(["measure", "--runs", "600", "--seed", "10000000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let file = dir.join("stream_campaign.txt");
+    std::fs::write(&file, &out.stdout).expect("write campaign");
+
+    let out = mbpta()
+        .args([
+            "stream",
+            file.to_str().expect("utf8 path"),
+            "--block",
+            "25",
+            "--every",
+            "4",
+            "--target-p",
+            "1e-9",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("snapshot n="), "{text}");
+    assert!(text.contains("pwcet@1e-9"), "{text}");
+    assert!(text.contains("final n=600"), "{text}");
+}
+
+#[test]
+fn stream_simulate_runs_live() {
+    let out = mbpta()
+        .args([
+            "stream",
+            "--simulate",
+            "--runs",
+            "400",
+            "--block",
+            "25",
+            "--every",
+            "4",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("snapshot n="), "{text}");
+    assert!(text.contains("final n=400"), "{text}");
+}
+
+#[test]
+fn stream_too_short_input_fails_cleanly() {
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let file = dir.join("short.txt");
+    std::fs::write(&file, "100\n101\n102\n").expect("write");
+    let out = mbpta()
+        .args(["stream", file.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("too small"));
+}
+
+#[test]
 fn analyze_missing_file_fails() {
     let out = mbpta()
         .args(["analyze", "/nonexistent/measurements.txt"])
