@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use proxima_bench::{tvca_campaign, BASE_SEED};
 use proxima_mbpta::evt_fit::fit_tail;
-use proxima_mbpta::{analyze, BlockSpec, MbptaConfig, Pwcet};
+use proxima_mbpta::{BlockSpec, MbptaConfig, Pipeline, Pwcet};
 use proxima_sim::PlatformConfig;
 use proxima_stats::evt::{block_maxima, fit_gumbel, fit_gumbel_pwm};
 use proxima_workload::tvca::ControlMode;
@@ -40,7 +40,11 @@ fn bench_fit(c: &mut Criterion) {
         );
     }
     group.bench_function("full_pipeline_analyze", |b| {
-        b.iter(|| analyze(black_box(&times), &MbptaConfig::default()).expect("analysis"))
+        b.iter(|| {
+            Pipeline::new(MbptaConfig::default())
+                .analyze(black_box(&times))
+                .expect("analysis")
+        })
     });
 
     let fit = fit_tail(&times, &BlockSpec::Fixed(50)).expect("fit");

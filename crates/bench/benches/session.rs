@@ -1,0 +1,154 @@
+//! Criterion bench: multi-channel session demux throughput vs channel
+//! count.
+//!
+//! A fixed 24k-measurement tagged feed is demultiplexed to 1, 2, 4 or 8
+//! streaming channels (round-robin interleave, so per-channel volume
+//! shrinks as channels grow). Ingest cost is dominated by the per-sample
+//! sketch/monitor updates, which are channel-count-independent; the bench
+//! verifies the demux layer itself adds no super-linear overhead. A
+//! second group measures `merge()` (per-channel finish, sharded over the
+//! worker pool) at 1 and all-core `jobs`.
+//!
+//! The setup asserts the session acceptance criterion: per channel, the
+//! merged verdict's pWCET equals a bare `StreamAnalyzer` run over that
+//! channel's measurements alone, bit for bit.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use proxima_mbpta::session::Tagged;
+use proxima_mbpta::MbptaConfig;
+use proxima_stream::{SessionStreamExt, StreamAnalyzer, StreamConfig};
+use std::hint::black_box;
+
+const TOTAL: usize = 24_000;
+
+/// Deterministic synthetic campaign (vendored StdRng).
+fn campaign(n: usize, seed: u64) -> Vec<f64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| 1e5 + (0..8).map(|_| rng.gen::<f64>()).sum::<f64>() * 100.0)
+        .collect()
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        block_size: 50,
+        refit_every_blocks: 5,
+        bootstrap: None, // measure demux + refit, not the bootstrap
+        ..StreamConfig::default()
+    }
+}
+
+/// A round-robin tagged feed over `channels` synthetic channels.
+fn tagged_feed(channels: usize) -> Vec<Tagged> {
+    let per_channel = TOTAL / channels;
+    let vectors: Vec<Vec<f64>> = (0..channels)
+        .map(|c| campaign(per_channel, 1 + c as u64))
+        .collect();
+    let names: Vec<String> = (0..channels).map(|c| format!("chan{c}")).collect();
+    let mut feed = Vec::with_capacity(TOTAL);
+    for i in 0..per_channel {
+        for (name, v) in names.iter().zip(&vectors) {
+            feed.push(Tagged::new(name.as_str(), v[i]));
+        }
+    }
+    feed
+}
+
+fn ingest_and_merge(feed: &[Tagged], jobs: usize) -> usize {
+    let mut session = MbptaConfig::default()
+        .session()
+        .snapshot_every(0)
+        .jobs(jobs)
+        .build_stream_with(stream_config())
+        .expect("config");
+    for t in feed {
+        session.push(t.clone()).expect("clean feed");
+    }
+    let merged = session.merge();
+    assert!(merged.all_ok());
+    merged.channels().len()
+}
+
+fn bench_session_demux(c: &mut Criterion) {
+    // Acceptance guard: per-channel session verdicts equal bare
+    // analyzers, bit for bit.
+    {
+        let feed = tagged_feed(4);
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .build_stream_with(stream_config())
+            .expect("config");
+        for t in &feed {
+            session.push(t.clone()).expect("clean feed");
+        }
+        let merged = session.merge();
+        for c in 0..4 {
+            let times = campaign(TOTAL / 4, 1 + c as u64);
+            let mut bare = StreamAnalyzer::new(stream_config()).expect("config");
+            bare.extend(times).expect("ingest");
+            let snap = bare.finish().expect("final");
+            let verdict = merged
+                .verdict(&format!("chan{c}"))
+                .expect("channel")
+                .as_ref()
+                .expect("ok");
+            assert_eq!(verdict.pwcet, snap.distribution, "chan{c} diverged");
+        }
+    }
+
+    let mut group = c.benchmark_group("session_demux_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL as u64));
+    for channels in [1usize, 2, 4, 8] {
+        let feed = tagged_feed(channels);
+        let name = format!("ingest_merge_{channels}ch");
+        group.bench_function(&name, |b| b.iter(|| black_box(ingest_and_merge(&feed, 1))));
+    }
+    group.finish();
+
+    // Merge scaling: ingest ONCE per jobs setting, then time merge alone
+    // on clones of the fully ingested session — ingest is jobs-
+    // independent and would otherwise drown the comparison.
+    let mut group = c.benchmark_group("session_merge_jobs");
+    group.sample_size(10);
+    let feed = tagged_feed(8);
+    for jobs in [1usize, 0] {
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .jobs(jobs)
+            .build_stream_with(stream_config())
+            .expect("config");
+        for t in &feed {
+            session.push(t.clone()).expect("clean feed");
+        }
+        if jobs == 1 {
+            // The vendored criterion has no iter_batched, so the timed
+            // region is clone+merge; this baseline isolates the clone
+            // cost so merge scaling is readable by subtraction.
+            group.bench_function("clone_baseline", |b| {
+                b.iter(|| black_box(session.clone()).channel_count())
+            });
+        }
+        group.bench_function(
+            if jobs == 1 {
+                "merge_1job"
+            } else {
+                "merge_allcores"
+            },
+            |b| {
+                b.iter(|| {
+                    let merged = black_box(session.clone().merge());
+                    assert!(merged.all_ok());
+                    merged.channels().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_demux);
+criterion_main!(benches);

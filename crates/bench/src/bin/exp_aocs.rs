@@ -16,7 +16,7 @@ use proxima_bench::{fmt_cycles, trace_campaign, BASE_SEED};
 use proxima_mbpta::baseline::MbtaEstimate;
 use proxima_mbpta::paths::PerPathAnalysis;
 use proxima_mbpta::risk::ActivationRate;
-use proxima_mbpta::{analyze, Campaign, MbptaConfig};
+use proxima_mbpta::{Campaign, MbptaConfig, Pipeline};
 use proxima_sim::PlatformConfig;
 use proxima_workload::aocs::{Aocs, AocsConfig, AocsMode};
 
@@ -43,7 +43,9 @@ fn main() {
         .collect();
 
     // Gate evidence for the nominal path.
-    let tracking = analyze(&labelled[0].1, &MbptaConfig::default()).expect("tracking analysis");
+    let tracking = Pipeline::new(MbptaConfig::default())
+        .analyze(&labelled[0].1)
+        .expect("tracking analysis");
     println!(
         "i.i.d. gate (tracking): Ljung-Box p={:.2}, two-sample KS p={:.2} => {}",
         tracking.iid.ljung_box.p_value,

@@ -10,7 +10,7 @@
 use proxima_bench::{fmt_cycles, tvca_campaign, BASE_SEED, PAPER_RUNS};
 use proxima_mbpta::confidence::budget_interval;
 use proxima_mbpta::cv::analyze_cv;
-use proxima_mbpta::{analyze, MbptaConfig};
+use proxima_mbpta::{MbptaConfig, Pipeline};
 use proxima_sim::PlatformConfig;
 use proxima_workload::tvca::ControlMode;
 
@@ -23,7 +23,9 @@ fn main() {
         BASE_SEED,
     );
     let config = MbptaConfig::default();
-    let bm = analyze(campaign.times(), &config).expect("block-maxima analysis");
+    let bm = Pipeline::new(config.clone())
+        .analyze(campaign.times())
+        .expect("block-maxima analysis");
     let cv = analyze_cv(campaign.times(), &config).expect("cv analysis");
 
     println!(

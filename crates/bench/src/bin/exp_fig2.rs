@@ -10,7 +10,7 @@
 //! ```
 
 use proxima_bench::{fmt_cycles, tvca_campaign, BASE_SEED, PAPER_RUNS};
-use proxima_mbpta::{analyze, render_pwcet_csv, render_survival_csv, MbptaConfig};
+use proxima_mbpta::{render_pwcet_csv, render_survival_csv, MbptaConfig, Pipeline};
 use proxima_sim::PlatformConfig;
 use proxima_stats::ecdf::Ecdf;
 use proxima_workload::tvca::ControlMode;
@@ -23,7 +23,9 @@ fn main() {
         PAPER_RUNS,
         BASE_SEED,
     );
-    let report = analyze(campaign.times(), &MbptaConfig::default()).expect("MBPTA");
+    let report = Pipeline::new(MbptaConfig::default())
+        .analyze(campaign.times())
+        .expect("MBPTA");
 
     // Empirical survival staircase (sampled at round probabilities).
     let ecdf = Ecdf::new(campaign.times()).expect("ecdf");

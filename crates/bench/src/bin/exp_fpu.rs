@@ -21,7 +21,7 @@
 //! ```
 
 use proxima_bench::{fmt_cycles, trace_campaign, BASE_SEED};
-use proxima_mbpta::{analyze, MbptaConfig};
+use proxima_mbpta::{MbptaConfig, Pipeline};
 use proxima_sim::{FpuLatencyMode, Inst, PlatformConfig, ValueClass};
 use proxima_workload::kernels;
 use proxima_workload::trace::{DataObject, TraceBuilder};
@@ -69,10 +69,16 @@ fn main() {
     let operation_trace = guidance_trace(ValueClass::Worst);
     let operation = trace_campaign(variable_cfg, &operation_trace, runs, BASE_SEED + 999);
 
-    let forced_report = analyze(forced.times(), &MbptaConfig::default()).expect("MBPTA");
-    let variable_report = analyze(variable.times(), &MbptaConfig::default()).expect("MBPTA");
+    let forced_report = Pipeline::new(MbptaConfig::default())
+        .analyze(forced.times())
+        .expect("MBPTA");
+    let variable_report = Pipeline::new(MbptaConfig::default())
+        .analyze(variable.times())
+        .expect("MBPTA");
     // The distribution operation actually has (worst-class operands).
-    let operation_report = analyze(operation.times(), &MbptaConfig::default()).expect("MBPTA");
+    let operation_report = Pipeline::new(MbptaConfig::default())
+        .analyze(operation.times())
+        .expect("MBPTA");
 
     println!(
         "{:<24}{:>16}{:>16}{:>16}",

@@ -240,6 +240,86 @@ impl CampaignRunner {
         Campaign::from_times(self.measure_times(trace, runs, master_seed))
     }
 
+    /// Measure several traces — one per program path / session channel —
+    /// in **one thread pool**: the `traces.len() × runs` run indices are
+    /// flattened and sharded over the same engine as [`Self::run`], so a
+    /// many-path campaign saturates the cores even when each path alone
+    /// would not.
+    ///
+    /// Trace `t` draws its per-run seeds from the SplitMix64 stream of
+    /// the derived master seed [`SplitMix64::stream_seed`]`(master_seed,
+    /// t)`; campaign `t` of the result is therefore **bit-identical** to
+    /// `self.run(&traces[t], runs, SplitMix64::stream_seed(master_seed,
+    /// t))` — at every `jobs` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] for an empty trace list and
+    /// [`MbptaError::Stats`] if `runs == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_mbpta::CampaignRunner;
+    /// use proxima_prng::SplitMix64;
+    /// use proxima_sim::{Inst, PlatformConfig};
+    ///
+    /// let traces: Vec<Vec<Inst>> = (0..3)
+    ///     .map(|p| {
+    ///         (0..60)
+    ///             .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * ((p + i) % 40)))
+    ///             .collect()
+    ///     })
+    ///     .collect();
+    /// let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+    /// let pooled = runner.run_many(&traces, 30, 7)?;
+    /// let alone = runner.run(&traces[1], 30, SplitMix64::stream_seed(7, 1))?;
+    /// assert_eq!(pooled[1].times(), alone.times());
+    /// # Ok::<(), proxima_mbpta::MbptaError>(())
+    /// ```
+    pub fn run_many(
+        &self,
+        traces: &[Vec<Inst>],
+        runs: usize,
+        master_seed: u64,
+    ) -> Result<Vec<Campaign>, MbptaError> {
+        if traces.is_empty() {
+            return Err(MbptaError::InvalidConfig {
+                what: "run_many needs at least one trace",
+            });
+        }
+        if runs == 0 {
+            return Err(MbptaError::Stats(StatsError::InsufficientData {
+                needed: 1,
+                got: 0,
+            }));
+        }
+        let total = traces.len() * runs;
+        let times = run_sharded(total, self.jobs(), |shard| {
+            // One platform per (shard, trace) stretch; `Platform::run`
+            // flushes and reseeds per run, so a fresh instance is
+            // bit-identical to a reused one.
+            let mut current: Option<(usize, Platform)> = None;
+            shard
+                .map(|global| {
+                    let t = global / runs;
+                    let i = (global % runs) as u64;
+                    if current.as_ref().is_none_or(|(ct, _)| *ct != t) {
+                        current = Some((t, Platform::new(self.config.clone())));
+                    }
+                    let trace_seed = SplitMix64::stream_seed(master_seed, t as u64);
+                    let seed = SplitMix64::stream_seed(trace_seed, i);
+                    let (_, platform) = current.as_mut().expect("platform just installed");
+                    platform.run(&traces[t], seed).cycles as f64
+                })
+                .collect()
+        });
+        times
+            .chunks(runs)
+            .map(|chunk| Campaign::from_times(chunk.to_vec()))
+            .collect()
+    }
+
     fn measure_times(&self, trace: &[Inst], runs: usize, master_seed: u64) -> Vec<f64> {
         run_sharded(runs, self.jobs(), |shard| {
             self.shard_times(trace, shard, master_seed)
@@ -454,6 +534,52 @@ mod tests {
                 assert_eq!(next, runs, "runs={runs} jobs={jobs}");
             }
         }
+    }
+
+    #[test]
+    fn run_many_matches_per_trace_runs_at_any_jobs() {
+        let traces: Vec<Vec<Inst>> = (0..3)
+            .map(|p| {
+                (0..80)
+                    .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * ((p + i) % 40)))
+                    .collect()
+            })
+            .collect();
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+        let reference = runner
+            .clone()
+            .with_jobs(1)
+            .run_many(&traces, 40, 9)
+            .unwrap();
+        // Each pooled campaign equals the standalone run with the
+        // per-trace stream seed.
+        for (t, campaign) in reference.iter().enumerate() {
+            let alone = runner
+                .clone()
+                .with_jobs(1)
+                .run(&traces[t], 40, SplitMix64::stream_seed(9, t as u64))
+                .unwrap();
+            assert_eq!(campaign.times(), alone.times(), "trace {t}");
+        }
+        // And the pool is bit-identical at every jobs setting, including
+        // shards that straddle trace boundaries.
+        for jobs in [2, 3, 5, 8, 16] {
+            let pooled = runner
+                .clone()
+                .with_jobs(jobs)
+                .run_many(&traces, 40, 9)
+                .unwrap();
+            for (r, p) in reference.iter().zip(&pooled) {
+                assert_eq!(r.times(), p.times(), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_many_rejects_empty_inputs() {
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
+        assert!(runner.run_many(&[], 10, 0).is_err());
+        assert!(runner.run_many(&[striding_loads(10)], 0, 0).is_err());
     }
 
     #[test]

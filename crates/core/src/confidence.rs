@@ -61,14 +61,14 @@ impl BudgetInterval {
 ///
 /// ```
 /// use proxima_mbpta::confidence::budget_interval;
-/// use proxima_mbpta::{analyze, MbptaConfig};
+/// use proxima_mbpta::{MbptaConfig, Pipeline};
 /// use rand::{Rng, SeedableRng};
 ///
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(8);
 /// let times: Vec<f64> = (0..2000)
 ///     .map(|_| 1e5 + (0..8).map(|_| rng.gen::<f64>()).sum::<f64>() * 100.0)
 ///     .collect();
-/// let report = analyze(&times, &MbptaConfig::default())?;
+/// let report = Pipeline::new(MbptaConfig::default()).analyze(&times)?;
 /// let ci = budget_interval(&times, &report, 1e-12, 0.95, 200, 42)?;
 /// assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
 /// # Ok::<(), proxima_mbpta::MbptaError>(())
@@ -185,7 +185,8 @@ fn resample_budgets(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{analyze, MbptaConfig};
+    use crate::pipeline::analyze_impl as analyze;
+    use crate::MbptaConfig;
     use rand::{Rng, SeedableRng};
 
     fn campaign(n: usize, seed: u64) -> Vec<f64> {

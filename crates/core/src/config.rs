@@ -1,4 +1,7 @@
-//! Analysis configuration.
+//! Analysis configuration and the session builder.
+
+use crate::engine::{BatchFactory, EngineFactory};
+use crate::session::AnalysisSession;
 
 /// How the block size for block-maxima extraction is chosen.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +77,234 @@ impl MbptaConfig {
             }),
             _ => Ok(()),
         }
+    }
+
+    /// Start building a multi-channel [`AnalysisSession`] with this
+    /// configuration — the session-oriented entry point to the MBPTA
+    /// pipeline. See [`SessionBuilder`].
+    pub fn session(self) -> SessionBuilder {
+        SessionBuilder {
+            config: self,
+            ..SessionBuilder::new()
+        }
+    }
+}
+
+/// Builds a multi-channel [`AnalysisSession`]: pick the pipeline
+/// configuration, the snapshot cadence, and the worker-thread bound, then
+/// choose an engine.
+///
+/// * [`build_batch`](Self::build_batch) — one [`BatchEngine`] per channel
+///   (whole-campaign analysis, the classic pipeline);
+/// * `build_stream` / `build_stream_with` (via `proxima-stream`'s
+///   `SessionStreamExt`) — one bounded-memory streaming engine per
+///   channel;
+/// * [`build_with`](Self::build_with) — any custom [`EngineFactory`].
+///
+/// [`BatchEngine`]: crate::engine::BatchEngine
+///
+/// # Examples
+///
+/// One-shot batch analysis of a single campaign:
+///
+/// ```
+/// use proxima_mbpta::MbptaConfig;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let times: Vec<f64> = (0..1500)
+///     .map(|_| 2e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 150.0)
+///     .collect();
+/// let verdict = MbptaConfig::default().session().analyze(&times)?;
+/// assert!(verdict.iid.acceptable());
+/// assert!(verdict.budget_for(1e-12)? > verdict.high_watermark());
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+///
+/// A demultiplexing session over a tagged feed:
+///
+/// ```
+/// use proxima_mbpta::session::Tagged;
+/// use proxima_mbpta::MbptaConfig;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut session = MbptaConfig::default()
+///     .session()
+///     .snapshot_every(500)
+///     .jobs(2)
+///     .build_batch()?;
+/// for _ in 0..1000 {
+///     let x = 1e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 70.0;
+///     let y = 1.2e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 90.0;
+///     session.push(Tagged::new("path/nominal", x))?;
+///     session.push(Tagged::new("path/fault", y))?;
+/// }
+/// let merged = session.merge();
+/// let (worst, _budget) = merged.envelope_budget(1e-12)?;
+/// assert_eq!(worst.as_str(), "path/fault");
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionBuilder {
+    config: MbptaConfig,
+    snapshot_every: usize,
+    target_p: f64,
+    jobs: usize,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            config: MbptaConfig::default(),
+            snapshot_every: 250,
+            target_p: 1e-12,
+            jobs: 0,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with the default configuration (equivalent to
+    /// `MbptaConfig::default().session()`).
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Replace the whole pipeline configuration.
+    #[must_use]
+    pub fn config(mut self, config: MbptaConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Significance level of the i.i.d. gate and goodness-of-fit tests.
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Block-maxima block size policy.
+    #[must_use]
+    pub fn block(mut self, block: BlockSpec) -> Self {
+        self.config.block = block;
+        self
+    }
+
+    /// Minimum number of runs per channel before analysis is accepted.
+    #[must_use]
+    pub fn min_runs(mut self, min_runs: usize) -> Self {
+        self.config.min_runs = min_runs;
+        self
+    }
+
+    /// Whether a failed goodness-of-fit aborts a channel's analysis.
+    #[must_use]
+    pub fn strict_gof(mut self, strict: bool) -> Self {
+        self.config.strict_gof = strict;
+        self
+    }
+
+    /// Scheduler period: emit a snapshot every `every` measurements
+    /// (session-wide, round-robin across channels). `0` disables
+    /// scheduled snapshots; convergence announcements still fire.
+    #[must_use]
+    pub fn snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// The exceedance cutoff intermediate estimates are tracked at.
+    #[must_use]
+    pub fn target_p(mut self, p: f64) -> Self {
+        self.target_p = p;
+        self
+    }
+
+    /// Worker-thread bound for [`AnalysisSession::merge`] (`0` = all
+    /// cores). Per-channel verdicts are bit-identical at every setting.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The pipeline configuration as currently built.
+    pub fn mbpta_config(&self) -> &MbptaConfig {
+        &self.config
+    }
+
+    /// The configured scheduler period.
+    pub fn snapshot_period(&self) -> usize {
+        self.snapshot_every
+    }
+
+    /// The configured estimate cutoff.
+    pub fn target_cutoff(&self) -> f64 {
+        self.target_p
+    }
+
+    /// The configured worker-thread bound.
+    pub fn job_bound(&self) -> usize {
+        self.jobs
+    }
+
+    /// Build a session running one batch engine per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MbptaError::InvalidConfig`] if the configuration
+    /// is invalid.
+    pub fn build_batch(self) -> Result<AnalysisSession<BatchFactory>, crate::MbptaError> {
+        let factory = BatchFactory::new(self.config.clone(), self.target_p)?;
+        self.build_with(factory)
+    }
+
+    /// Build a session with a custom engine factory.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid factories; reserved for builder
+    /// validation.
+    pub fn build_with<F: EngineFactory>(
+        self,
+        factory: F,
+    ) -> Result<AnalysisSession<F>, crate::MbptaError> {
+        Ok(AnalysisSession::new(
+            factory,
+            self.snapshot_every,
+            self.jobs,
+        ))
+    }
+
+    /// One-shot convenience: analyse a single unnamed campaign through a
+    /// single-channel batch session and return its [`Verdict`].
+    ///
+    /// [`Verdict`]: crate::engine::Verdict
+    ///
+    /// # Errors
+    ///
+    /// Exactly the classic batch-analysis errors (i.i.d. rejection,
+    /// too-few runs, degenerate data, invalid configuration), unscoped.
+    pub fn analyze(self, times: &[f64]) -> Result<crate::engine::Verdict, crate::MbptaError> {
+        // A one-shot has no snapshot consumer: skip engine polling (and
+        // its intermediate prefix refits) entirely.
+        let mut session = self.snapshot_every(0).build_batch()?;
+        session.set_polling(false);
+        {
+            let mut channel = session.channel("campaign")?;
+            for &x in times {
+                channel.push(x);
+            }
+        }
+        session
+            .merge()
+            .into_channels()
+            .pop()
+            .expect("single-channel session")
+            .outcome
+            .map_err(crate::MbptaError::into_unscoped)
     }
 }
 

@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn cv_and_block_maxima_agree_on_order_of_magnitude() {
         let times = campaign(3000, 2);
-        let bm = crate::analyze(&times, &MbptaConfig::default()).unwrap();
+        let bm = crate::pipeline::analyze_impl(&times, &MbptaConfig::default()).unwrap();
         let cv = analyze_cv(&times, &MbptaConfig::default()).unwrap();
         let b_bm = bm.budget_for(1e-12).unwrap();
         let b_cv = cv.budget_for(1e-12).unwrap();

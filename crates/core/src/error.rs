@@ -37,6 +37,40 @@ pub enum MbptaError {
         /// Description of the offending parameter.
         what: &'static str,
     },
+    /// A channel-scoped failure inside a multi-channel session: one
+    /// tenant's bad feed or failed analysis, quarantined so it cannot
+    /// abort the other channels. The merged
+    /// [`SessionVerdict`](crate::session::SessionVerdict) reports these
+    /// per channel.
+    Channel {
+        /// The channel whose feed or analysis failed.
+        channel: crate::session::ChannelId,
+        /// The underlying failure.
+        source: Box<MbptaError>,
+    },
+}
+
+impl MbptaError {
+    /// Wrap an error as a channel-scoped failure (idempotent: an error
+    /// already scoped to a channel is returned unchanged).
+    pub fn channel_scoped(channel: crate::session::ChannelId, source: MbptaError) -> MbptaError {
+        match source {
+            MbptaError::Channel { .. } => source,
+            other => MbptaError::Channel {
+                channel,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// Strip a channel scope, returning the underlying error; non-channel
+    /// errors pass through unchanged.
+    pub fn into_unscoped(self) -> MbptaError {
+        match self {
+            MbptaError::Channel { source, .. } => source.into_unscoped(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for MbptaError {
@@ -58,6 +92,9 @@ impl fmt::Display for MbptaError {
                 write!(f, "campaign too small: need {needed} runs, got {got}")
             }
             MbptaError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            MbptaError::Channel { channel, source } => {
+                write!(f, "channel `{channel}`: {source}")
+            }
         }
     }
 }
@@ -66,6 +103,7 @@ impl std::error::Error for MbptaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MbptaError::Stats(e) => Some(e),
+            MbptaError::Channel { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -97,6 +135,21 @@ mod tests {
         let e: MbptaError = StatsError::NonFiniteData.into();
         assert!(matches!(e, MbptaError::Stats(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn channel_error_wraps_scopes_and_chains() {
+        let id = crate::session::ChannelId::new("tenant-9");
+        let e = MbptaError::channel_scoped(id.clone(), StatsError::NonFiniteData.into());
+        assert!(e.to_string().contains("tenant-9"));
+        assert!(std::error::Error::source(&e).is_some());
+        // Idempotent wrap, reversible unwrap.
+        let rewrapped = MbptaError::channel_scoped(crate::session::ChannelId::new("other"), e);
+        assert!(rewrapped.to_string().contains("tenant-9"));
+        assert!(matches!(
+            rewrapped.into_unscoped(),
+            MbptaError::Stats(StatsError::NonFiniteData)
+        ));
     }
 
     #[test]

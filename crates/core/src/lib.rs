@@ -25,12 +25,21 @@
 //! maximum observed execution time (*high watermark*) inflated by an
 //! engineering factor on the deterministic platform — is in [`baseline`].
 //!
+//! The public surface is session-oriented:
+//! [`MbptaConfig::session`] starts a [`SessionBuilder`], which builds an
+//! [`AnalysisSession`] demultiplexing a tagged
+//! measurement feed to one [`Engine`] per timing channel
+//! (per path / per core / per tenant) behind one result vocabulary
+//! ([`Verdict`]). [`Pipeline`] remains the one-shot
+//! object form; the `analyze`/`measure_and_analyze` free functions are
+//! deprecated shims over the session.
+//!
 //! # Examples
 //!
 //! End-to-end analysis of a synthetic campaign:
 //!
 //! ```
-//! use proxima_mbpta::{analyze, MbptaConfig};
+//! use proxima_mbpta::MbptaConfig;
 //! use rand::{Rng, SeedableRng};
 //!
 //! // Stand-in for measured execution times on a randomized platform.
@@ -39,10 +48,10 @@
 //!     .map(|_| 100_000.0 + 500.0 * rng.gen::<f64>() + 200.0 * rng.gen::<f64>())
 //!     .collect();
 //!
-//! let report = analyze(&times, &MbptaConfig::default())?;
-//! assert!(report.iid.passed);
-//! let budget = report.pwcet.budget_for(1e-12)?;
-//! assert!(budget > report.campaign_summary.max);
+//! let verdict = MbptaConfig::default().session().analyze(&times)?;
+//! assert!(verdict.iid.acceptable());
+//! let budget = verdict.pwcet.budget_for(1e-12)?;
+//! assert!(budget > verdict.high_watermark());
 //! # Ok::<(), proxima_mbpta::MbptaError>(())
 //! ```
 
@@ -54,12 +63,14 @@ pub mod campaign;
 pub mod confidence;
 pub mod convergence;
 pub mod cv;
+pub mod engine;
 pub mod evt_fit;
 pub mod iid;
 pub mod paths;
 pub mod pwcet;
 pub mod risk;
 pub mod sched;
+pub mod session;
 
 mod config;
 mod error;
@@ -67,8 +78,12 @@ mod pipeline;
 mod report;
 
 pub use campaign::{Campaign, CampaignRunner};
-pub use config::{BlockSpec, MbptaConfig};
+pub use config::{BlockSpec, MbptaConfig, SessionBuilder};
+pub use engine::{BatchEngine, BatchFactory, Engine, EngineEstimate, EngineFactory, Verdict};
 pub use error::MbptaError;
-pub use pipeline::{analyze, measure_and_analyze, MbptaReport, Pipeline};
+#[allow(deprecated)] // the shims stay reachable from their old paths
+pub use pipeline::{analyze, measure_and_analyze};
+pub use pipeline::{MbptaReport, Pipeline};
 pub use pwcet::Pwcet;
 pub use report::{render_pwcet_csv, render_report, render_survival_csv};
+pub use session::{AnalysisSession, ChannelHandle, ChannelId, SessionSnapshot, Tagged};

@@ -39,33 +39,11 @@ impl MbptaReport {
     }
 }
 
-/// Run the MBPTA pipeline over measured execution times:
-/// i.i.d. gate → block maxima → Gumbel fit → pWCET.
-///
-/// # Errors
-///
-/// * [`MbptaError::CampaignTooSmall`] below `config.min_runs`;
-/// * [`MbptaError::IidRejected`] if the i.i.d. gate fails — MBPTA is not
-///   applicable (e.g. the platform is not randomized);
-/// * [`MbptaError::PoorFit`] if `config.strict_gof` and the Gumbel is
-///   rejected by the KS goodness-of-fit;
-/// * [`MbptaError::Stats`] for degenerate/insufficient data.
-///
-/// # Examples
-///
-/// ```
-/// use proxima_mbpta::{analyze, MbptaConfig};
-/// use rand::{Rng, SeedableRng};
-///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-/// let times: Vec<f64> = (0..1500)
-///     .map(|_| 2e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 150.0)
-///     .collect();
-/// let report = analyze(&times, &MbptaConfig::default())?;
-/// assert!(report.budget_for(1e-9)? >= report.high_watermark());
-/// # Ok::<(), proxima_mbpta::MbptaError>(())
-/// ```
-pub fn analyze(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, MbptaError> {
+/// The classic batch pipeline over measured execution times:
+/// i.i.d. gate → block maxima → Gumbel fit → pWCET. Shared by
+/// [`Pipeline::analyze`], the session's `BatchEngine`, and the deprecated
+/// [`analyze`] shim.
+pub(crate) fn analyze_impl(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, MbptaError> {
     config.validate()?;
     if times.len() < config.min_runs {
         return Err(MbptaError::CampaignTooSmall {
@@ -91,8 +69,60 @@ pub fn analyze(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, Mbpta
     })
 }
 
+/// Run the MBPTA pipeline over measured execution times:
+/// i.i.d. gate → block maxima → Gumbel fit → pWCET.
+///
+/// Deprecated: this free function is now a thin shim routing through a
+/// single-channel [`AnalysisSession`](crate::session::AnalysisSession)
+/// with a batch engine — its result is bit-identical to the session's
+/// verdict. Prefer [`MbptaConfig::session`] (multi-channel, one result
+/// vocabulary) or [`Pipeline::analyze`] for the one-shot form.
+///
+/// # Errors
+///
+/// * [`MbptaError::CampaignTooSmall`] below `config.min_runs`;
+/// * [`MbptaError::IidRejected`] if the i.i.d. gate fails — MBPTA is not
+///   applicable (e.g. the platform is not randomized);
+/// * [`MbptaError::PoorFit`] if `config.strict_gof` and the Gumbel is
+///   rejected by the KS goodness-of-fit;
+/// * [`MbptaError::Stats`] for degenerate/insufficient data.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::{MbptaConfig, Pipeline};
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let times: Vec<f64> = (0..1500)
+///     .map(|_| 2e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 150.0)
+///     .collect();
+/// let report = Pipeline::new(MbptaConfig::default()).analyze(&times)?;
+/// assert!(report.budget_for(1e-9)? >= report.high_watermark());
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MbptaConfig::session()` (SessionBuilder) or `Pipeline::analyze`; \
+            this shim delegates to a single-channel batch session"
+)]
+pub fn analyze(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, MbptaError> {
+    config
+        .clone()
+        .session()
+        .analyze(times)?
+        .into_report()
+        .ok_or(MbptaError::InvalidConfig {
+            what: "batch session produced a non-batch verdict",
+        })
+}
+
 /// Measure and analyze in one call: run a sharded parallel campaign with
-/// `runner` and feed the merged measurement vector to [`analyze`].
+/// `runner` and feed the merged measurement vector to the batch pipeline.
+///
+/// Deprecated: a thin shim over a single-channel session (see
+/// [`analyze`]); prefer [`Pipeline::measure_and_analyze`] or a session
+/// fed by `CampaignRunner::run`/`run_many`.
 ///
 /// Because the runner's measurement vector is independent of its `jobs`
 /// setting, the resulting report — pWCET included — is bit-identical
@@ -100,23 +130,12 @@ pub fn analyze(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, Mbpta
 ///
 /// # Errors
 ///
-/// Anything [`CampaignRunner::run`] or [`analyze`] returns.
-///
-/// # Examples
-///
-/// ```
-/// use proxima_mbpta::{measure_and_analyze, CampaignRunner, MbptaConfig};
-/// use proxima_sim::{Inst, PlatformConfig};
-///
-/// let trace: Vec<Inst> = (0..200)
-///     .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * (i % 40)))
-///     .collect();
-/// let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
-/// let config = MbptaConfig { min_runs: 100, ..MbptaConfig::default() };
-/// let report = measure_and_analyze(&runner, &trace, 400, 0, &config)?;
-/// assert!(report.budget_for(1e-12)? > report.high_watermark());
-/// # Ok::<(), proxima_mbpta::MbptaError>(())
-/// ```
+/// Anything [`CampaignRunner::run`] or the batch pipeline returns.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::measure_and_analyze`, or feed a `CampaignRunner` campaign \
+            into a `SessionBuilder` session"
+)]
 pub fn measure_and_analyze(
     runner: &CampaignRunner,
     trace: &[Inst],
@@ -125,6 +144,7 @@ pub fn measure_and_analyze(
     config: &MbptaConfig,
 ) -> Result<MbptaReport, MbptaError> {
     let campaign = runner.run(trace, runs, master_seed)?;
+    #[allow(deprecated)] // shims share one delegation path
     analyze(campaign.times(), config)
 }
 
@@ -164,21 +184,21 @@ impl Pipeline {
         &self.config
     }
 
-    /// Run the batch analysis: [`analyze`] with this configuration.
+    /// Run the batch analysis with this configuration.
     ///
     /// # Errors
     ///
-    /// Same as [`analyze`].
+    /// Same as the deprecated [`analyze`] free function (this is the
+    /// supported one-shot form).
     pub fn analyze(&self, times: &[f64]) -> Result<MbptaReport, MbptaError> {
-        analyze(times, &self.config)
+        analyze_impl(times, &self.config)
     }
 
-    /// Measure with `runner` and analyze: [`measure_and_analyze`] with
-    /// this configuration.
+    /// Measure with `runner` and analyze with this configuration.
     ///
     /// # Errors
     ///
-    /// Same as [`measure_and_analyze`].
+    /// Anything [`CampaignRunner::run`] or [`Pipeline::analyze`] returns.
     pub fn measure_and_analyze(
         &self,
         runner: &CampaignRunner,
@@ -186,11 +206,20 @@ impl Pipeline {
         runs: usize,
         master_seed: u64,
     ) -> Result<MbptaReport, MbptaError> {
-        measure_and_analyze(runner, trace, runs, master_seed, &self.config)
+        let campaign = runner.run(trace, runs, master_seed)?;
+        analyze_impl(campaign.times(), &self.config)
+    }
+
+    /// Start building a multi-channel session from this pipeline's
+    /// configuration — equivalent to `self.config().clone().session()`.
+    pub fn session(&self) -> crate::config::SessionBuilder {
+        self.config.clone().session()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // deliberately exercises the deprecated shims: they
+                     // must stay behaviourally identical to the session path
 mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};

@@ -1,0 +1,963 @@
+//! Multi-channel analysis sessions: demultiplex a tagged measurement
+//! feed to one [`Engine`] per timing channel, schedule snapshots across
+//! channels, and fold the per-channel [`Verdict`]s into a program-level
+//! envelope.
+//!
+//! A *channel* is one independent timing population — a program path, a
+//! core, a tenant. The session routes each [`Tagged`] measurement to its
+//! channel's engine (created on first sight by the session's
+//! [`EngineFactory`]), so any interleaving of channel feeds yields the
+//! same per-channel verdicts as analysing each channel's measurements
+//! alone. A shared scheduler emits [`SessionSnapshot`]s every `K`
+//! measurements (round-robin across channels) and immediately when a
+//! channel's estimate converges.
+//!
+//! One bad feed cannot abort the session: a channel whose engine rejects
+//! a measurement (or whose analysis fails at the end) is quarantined and
+//! reported per channel in the merged [`SessionVerdict`], wrapped in
+//! [`MbptaError::Channel`].
+//!
+//! # Examples
+//!
+//! ```
+//! use proxima_mbpta::session::Tagged;
+//! use proxima_mbpta::MbptaConfig;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut session = MbptaConfig::default().session().build_batch()?;
+//! // A tagged feed interleaving two tenants.
+//! for _ in 0..1000 {
+//!     let fast = 1e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 60.0;
+//!     let slow = 1.4e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 90.0;
+//!     session.push(Tagged::new("tenant-a", fast))?;
+//!     session.push(Tagged::new("tenant-b", slow))?;
+//! }
+//! let verdict = session.merge();
+//! assert!(verdict.all_ok());
+//! let (worst, budget) = verdict.envelope_budget(1e-12)?;
+//! assert_eq!(worst.as_str(), "tenant-b");
+//! assert!(budget > 1.4e5);
+//! # Ok::<(), proxima_mbpta::MbptaError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::campaign::run_sharded;
+use crate::engine::{Engine, EngineEstimate, EngineFactory, Verdict};
+use crate::MbptaError;
+
+/// Identifies one timing channel (per path / per core / per tenant) in a
+/// tagged feed. Cheap to clone (shared string).
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::session::ChannelId;
+///
+/// let a = ChannelId::new("core0/nominal");
+/// let b: ChannelId = "core0/nominal".into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "core0/nominal");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(Arc<str>);
+
+impl ChannelId {
+    /// A channel id with the given label.
+    pub fn new(label: impl AsRef<str>) -> Self {
+        ChannelId(Arc::from(label.as_ref()))
+    }
+
+    /// The label as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for ChannelId {
+    fn from(s: &str) -> Self {
+        ChannelId::new(s)
+    }
+}
+
+impl From<String> for ChannelId {
+    fn from(s: String) -> Self {
+        ChannelId(Arc::from(s))
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One measurement of a tagged feed: which channel it belongs to and the
+/// measured execution time.
+///
+/// Parses from the tagged-line interchange format — `<channel> <time>`
+/// (whitespace- or comma-separated) — used by `mbpta session`:
+///
+/// ```
+/// use proxima_mbpta::session::Tagged;
+///
+/// let t: Tagged = "core0/nominal 104250".parse()?;
+/// assert_eq!(t.channel.as_str(), "core0/nominal");
+/// assert_eq!(t.time, 104250.0);
+/// let u: Tagged = "tenant-b,98000.5".parse()?;
+/// assert_eq!(u.channel.as_str(), "tenant-b");
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tagged {
+    /// The channel the measurement belongs to.
+    pub channel: ChannelId,
+    /// The measured execution time.
+    pub time: f64,
+}
+
+impl Tagged {
+    /// A tagged measurement.
+    pub fn new(channel: impl Into<ChannelId>, time: f64) -> Self {
+        Tagged {
+            channel: channel.into(),
+            time,
+        }
+    }
+}
+
+impl std::str::FromStr for Tagged {
+    type Err = MbptaError;
+
+    fn from_str(line: &str) -> Result<Self, MbptaError> {
+        let line = line.trim();
+        let (channel, time) = line
+            .split_once(',')
+            .or_else(|| line.split_once(char::is_whitespace))
+            .ok_or(MbptaError::InvalidConfig {
+                what: "tagged line must be `<channel> <time>` or `<channel>,<time>`",
+            })?;
+        let channel = channel.trim();
+        if channel.is_empty() {
+            return Err(MbptaError::InvalidConfig {
+                what: "tagged line has an empty channel label",
+            });
+        }
+        let time = time
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| MbptaError::InvalidConfig {
+                what: "tagged line has an unparsable time value",
+            })?;
+        Ok(Tagged::new(channel, time))
+    }
+}
+
+/// One emitted snapshot of a session channel's estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// The channel the estimate belongs to.
+    pub channel: ChannelId,
+    /// Session-wide measurements ingested when the snapshot was emitted.
+    pub total: usize,
+    /// The channel engine's estimate.
+    pub estimate: EngineEstimate,
+}
+
+#[derive(Clone)]
+struct ChannelState<E> {
+    id: ChannelId,
+    engine: E,
+    /// First engine failure on this channel; once set, the channel is
+    /// quarantined and further measurements are counted in `dropped`.
+    failed: Option<MbptaError>,
+    /// Measurements dropped after quarantine.
+    dropped: usize,
+    /// `EngineEstimate::n` of the last emitted snapshot, for freshness.
+    last_emitted_n: Option<usize>,
+    /// Channel length at the last poll that found nothing fresh — an
+    /// engine's estimate is a pure function of its pushes, so until the
+    /// channel grows past this there is nothing new to poll for.
+    last_polled_len: usize,
+    /// Whether the convergence transition has been announced.
+    converged_emitted: bool,
+}
+
+impl<E: Engine> ChannelState<E> {
+    /// Poll for a fresh (not-yet-emitted) estimate. Records the polled
+    /// length whenever the outcome cannot change until the channel grows,
+    /// so repeated scans between refits cost one length comparison.
+    fn fresh_estimate(&mut self) -> Option<EngineEstimate> {
+        let len = self.engine.len();
+        if len == self.last_polled_len {
+            return None;
+        }
+        match self.engine.estimate() {
+            Some(estimate) if self.last_emitted_n != Some(estimate.n) => Some(estimate),
+            _ => {
+                self.last_polled_len = len;
+                None
+            }
+        }
+    }
+
+    /// Record an emission at estimate count `n`.
+    fn mark_emitted(&mut self, n: usize) {
+        self.last_emitted_n = Some(n);
+        self.last_polled_len = self.engine.len();
+    }
+}
+
+/// A multi-channel analysis session. Created by
+/// [`SessionBuilder`](crate::config::SessionBuilder); see the
+/// [module docs](self) for the overall shape.
+pub struct AnalysisSession<F: EngineFactory> {
+    factory: F,
+    channels: Vec<ChannelState<F::Engine>>,
+    index: HashMap<ChannelId, usize>,
+    total: usize,
+    snapshot_every: usize,
+    since_snapshot: usize,
+    rr_cursor: usize,
+    jobs: usize,
+    /// When false the session never polls engines (no scheduled
+    /// snapshots, no convergence announcements) — the one-shot
+    /// [`SessionBuilder::analyze`](crate::config::SessionBuilder::analyze)
+    /// path, which has no snapshot consumer.
+    polling: bool,
+}
+
+impl<F: EngineFactory> AnalysisSession<F> {
+    /// Create a session. `snapshot_every` is the scheduler period in
+    /// measurements (`0` disables scheduled snapshots; convergence
+    /// announcements still fire); `jobs` bounds the worker threads
+    /// [`merge`](Self::merge) uses (`0` = all cores).
+    pub(crate) fn new(factory: F, snapshot_every: usize, jobs: usize) -> Self {
+        AnalysisSession {
+            factory,
+            channels: Vec::new(),
+            index: HashMap::new(),
+            total: 0,
+            snapshot_every,
+            since_snapshot: 0,
+            rr_cursor: 0,
+            jobs,
+            polling: true,
+        }
+    }
+
+    /// Disable engine polling entirely (scheduled snapshots and
+    /// convergence announcements) — for one-shot ingestion with no
+    /// snapshot consumer.
+    pub(crate) fn set_polling(&mut self, enabled: bool) {
+        self.polling = enabled;
+    }
+
+    /// Total measurements ingested across all channels.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` before the first measurement.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of channels seen so far.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The channel ids, in first-seen order.
+    pub fn channel_ids(&self) -> impl Iterator<Item = &ChannelId> {
+        self.channels.iter().map(|c| &c.id)
+    }
+
+    /// The worker-thread bound [`merge`](Self::merge) will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// `true` once every healthy channel's estimate has converged (and
+    /// at least one channel exists). Quarantined channels are excluded —
+    /// they will never converge and are reported at [`merge`](Self::merge)
+    /// instead.
+    pub fn all_converged(&self) -> bool {
+        let mut healthy = 0;
+        for state in &self.channels {
+            if state.failed.is_some() {
+                continue;
+            }
+            if !state.engine.converged() {
+                return false;
+            }
+            healthy += 1;
+        }
+        healthy > 0
+    }
+
+    fn channel_index(&mut self, id: ChannelId) -> Result<usize, MbptaError> {
+        if let Some(&i) = self.index.get(&id) {
+            return Ok(i);
+        }
+        let engine = self
+            .factory
+            .create(&id)
+            .map_err(|e| MbptaError::channel_scoped(id.clone(), e))?;
+        let i = self.channels.len();
+        self.channels.push(ChannelState {
+            id: id.clone(),
+            engine,
+            failed: None,
+            dropped: 0,
+            last_emitted_n: None,
+            last_polled_len: 0,
+            converged_emitted: false,
+        });
+        self.index.insert(id, i);
+        Ok(i)
+    }
+
+    /// A handle to `channel`, creating its engine if this is the first
+    /// sighting. The handle pushes without re-hashing the channel id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Channel`] if the factory cannot create an
+    /// engine for this channel (configuration error).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_mbpta::MbptaConfig;
+    /// use rand::{Rng, SeedableRng};
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    /// let mut session = MbptaConfig::default().session().build_batch()?;
+    /// let mut nominal = session.channel("nominal")?;
+    /// for _ in 0..1000 {
+    ///     let x = 1e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 70.0;
+    ///     nominal.push(x);
+    /// }
+    /// assert_eq!(nominal.len(), 1000);
+    /// # Ok::<(), proxima_mbpta::MbptaError>(())
+    /// ```
+    pub fn channel(
+        &mut self,
+        id: impl Into<ChannelId>,
+    ) -> Result<ChannelHandle<'_, F>, MbptaError> {
+        let index = self.channel_index(id.into())?;
+        Ok(ChannelHandle {
+            session: self,
+            index,
+        })
+    }
+
+    /// Ingest one tagged measurement, creating the channel's engine on
+    /// first sight. Returns a snapshot when the scheduler emitted one.
+    ///
+    /// A measurement the channel's engine rejects (non-finite value on a
+    /// validating engine) **quarantines that channel** — it is reported
+    /// in the merged verdict — rather than failing the session; pushes
+    /// to a quarantined channel are counted and dropped. Engine
+    /// *creation* failure is a configuration error and is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Channel`] only if the engine factory fails
+    /// for a new channel.
+    pub fn push(&mut self, tagged: Tagged) -> Result<Option<SessionSnapshot>, MbptaError> {
+        let index = self.channel_index(tagged.channel)?;
+        Ok(self.push_at(index, tagged.time))
+    }
+
+    /// Ingest a whole feed, collecting every snapshot emitted along the
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::push`].
+    pub fn extend(
+        &mut self,
+        feed: impl IntoIterator<Item = Tagged>,
+    ) -> Result<Vec<SessionSnapshot>, MbptaError> {
+        let mut out = Vec::new();
+        for tagged in feed {
+            if let Some(snap) = self.push(tagged)? {
+                out.push(snap);
+            }
+        }
+        Ok(out)
+    }
+
+    fn push_at(&mut self, index: usize, time: f64) -> Option<SessionSnapshot> {
+        self.total += 1;
+        let state = &mut self.channels[index];
+        if state.failed.is_some() {
+            state.dropped += 1;
+        } else if let Err(e) = state.engine.push(time) {
+            state.failed = Some(e);
+        }
+        self.emit(index)
+    }
+
+    /// The snapshot scheduler: announce a convergence transition on the
+    /// just-pushed channel immediately; otherwise, every
+    /// `snapshot_every` measurements, emit the next fresh estimate in
+    /// round-robin channel order.
+    fn emit(&mut self, pushed: usize) -> Option<SessionSnapshot> {
+        if !self.polling {
+            return None;
+        }
+        let total = self.total;
+        let state = &mut self.channels[pushed];
+        if state.failed.is_none() && !state.converged_emitted {
+            // Poll the pushed channel even when scheduled snapshots are
+            // off: engines that refit on demand (batch) track their
+            // convergence inside `estimate`, and the poll is cadence-
+            // gated inside the engine.
+            let fresh = state.fresh_estimate();
+            if state.engine.converged() {
+                state.converged_emitted = true;
+                // Announce only if the scheduler has not already emitted
+                // this exact estimate (it carries `converged: true`).
+                if let Some(estimate) = fresh {
+                    state.mark_emitted(estimate.n);
+                    return Some(SessionSnapshot {
+                        channel: state.id.clone(),
+                        total,
+                        estimate,
+                    });
+                }
+            }
+        }
+        if self.snapshot_every == 0 {
+            return None;
+        }
+        self.since_snapshot += 1;
+        if self.since_snapshot < self.snapshot_every {
+            return None;
+        }
+        let n_channels = self.channels.len();
+        for k in 0..n_channels {
+            let i = (self.rr_cursor + k) % n_channels;
+            let state = &mut self.channels[i];
+            if state.failed.is_some() {
+                continue;
+            }
+            if let Some(estimate) = state.fresh_estimate() {
+                state.mark_emitted(estimate.n);
+                self.rr_cursor = (i + 1) % n_channels;
+                self.since_snapshot = 0;
+                return Some(SessionSnapshot {
+                    channel: state.id.clone(),
+                    total,
+                    estimate,
+                });
+            }
+        }
+        // No channel had a fresh estimate: stay primed so the next fresh
+        // one emits without waiting another full period (the primed
+        // re-scan is one length comparison per channel).
+        self.since_snapshot = self.snapshot_every;
+        None
+    }
+
+    /// Finish every channel's engine and fold the per-channel verdicts
+    /// into the merged [`SessionVerdict`]. Channels are finished in
+    /// parallel over the workspace sharding engine (bounded by the
+    /// session's `jobs`); each channel's verdict is a pure function of
+    /// its own feed, so the result is identical for every `jobs` value.
+    pub fn merge(self) -> SessionVerdict {
+        let jobs = self.jobs;
+        let n = self.channels.len();
+        let slots: Vec<Mutex<Option<ChannelState<F::Engine>>>> = self
+            .channels
+            .into_iter()
+            .map(|state| Mutex::new(Some(state)))
+            .collect();
+        let channels = run_sharded(n, jobs, |shard| {
+            shard
+                .map(|i| {
+                    let mut state = slots[i]
+                        .lock()
+                        .expect("channel slot poisoned")
+                        .take()
+                        .expect("each channel finished exactly once");
+                    let outcome = match state.failed.take() {
+                        Some(e) => Err(e),
+                        None => state.engine.finish().map(|mut verdict| {
+                            verdict.provenance.channel = Some(state.id.clone());
+                            verdict
+                        }),
+                    }
+                    .map_err(|e| MbptaError::channel_scoped(state.id.clone(), e));
+                    ChannelVerdict {
+                        channel: state.id,
+                        outcome,
+                        dropped: state.dropped,
+                    }
+                })
+                .collect()
+        });
+        SessionVerdict { channels }
+    }
+}
+
+impl<F: EngineFactory + Clone> Clone for AnalysisSession<F>
+where
+    F::Engine: Clone,
+{
+    fn clone(&self) -> Self {
+        AnalysisSession {
+            factory: self.factory.clone(),
+            channels: self.channels.clone(),
+            index: self.index.clone(),
+            total: self.total,
+            snapshot_every: self.snapshot_every,
+            since_snapshot: self.since_snapshot,
+            rr_cursor: self.rr_cursor,
+            jobs: self.jobs,
+            polling: self.polling,
+        }
+    }
+}
+
+impl<F: EngineFactory> std::fmt::Debug for AnalysisSession<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("channels", &self.channels.len())
+            .field("total", &self.total)
+            .field("snapshot_every", &self.snapshot_every)
+            .field("jobs", &self.jobs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A borrowed handle to one session channel: push measurements and read
+/// the channel's state without re-hashing the channel id on every call.
+///
+/// Obtained from [`AnalysisSession::channel`]; holds the session
+/// mutably, so interleave handles by re-acquiring them (cheap).
+///
+/// # Examples
+///
+/// ```
+/// use proxima_mbpta::MbptaConfig;
+/// use rand::{Rng, SeedableRng};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut session = MbptaConfig::default().session().build_batch()?;
+/// {
+///     let mut fault = session.channel("fault-recovery")?;
+///     for _ in 0..500 {
+///         let x = 1.2e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 80.0;
+///         fault.push(x);
+///     }
+///     assert_eq!(fault.id().as_str(), "fault-recovery");
+///     assert!(!fault.failed());
+/// }
+/// assert_eq!(session.len(), 500);
+/// # Ok::<(), proxima_mbpta::MbptaError>(())
+/// ```
+pub struct ChannelHandle<'a, F: EngineFactory> {
+    session: &'a mut AnalysisSession<F>,
+    index: usize,
+}
+
+impl<F: EngineFactory> ChannelHandle<'_, F> {
+    /// The channel's id.
+    pub fn id(&self) -> &ChannelId {
+        &self.session.channels[self.index].id
+    }
+
+    /// Push one measurement to this channel (same semantics as
+    /// [`AnalysisSession::push`], channel lookup already done).
+    pub fn push(&mut self, time: f64) -> Option<SessionSnapshot> {
+        self.session.push_at(self.index, time)
+    }
+
+    /// Measurements this channel's engine accepted.
+    pub fn len(&self) -> usize {
+        self.session.channels[self.index].engine.len()
+    }
+
+    /// `true` before the channel's first measurement.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel engine's current estimate, if any.
+    pub fn estimate(&mut self) -> Option<EngineEstimate> {
+        let state = &mut self.session.channels[self.index];
+        if state.failed.is_some() {
+            return None;
+        }
+        state.engine.estimate()
+    }
+
+    /// `true` once the channel's estimate converged.
+    pub fn converged(&self) -> bool {
+        self.session.channels[self.index].engine.converged()
+    }
+
+    /// `true` if this channel was quarantined by a bad measurement.
+    pub fn failed(&self) -> bool {
+        self.session.channels[self.index].failed.is_some()
+    }
+}
+
+/// One channel's outcome in a merged session.
+#[derive(Debug)]
+pub struct ChannelVerdict {
+    /// The channel.
+    pub channel: ChannelId,
+    /// The verdict, or the channel-scoped failure
+    /// ([`MbptaError::Channel`]) that quarantined it.
+    pub outcome: Result<Verdict, MbptaError>,
+    /// Measurements dropped after the channel was quarantined.
+    pub dropped: usize,
+}
+
+/// The merged outcome of a session: every channel's verdict (or scoped
+/// failure) plus program-level envelope queries — the maximum budget
+/// across channels, mirroring the per-path max-across-paths semantics of
+/// [`paths`](crate::paths).
+#[derive(Debug)]
+pub struct SessionVerdict {
+    channels: Vec<ChannelVerdict>,
+}
+
+impl SessionVerdict {
+    /// Per-channel outcomes, in first-seen channel order.
+    pub fn channels(&self) -> &[ChannelVerdict] {
+        &self.channels
+    }
+
+    /// Consume into the per-channel outcomes.
+    pub fn into_channels(self) -> Vec<ChannelVerdict> {
+        self.channels
+    }
+
+    /// Look up one channel's outcome by label.
+    pub fn verdict(&self, channel: &str) -> Option<&Result<Verdict, MbptaError>> {
+        self.channels
+            .iter()
+            .find(|c| c.channel.as_str() == channel)
+            .map(|c| &c.outcome)
+    }
+
+    /// The successfully analysed channels.
+    pub fn ok_channels(&self) -> impl Iterator<Item = (&ChannelId, &Verdict)> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok().map(|v| (&c.channel, v)))
+    }
+
+    /// The quarantined/failed channels with their scoped errors.
+    pub fn failures(&self) -> impl Iterator<Item = (&ChannelId, &MbptaError)> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err().map(|e| (&c.channel, e)))
+    }
+
+    /// `true` if every channel produced a verdict.
+    pub fn all_ok(&self) -> bool {
+        self.channels.iter().all(|c| c.outcome.is_ok())
+    }
+
+    /// The program-level pWCET budget at cutoff `p`: the maximum across
+    /// the analysable channels, with the winning channel — the session
+    /// form of per-path max-across-paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first channel's scoped error if **no** channel
+    /// produced a verdict, or [`MbptaError::Stats`] for an invalid `p`.
+    pub fn envelope_budget(&self, p: f64) -> Result<(&ChannelId, f64), MbptaError> {
+        let mut best: Option<(&ChannelId, f64)> = None;
+        for (id, verdict) in self.ok_channels() {
+            let budget = verdict.budget_for(p)?;
+            if best.is_none_or(|(_, cur)| budget > cur) {
+                best = Some((id, budget));
+            }
+        }
+        match best {
+            Some(found) => Ok(found),
+            None => Err(self
+                .channels
+                .first()
+                .and_then(|c| c.outcome.as_ref().err().cloned())
+                .unwrap_or(MbptaError::InvalidConfig {
+                    what: "session analysed no channel",
+                })),
+        }
+    }
+
+    /// The program-level pWCET curve: envelope budget at each
+    /// probability.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::envelope_budget`].
+    pub fn envelope_curve(&self, probabilities: &[f64]) -> Result<Vec<(f64, f64)>, MbptaError> {
+        probabilities
+            .iter()
+            .map(|&p| Ok((self.envelope_budget(p)?.1, p)))
+            .collect()
+    }
+
+    /// Highest observed execution time across the analysable channels.
+    pub fn high_watermark(&self) -> f64 {
+        self.ok_channels()
+            .map(|(_, v)| v.high_watermark())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MbptaConfig;
+    use crate::engine::EngineKind;
+    use crate::pipeline::analyze_impl;
+    use rand::{Rng, SeedableRng};
+
+    fn campaign(base: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| base + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 80.0)
+            .collect()
+    }
+
+    #[test]
+    fn channel_id_and_tagged_parse() {
+        let t: Tagged = " nominal \t 123.5 ".parse().unwrap();
+        assert_eq!(t.channel.as_str(), "nominal");
+        assert_eq!(t.time, 123.5);
+        let c: Tagged = "a,2".parse().unwrap();
+        assert_eq!(c, Tagged::new("a", 2.0));
+        assert!("just-one-token".parse::<Tagged>().is_err());
+        assert!(" , 5".parse::<Tagged>().is_err());
+        assert!("ch abc".parse::<Tagged>().is_err());
+        assert_eq!(ChannelId::new("x").to_string(), "x");
+    }
+
+    #[test]
+    fn single_channel_session_equals_bare_analyze() {
+        let times = campaign(1e5, 1500, 1);
+        let config = MbptaConfig::default();
+        let mut session = config.clone().session().build_batch().unwrap();
+        for &x in &times {
+            session.push(Tagged::new("only", x)).unwrap();
+        }
+        let merged = session.merge();
+        let verdict = merged.verdict("only").unwrap().as_ref().unwrap();
+        let report = analyze_impl(&times, &config).unwrap();
+        assert_eq!(verdict.clone().into_report().unwrap(), report);
+        assert_eq!(
+            verdict.provenance.channel.as_ref().unwrap().as_str(),
+            "only"
+        );
+    }
+
+    #[test]
+    fn interleaving_does_not_change_per_channel_verdicts() {
+        let a = campaign(1.0e5, 800, 2);
+        let b = campaign(1.2e5, 800, 20);
+        let build = || MbptaConfig::default().session().build_batch().unwrap();
+
+        // Round-robin interleave.
+        let mut rr = build();
+        for (&x, &y) in a.iter().zip(&b) {
+            rr.push(Tagged::new("a", x)).unwrap();
+            rr.push(Tagged::new("b", y)).unwrap();
+        }
+        // All of `a`, then all of `b`.
+        let mut seq = build();
+        for &x in &a {
+            seq.push(Tagged::new("a", x)).unwrap();
+        }
+        for &y in &b {
+            seq.push(Tagged::new("b", y)).unwrap();
+        }
+        let rr = rr.merge();
+        let seq = seq.merge();
+        for ch in ["a", "b"] {
+            assert_eq!(
+                rr.verdict(ch).unwrap().as_ref().unwrap(),
+                seq.verdict(ch).unwrap().as_ref().unwrap(),
+                "channel {ch} verdict depends on interleaving"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_jobs_invariant() {
+        let a = campaign(1.0e5, 700, 3);
+        let b = campaign(1.1e5, 700, 21);
+        let c = campaign(1.3e5, 700, 41);
+        let run = |jobs| {
+            let mut session = MbptaConfig::default()
+                .session()
+                .jobs(jobs)
+                .build_batch()
+                .unwrap();
+            for ((&x, &y), &z) in a.iter().zip(&b).zip(&c) {
+                session.push(Tagged::new("a", x)).unwrap();
+                session.push(Tagged::new("b", y)).unwrap();
+                session.push(Tagged::new("c", z)).unwrap();
+            }
+            session.merge()
+        };
+        let serial = run(1);
+        for jobs in [2, 3, 8] {
+            let parallel = run(jobs);
+            for ch in ["a", "b", "c"] {
+                assert_eq!(
+                    serial.verdict(ch).unwrap().as_ref().unwrap(),
+                    parallel.verdict(ch).unwrap().as_ref().unwrap(),
+                    "jobs={jobs} diverged on channel {ch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_channel_is_quarantined_not_fatal() {
+        let good = campaign(1e5, 1000, 4);
+        let mut session = MbptaConfig::default().session().build_batch().unwrap();
+        for &x in &good {
+            session.push(Tagged::new("good", x)).unwrap();
+            // Constant feed: analysable only as a degenerate failure.
+            session.push(Tagged::new("stuck", 500.0)).unwrap();
+        }
+        let merged = session.merge();
+        assert!(!merged.all_ok());
+        assert!(merged.verdict("good").unwrap().is_ok());
+        let failures: Vec<_> = merged.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0.as_str(), "stuck");
+        assert!(matches!(
+            failures[0].1,
+            MbptaError::Channel { channel, .. } if channel.as_str() == "stuck"
+        ));
+        // The envelope still answers from the good channel.
+        let (winner, budget) = merged.envelope_budget(1e-12).unwrap();
+        assert_eq!(winner.as_str(), "good");
+        assert!(budget > 1e5);
+    }
+
+    #[test]
+    fn envelope_is_max_across_channels() {
+        let mut session = MbptaConfig::default().session().build_batch().unwrap();
+        for (label, base, seed) in [("slow", 1.4e5, 40), ("fast", 1.0e5, 2)] {
+            let mut handle = session.channel(label).unwrap();
+            for x in campaign(base, 900, seed) {
+                handle.push(x);
+            }
+        }
+        let merged = session.merge();
+        let p = 1e-9;
+        let (winner, envelope) = merged.envelope_budget(p).unwrap();
+        assert_eq!(winner.as_str(), "slow");
+        for (_, verdict) in merged.ok_channels() {
+            assert!(envelope >= verdict.budget_for(p).unwrap());
+        }
+        let curve = merged.envelope_curve(&[1e-6, 1e-9, 1e-12]).unwrap();
+        assert!(curve[0].0 <= curve[1].0 && curve[1].0 <= curve[2].0);
+        assert!(merged.high_watermark() >= 1.4e5);
+    }
+
+    #[test]
+    fn scheduler_emits_round_robin_across_channels() {
+        let a = campaign(1.0e5, 2000, 5);
+        let b = campaign(1.2e5, 2000, 22);
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(100)
+            .build_batch()
+            .unwrap();
+        let mut snapshots = Vec::new();
+        for (&x, &y) in a.iter().zip(&b) {
+            if let Some(s) = session.push(Tagged::new("a", x)).unwrap() {
+                snapshots.push(s);
+            }
+            if let Some(s) = session.push(Tagged::new("b", y)).unwrap() {
+                snapshots.push(s);
+            }
+        }
+        assert!(snapshots.len() >= 4, "got {}", snapshots.len());
+        // Both channels get airtime.
+        assert!(snapshots.iter().any(|s| s.channel.as_str() == "a"));
+        assert!(snapshots.iter().any(|s| s.channel.as_str() == "b"));
+        // Snapshots never repeat a stale estimate per channel.
+        for ch in ["a", "b"] {
+            let ns: Vec<usize> = snapshots
+                .iter()
+                .filter(|s| s.channel.as_str() == ch)
+                .map(|s| s.estimate.n)
+                .collect();
+            for pair in ns.windows(2) {
+                assert!(pair[1] > pair[0], "stale snapshot re-emitted on {ch}");
+            }
+        }
+        // Totals are strictly increasing across the session.
+        for pair in snapshots.windows(2) {
+            assert!(pair[1].total > pair[0].total);
+        }
+    }
+
+    #[test]
+    fn batch_convergence_tracked_with_scheduling_off() {
+        // With snapshot_every(0), scheduled snapshots are off but the
+        // per-push convergence poll must still drive batch engines:
+        // `all_converged` becomes true on a long stationary feed (the
+        // `--stop-on-converged` contract).
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .build_batch()
+            .unwrap();
+        let mut announced = 0;
+        for x in campaign(1e5, 4000, 8) {
+            if session.push(Tagged::new("only", x)).unwrap().is_some() {
+                announced += 1;
+            }
+        }
+        assert!(session.all_converged(), "batch engine never converged");
+        assert_eq!(announced, 1, "exactly one convergence announcement");
+    }
+
+    #[test]
+    fn snapshots_disabled_with_zero_period() {
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .build_batch()
+            .unwrap();
+        let mut emitted = 0;
+        for x in campaign(1e5, 600, 6) {
+            if session.push(Tagged::new("only", x)).unwrap().is_some() {
+                emitted += 1;
+            }
+        }
+        // Only a convergence announcement may fire; no periodic ones.
+        assert!(emitted <= 1, "scheduled snapshots leaked: {emitted}");
+    }
+
+    #[test]
+    fn merged_verdict_records_provenance_kind() {
+        let mut session = MbptaConfig::default().session().build_batch().unwrap();
+        for x in campaign(1e5, 800, 7) {
+            session.push(Tagged::new("only", x)).unwrap();
+        }
+        let merged = session.merge();
+        let verdict = merged.verdict("only").unwrap().as_ref().unwrap();
+        assert_eq!(verdict.provenance.engine, EngineKind::Batch);
+        assert_eq!(verdict.provenance.n, 800);
+        assert!(format!("{merged:?}").contains("only"));
+    }
+}

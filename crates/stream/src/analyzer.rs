@@ -333,6 +333,19 @@ impl StreamAnalyzer {
         self.converged_at
     }
 
+    /// The block-maxima buffer accumulated so far — identical to what
+    /// the batch pipeline's `block_maxima` extracts from the full vector
+    /// at the same fixed block size.
+    pub fn maxima(&self) -> &[f64] {
+        &self.maxima
+    }
+
+    /// The most recent emitted snapshot, if any — the cached estimate a
+    /// session engine exposes between refits.
+    pub fn last_snapshot(&self) -> Option<&PwcetSnapshot> {
+        self.last_snapshot.as_ref()
+    }
+
     /// The last refit failure, if the most recent checkpoint could not fit
     /// (e.g. degenerate maxima); the stream keeps running and retries at
     /// the next checkpoint.
@@ -495,12 +508,19 @@ impl StreamAnalyzer {
 }
 
 /// Extension trait hanging the streaming entry point off the batch
-/// [`Pipeline`]: `Pipeline::new(config).stream()` is how callers move from
-/// batch to incremental analysis.
+/// [`Pipeline`]: `Pipeline::new(config).stream()` is how callers moved
+/// from batch to incremental analysis before the session API.
 ///
-/// (The method lives in this crate — the batch crate cannot depend on the
-/// streaming crate — but re-exported through the facade prelude it reads
-/// as a `Pipeline` method.)
+/// Deprecated: use [`SessionStreamExt`](crate::engine::SessionStreamExt)
+/// on [`SessionBuilder`](proxima_mbpta::SessionBuilder) —
+/// `config.session().build_stream()` — which serves any number of
+/// channels behind the same vocabulary. These methods remain as thin
+/// shims over the same [`StreamAnalyzer`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SessionStreamExt::build_stream` on `SessionBuilder` \
+            (`config.session().build_stream()`)"
+)]
 pub trait PipelineStreamExt {
     /// A streaming analyzer matching this pipeline's configuration (block
     /// size and significance level carry over).
@@ -519,6 +539,7 @@ pub trait PipelineStreamExt {
     fn stream_with(&self, config: StreamConfig) -> Result<StreamAnalyzer, MbptaError>;
 }
 
+#[allow(deprecated)] // the shim impl must survive until the trait is removed
 impl PipelineStreamExt for Pipeline {
     fn stream(&self) -> Result<StreamAnalyzer, MbptaError> {
         StreamAnalyzer::new(StreamConfig::from_mbpta(self.config()))
@@ -742,6 +763,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // regression coverage for the deprecated shim
     fn pipeline_ext_derives_matching_block() {
         let p = Pipeline::new(MbptaConfig {
             block: BlockSpec::Fixed(25),

@@ -16,33 +16,41 @@
 //!   the same SplitMix64 per-run seeds as the batch campaign engine, and
 //!   [`replay::LineSource`] streams the measurement-file format — so both
 //!   existing traces and live rigs plug straight in.
-//! * [`PipelineStreamExt`] hangs the entry point off the batch
-//!   [`Pipeline`](proxima_mbpta::Pipeline):
-//!   `Pipeline::new(config).stream()`.
+//! * [`engine::StreamEngine`] plugs the analyzer into the multi-channel
+//!   session core ([`proxima_mbpta::session`]):
+//!   `config.session().build_stream()` (via [`SessionStreamExt`]) serves
+//!   one bounded-memory engine per timing channel.
 //!
 //! # Examples
 //!
-//! Stream a simulated campaign and watch the estimate settle:
+//! Stream a simulated campaign through a session and watch the estimate
+//! settle:
 //!
 //! ```
-//! use proxima_mbpta::{MbptaConfig, Pipeline};
+//! use proxima_mbpta::session::Tagged;
+//! use proxima_mbpta::MbptaConfig;
 //! use proxima_stream::replay::TraceReplay;
-//! use proxima_stream::{PipelineStreamExt, StreamConfig};
+//! use proxima_stream::{SessionStreamExt, StreamConfig};
 //! use proxima_workload::tvca::{ControlMode, TvcaConfig};
 //!
-//! let mut analyzer = Pipeline::new(MbptaConfig::default())
-//!     .stream_with(StreamConfig {
+//! let mut session = MbptaConfig::default()
+//!     .session()
+//!     .snapshot_every(1)
+//!     .build_stream_with(StreamConfig {
 //!         block_size: 25,
 //!         refit_every_blocks: 4,
 //!         ..StreamConfig::default()
 //!     })?;
 //! let source = TraceReplay::tvca(ControlMode::Nominal, TvcaConfig::default(), 800, 7);
+//! let mut snapshots = 0;
 //! for x in source {
-//!     if let Some(snapshot) = analyzer.push(x)? {
-//!         assert!(snapshot.pwcet > snapshot.high_watermark);
+//!     if let Some(snapshot) = session.push(Tagged::new("nominal", x))? {
+//!         assert!(snapshot.estimate.pwcet > snapshot.estimate.high_watermark);
+//!         snapshots += 1;
 //!     }
 //! }
-//! assert!(analyzer.snapshots_emitted() > 0);
+//! assert!(snapshots > 0);
+//! assert!(session.merge().all_ok());
 //! # Ok::<(), proxima_mbpta::MbptaError>(())
 //! ```
 
@@ -50,11 +58,15 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod engine;
 pub mod monitor;
 pub mod replay;
 pub mod sketch;
 
-pub use analyzer::{BootstrapSpec, PipelineStreamExt, PwcetSnapshot, StreamAnalyzer, StreamConfig};
+#[allow(deprecated)] // the deprecated shim stays reachable from its old path
+pub use analyzer::PipelineStreamExt;
+pub use analyzer::{BootstrapSpec, PwcetSnapshot, StreamAnalyzer, StreamConfig};
+pub use engine::{SessionStreamExt, StreamEngine, StreamFactory};
 pub use monitor::{IidHealth, IidMonitor, IidStatus};
 pub use replay::{LineSource, LineSourceError, TraceReplay};
 pub use sketch::QuantileSketch;

@@ -11,7 +11,7 @@
 //!    streams.
 
 use proptest::prelude::*;
-use proxima_mbpta::{analyze, BlockSpec, MbptaConfig};
+use proxima_mbpta::{BlockSpec, MbptaConfig, Pipeline};
 use proxima_stream::{QuantileSketch, StreamAnalyzer, StreamConfig};
 
 /// Deterministic synthetic campaign: base latency plus `k` summed uniform
@@ -36,10 +36,11 @@ proptest! {
         let block = [25usize, 50, 100][block_idx];
         let n = 5_000;
         let times = campaign(n, seed);
-        let batch = analyze(
-            &times,
-            &MbptaConfig { block: BlockSpec::Fixed(block), ..MbptaConfig::default() },
-        );
+        let batch = Pipeline::new(MbptaConfig {
+            block: BlockSpec::Fixed(block),
+            ..MbptaConfig::default()
+        })
+        .analyze(&times);
         // Fixed seeds occasionally fail the 5%-level iid gate; agreement
         // is only defined where the batch pipeline accepts the campaign.
         prop_assume!(batch.is_ok());

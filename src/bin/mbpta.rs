@@ -7,24 +7,28 @@
 //! ```text
 //! USAGE:
 //!   mbpta analyze <file> [--cutoff 1e-12] [--alpha 0.05] [--block N] [--cv] [--csv]
-//!   mbpta measure [--runs 3000] [--seed 10000000] [--jobs N] [--path nominal|saturated-x|saturated-y|fault-recovery]
+//!   mbpta measure [--runs 3000] [--seed 10000000] [--jobs N] [--path nominal|...]
 //!   mbpta stream [<file>] [--target-p 1e-12] [--block 50] [--every 5] [--simulate] [...]
+//!   mbpta session [<file>] [--target-p 1e-12] [--batch] [--every 250] [--jobs N]
+//!                 [--simulate] [...]
 //!   mbpta --help
 //! ```
 //!
 //! `analyze` consumes a measurement file; `measure` generates one from the
-//! built-in simulated TVCA campaign (useful for demos and pipelines);
-//! `stream` analyses measurements incrementally as they arrive — from a
-//! file, from stdin (so a measurement rig can pipe straight in), or from
-//! the built-in simulator — printing a pWCET snapshot at every refit.
+//! built-in simulated TVCA campaign; `stream` analyses a single
+//! measurement stream incrementally; `session` demultiplexes a **tagged**
+//! feed (`<channel> <time>` per line) to one analysis engine per channel
+//! — per path, per core, per tenant — and merges the per-channel verdicts
+//! into a program-level envelope. `stream` and `session` both run on the
+//! multi-channel `AnalysisSession` core.
 
 use std::process::ExitCode;
 
 use proxima::mbpta::cv::analyze_cv;
+use proxima::mbpta::engine::EngineFactory;
 use proxima::prelude::*;
 use proxima::stream::replay::{LineSource, TraceReplay};
-use proxima::stream::{PwcetSnapshot, StreamAnalyzer, StreamConfig};
-use proxima::workload::tvca::{ControlMode, Tvca, TvcaConfig};
+use proxima::stream::StreamConfig;
 
 const USAGE: &str = "\
 mbpta - measurement-based probabilistic timing analysis
@@ -35,6 +39,9 @@ USAGE:
   mbpta stream [<file>] [--target-p <p>] [--block <n>] [--every <k>]
                [--simulate] [--runs <n>] [--seed <s>] [--path <name>]
                [--stop-on-converged]
+  mbpta session [<file>] [--target-p <p>] [--block <n>] [--every <k>]
+                [--batch] [--jobs <j>] [--stop-on-converged]
+                [--simulate] [--runs <n>] [--seed <s>]
   mbpta --help
 
 COMMANDS:
@@ -43,9 +50,14 @@ COMMANDS:
   measure   print a synthetic TVCA campaign in that format (simulated
             MBPTA-compliant platform; paths: nominal, saturated-x,
             saturated-y, fault-recovery)
-  stream    incremental MBPTA over a measurement stream: ingest from
-            <file>, stdin (no file argument), or the simulator
+  stream    incremental MBPTA over a single measurement stream: ingest
+            from <file>, stdin (no file argument), or the simulator
             (--simulate); print a pWCET snapshot at every refit
+  session   multi-channel MBPTA over a *tagged* feed (`<channel> <time>`
+            or `<channel>,<time>` per line) from <file>, stdin, or the
+            simulator (--simulate: the four TVCA paths measured in one
+            thread pool); one engine per channel, merged envelope at the
+            end
 
 OPTIONS (analyze):
   --cutoff <p>   exceedance probability for the headline budget [1e-12]
@@ -72,6 +84,20 @@ OPTIONS (stream):
   --seed <s>           simulation master seed                   [10000000]
   --path <name>        TVCA execution path (with --simulate)    [nominal]
   --stop-on-converged  stop ingesting once the estimate is stable
+
+OPTIONS (session):
+  --target-p <p>       exceedance cutoff tracked by snapshots   [1e-12]
+  --block <n>          block size for block maxima              [50]
+  --every <k>          emit a snapshot every <k> measurements,
+                       round-robin across channels (0 = off)    [250]
+  --batch              buffer per channel and analyse at the end
+                       (default: bounded-memory streaming engines)
+  --jobs <j>           merge/measure worker threads (0 = all)   [0]
+  --simulate           feed the four TVCA paths as channels,
+                       measured in one thread pool
+  --runs <n>           simulated runs per path (--simulate)     [1500]
+  --seed <s>           simulation master seed                   [10000000]
+  --stop-on-converged  stop once every channel's estimate is stable
 ";
 
 fn main() -> ExitCode {
@@ -95,6 +121,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("measure") => measure_cmd(&args[1..]),
         Some("stream") => stream_cmd(&args[1..]),
+        Some("session") => session_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -119,11 +146,88 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     }
 }
 
-fn analyze_cmd(args: &[String]) -> Result<(), String> {
-    let file = args
-        .iter()
+/// Flags that take no value: an argument following one of these is a
+/// positional argument, not the flag's value.
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--cv",
+    "--csv",
+    "--simulate",
+    "--stop-on-converged",
+    "--batch",
+];
+
+/// `true` if `candidate` is the value of some value-taking `--flag` (so it
+/// is not the positional file argument).
+fn is_flag_value(args: &[String], candidate: &str) -> bool {
+    args.windows(2).any(|w| {
+        w[0].starts_with("--") && !BOOLEAN_FLAGS.contains(&w[0].as_str()) && w[1] == candidate
+    })
+}
+
+/// The positional (non-flag) argument, if any.
+fn positional(args: &[String]) -> Option<&String> {
+    args.iter()
         .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
-        .ok_or("analyze needs a measurement file")?;
+}
+
+fn parse_tvca_mode(path: &str) -> Result<ControlMode, String> {
+    match path {
+        "nominal" => Ok(ControlMode::Nominal),
+        "saturated-x" => Ok(ControlMode::SaturatedX),
+        "saturated-y" => Ok(ControlMode::SaturatedY),
+        "fault-recovery" => Ok(ControlMode::FaultRecovery),
+        other => Err(format!("unknown path `{other}`")),
+    }
+}
+
+/// The simulated trace source shared by `measure`, `stream --simulate`
+/// and `session --simulate`: runs/seed/path flags plus the TVCA trace of
+/// the chosen path on the MBPTA-compliant platform.
+struct SimSource {
+    runs: usize,
+    seed: u64,
+    mode: ControlMode,
+    trace: Vec<Inst>,
+}
+
+/// Shared `--runs`/`--seed` parsing for every simulate-capable
+/// subcommand (`measure`, `stream --simulate`, `session --simulate`).
+fn sim_params(args: &[String], default_runs: usize) -> Result<(usize, u64), String> {
+    let runs: usize = parse_flag(args, "--runs", default_runs)?;
+    let seed: u64 = parse_flag(args, "--seed", 10_000_000u64)?;
+    Ok((runs, seed))
+}
+
+impl SimSource {
+    fn from_args(args: &[String], default_runs: usize) -> Result<Self, String> {
+        let (runs, seed) = sim_params(args, default_runs)?;
+        let mode = parse_tvca_mode(flag_value(args, "--path")?.unwrap_or("nominal"))?;
+        Ok(SimSource::new(runs, seed, mode))
+    }
+
+    fn new(runs: usize, seed: u64, mode: ControlMode) -> Self {
+        let tvca = Tvca::new(TvcaConfig::default());
+        SimSource {
+            runs,
+            seed,
+            mode,
+            trace: tvca.trace(mode),
+        }
+    }
+
+    /// Stream the campaign run by run (the `stream --simulate` source).
+    fn replay(&self) -> TraceReplay {
+        TraceReplay::new(
+            PlatformConfig::mbpta_compliant(),
+            self.trace.clone(),
+            self.runs,
+            self.seed,
+        )
+    }
+}
+
+fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    let file = positional(args).ok_or("analyze needs a measurement file")?;
     let cutoff: f64 = parse_flag(args, "--cutoff", 1e-12)?;
     let alpha: f64 = parse_flag(args, "--alpha", 0.05)?;
     let use_cv = args.iter().any(|a| a == "--cv");
@@ -156,7 +260,9 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
         let budget = report.budget_for(cutoff).map_err(|e| e.to_string())?;
         println!("pWCET @ {cutoff:e}: {budget:.0}");
     } else {
-        let report = analyze(campaign.times(), &config).map_err(|e| e.to_string())?;
+        let report = Pipeline::new(config)
+            .analyze(campaign.times())
+            .map_err(|e| e.to_string())?;
         print!("{}", render_report(&report));
         let budget = report.budget_for(cutoff).map_err(|e| e.to_string())?;
         println!("headline budget @ {cutoff:e}: {budget:.0}");
@@ -170,44 +276,41 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Flags that take no value: an argument following one of these is a
-/// positional argument, not the flag's value.
-const BOOLEAN_FLAGS: &[&str] = &["--cv", "--csv", "--simulate", "--stop-on-converged"];
-
-/// `true` if `candidate` is the value of some value-taking `--flag` (so it
-/// is not the positional file argument).
-fn is_flag_value(args: &[String], candidate: &str) -> bool {
-    args.windows(2).any(|w| {
-        w[0].starts_with("--") && !BOOLEAN_FLAGS.contains(&w[0].as_str()) && w[1] == candidate
-    })
-}
-
 fn measure_cmd(args: &[String]) -> Result<(), String> {
-    let runs: usize = parse_flag(args, "--runs", 3000)?;
-    let seed: u64 = parse_flag(args, "--seed", 10_000_000u64)?;
-    let mode = parse_tvca_mode(flag_value(args, "--path")?.unwrap_or("nominal"))?;
+    let sim = SimSource::from_args(args, 3000)?;
     let jobs = flag_value(args, "--jobs")?
         .map(|raw| {
             raw.parse::<usize>()
                 .map_err(|_| format!("invalid value for --jobs: `{raw}`"))
         })
         .transpose()?;
-    let tvca = Tvca::new(TvcaConfig::default());
-    let trace = tvca.trace(mode);
     // Measure first, print after: a failed campaign must not leave a
     // partial (headers-only) measurement file on stdout.
     let (campaign, seed_line) = if let Some(jobs) = jobs {
         let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(jobs);
-        let campaign = runner.run(&trace, runs, seed).map_err(|e| e.to_string())?;
-        let line = format!("# runs={runs} master_seed={seed} jobs={}", runner.jobs());
+        let campaign = runner
+            .run(&sim.trace, sim.runs, sim.seed)
+            .map_err(|e| e.to_string())?;
+        let line = format!(
+            "# runs={} master_seed={} jobs={}",
+            sim.runs,
+            sim.seed,
+            runner.jobs()
+        );
         (campaign, line)
     } else {
         let mut platform = Platform::new(PlatformConfig::mbpta_compliant());
-        let campaign =
-            Campaign::measure(&mut platform, &trace, runs, seed).map_err(|e| e.to_string())?;
-        (campaign, format!("# runs={runs} base_seed={seed}"))
+        let campaign = Campaign::measure(&mut platform, &sim.trace, sim.runs, sim.seed)
+            .map_err(|e| e.to_string())?;
+        (
+            campaign,
+            format!("# runs={} base_seed={}", sim.runs, sim.seed),
+        )
     };
-    println!("# TVCA path `{mode}` on the simulated MBPTA-compliant platform");
+    println!(
+        "# TVCA path `{}` on the simulated MBPTA-compliant platform",
+        sim.mode
+    );
     println!("{seed_line}");
     campaign.write_to(std::io::stdout().lock()).or_else(|e| {
         // A downstream consumer closing early (`measure | stream
@@ -221,37 +324,46 @@ fn measure_cmd(args: &[String]) -> Result<(), String> {
     })
 }
 
-fn parse_tvca_mode(path: &str) -> Result<ControlMode, String> {
-    match path {
-        "nominal" => Ok(ControlMode::Nominal),
-        "saturated-x" => Ok(ControlMode::SaturatedX),
-        "saturated-y" => Ok(ControlMode::SaturatedY),
-        "fault-recovery" => Ok(ControlMode::FaultRecovery),
-        other => Err(format!("unknown path `{other}`")),
-    }
-}
-
-/// One printed line per snapshot, compact enough to tail live. Unlike
+/// One printed line per estimate, compact enough to tail live. Unlike
 /// `println!`, a closed stdout surfaces as an error the caller can treat
 /// as end-of-interest, not a panic.
-fn print_snapshot(target_p: f64, snap: &PwcetSnapshot) -> std::io::Result<()> {
+fn print_estimate(
+    channel: Option<&ChannelId>,
+    target_p: f64,
+    est: &EngineEstimate,
+) -> std::io::Result<()> {
     use std::io::Write;
-    let delta = snap
+    let delta = est
         .convergence_delta
         .map_or("-".to_string(), |d| format!("{:.3}%", d * 100.0));
-    let ci = snap.ci.map_or("-".to_string(), |ci| {
+    let ci = est.ci.map_or("-".to_string(), |ci| {
         format!("[{:.0}, {:.0}]", ci.lower, ci.upper)
     });
+    let channel = channel.map_or(String::new(), |c| format!("channel={c} "));
     writeln!(
         std::io::stdout().lock(),
-        "snapshot n={} blocks={} pwcet@{target_p:e}={:.0} ci={ci} delta={delta} hwm={:.0} iid={} {}",
-        snap.n,
-        snap.blocks,
-        snap.pwcet,
-        snap.high_watermark,
-        snap.iid_status.status,
-        if snap.converged { "CONVERGED" } else { "settling" },
+        "snapshot {channel}n={} blocks={} pwcet@{target_p:e}={:.0} ci={ci} delta={delta} hwm={:.0} iid={} {}",
+        est.n,
+        est.blocks.unwrap_or(0),
+        est.pwcet,
+        est.high_watermark,
+        est.iid.map_or("-", |evidence| evidence.label()),
+        if est.converged { "CONVERGED" } else { "settling" },
     )
+}
+
+/// `Ok(false)` when stdout closed (downstream `| head`): a normal way for
+/// a live tail to end.
+fn emit_estimate(
+    channel: Option<&ChannelId>,
+    target_p: f64,
+    est: &EngineEstimate,
+) -> Result<bool, String> {
+    match print_estimate(channel, target_p, est) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 fn stream_cmd(args: &[String]) -> Result<(), String> {
@@ -276,19 +388,24 @@ fn stream_cmd(args: &[String]) -> Result<(), String> {
         target_p,
         ..StreamConfig::default()
     };
-    let mut analyzer = StreamAnalyzer::new(config).map_err(|e| e.to_string())?;
+    // A single-channel session over the streaming engine: polled every
+    // measurement, the scheduler re-emits exactly the analyzer's refit
+    // snapshots.
+    let mut session = MbptaConfig::default()
+        .session()
+        .snapshot_every(1)
+        .build_stream_with(config) // `config` already carries target_p
+        .map_err(|e| e.to_string())?;
 
     let source: Box<dyn Iterator<Item = Result<f64, String>>> = if simulate {
-        let runs: usize = parse_flag(args, "--runs", 3000)?;
-        let seed: u64 = parse_flag(args, "--seed", 10_000_000u64)?;
-        let mode = parse_tvca_mode(flag_value(args, "--path")?.unwrap_or("nominal"))?;
-        eprintln!("streaming {runs} simulated runs of TVCA path `{mode}` (seed {seed})");
-        Box::new(TraceReplay::tvca(mode, TvcaConfig::default(), runs, seed).map(Ok))
+        let sim = SimSource::from_args(args, 3000)?;
+        eprintln!(
+            "streaming {} simulated runs of TVCA path `{}` (seed {})",
+            sim.runs, sim.mode, sim.seed
+        );
+        Box::new(sim.replay().map(Ok))
     } else {
-        let file = args
-            .iter()
-            .find(|a| !a.starts_with("--") && !is_flag_value(args, a));
-        match file {
+        match positional(args) {
             Some(file) => {
                 let f =
                     std::fs::File::open(file).map_err(|e| format!("cannot open {file}: {e}"))?;
@@ -304,41 +421,260 @@ fn stream_cmd(args: &[String]) -> Result<(), String> {
         }
     };
 
+    let channel = ChannelId::new("stream");
+    let mut snapshots = 0usize;
+    let mut converged_at: Option<usize> = None;
     for x in source {
-        let snap = analyzer.push(x?).map_err(|e| e.to_string())?;
+        let snap = session
+            .push(Tagged::new(channel.clone(), x?))
+            .map_err(|e| e.to_string())?;
         if let Some(snap) = snap {
-            match print_snapshot(target_p, &snap) {
-                Ok(()) => {}
-                // Downstream closed (`mbpta stream ... | head`): a normal
-                // way for a live tail to end, mirroring `measure`.
-                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
-                Err(e) => return Err(e.to_string()),
+            snapshots += 1;
+            if snap.estimate.converged && converged_at.is_none() {
+                converged_at = Some(snap.estimate.n);
             }
-            if stop_on_converged && snap.converged {
+            if !emit_estimate(None, target_p, &snap.estimate)? {
+                return Ok(());
+            }
+            if stop_on_converged && snap.estimate.converged {
                 break;
             }
         }
     }
-    let final_snap = analyzer.finish().map_err(|e| e.to_string())?;
+    let merged = session.merge();
+    let verdict = merged
+        .verdict(channel.as_str())
+        .expect("single-channel session")
+        .as_ref()
+        .map_err(|e| e.to_string())?;
     {
         use std::io::Write;
         let result = writeln!(
             std::io::stdout().lock(),
-            "final n={} blocks={} pwcet@{target_p:e}={:.0} hwm={:.0} snapshots={} converged={}",
-            final_snap.n,
-            final_snap.blocks,
-            final_snap.pwcet,
-            final_snap.high_watermark,
-            analyzer.snapshots_emitted(),
-            analyzer
-                .converged_at()
-                .map_or("no".to_string(), |at| format!("at n={at}")),
+            "final n={} blocks={} pwcet@{target_p:e}={:.0} hwm={:.0} snapshots={snapshots} converged={}",
+            verdict.provenance.n,
+            verdict.fit.n_maxima,
+            verdict.budget_for(target_p).map_err(|e| e.to_string())?,
+            verdict.high_watermark(),
+            converged_at.map_or("no".to_string(), |at| format!("at n={at}")),
         );
         match result {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
             Err(e) => return Err(e.to_string()),
         }
+    }
+    Ok(())
+}
+
+/// The four TVCA paths, as session channels.
+const TVCA_PATHS: &[(&str, ControlMode)] = &[
+    ("nominal", ControlMode::Nominal),
+    ("saturated-x", ControlMode::SaturatedX),
+    ("saturated-y", ControlMode::SaturatedY),
+    ("fault-recovery", ControlMode::FaultRecovery),
+];
+
+fn session_cmd(args: &[String]) -> Result<(), String> {
+    let target_p: f64 = parse_flag(args, "--target-p", 1e-12)?;
+    let block: usize = parse_flag(args, "--block", 50)?;
+    let every: usize = parse_flag(args, "--every", 250)?;
+    let jobs: usize = parse_flag(args, "--jobs", 0)?;
+    let batch = args.iter().any(|a| a == "--batch");
+    let simulate = args.iter().any(|a| a == "--simulate");
+    let stop_on_converged = args.iter().any(|a| a == "--stop-on-converged");
+    if !simulate {
+        for flag in ["--runs", "--seed"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!("{flag} requires --simulate"));
+            }
+        }
+    }
+    // A session has no single path: silently dropping the flag would run
+    // all four TVCA paths while the user expects one.
+    if args.iter().any(|a| a == "--path") {
+        return Err(
+            "--path is not valid for session (all TVCA paths are measured as channels; \
+             use `stream --simulate --path <name>` for a single path)"
+                .into(),
+        );
+    }
+
+    let builder = MbptaConfig {
+        block: BlockSpec::Fixed(block),
+        ..MbptaConfig::default()
+    }
+    .session()
+    .snapshot_every(every)
+    .target_p(target_p)
+    .jobs(jobs);
+
+    let feed: Box<dyn Iterator<Item = Result<Tagged, String>>> = if simulate {
+        let (runs, seed) = sim_params(args, 1500)?;
+        // All four TVCA paths measured in ONE thread pool (`run_many`
+        // shards the 4 × runs indices over the workers), then replayed
+        // into the session as a round-robin interleaved tagged feed —
+        // the demux workload end to end.
+        let tvca = Tvca::new(TvcaConfig::default());
+        let traces: Vec<Vec<Inst>> = TVCA_PATHS.iter().map(|(_, m)| tvca.trace(*m)).collect();
+        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(jobs);
+        eprintln!(
+            "measuring {runs} runs of {} TVCA paths in one pool (seed {seed}, jobs {})",
+            TVCA_PATHS.len(),
+            runner.jobs()
+        );
+        let campaigns = runner
+            .run_many(&traces, runs, seed)
+            .map_err(|e| e.to_string())?;
+        let channels: Vec<ChannelId> = TVCA_PATHS
+            .iter()
+            .map(|(name, _)| ChannelId::new(name))
+            .collect();
+        let mut tagged: Vec<Tagged> = Vec::with_capacity(TVCA_PATHS.len() * runs);
+        for i in 0..runs {
+            for (channel, campaign) in channels.iter().zip(&campaigns) {
+                tagged.push(Tagged::new(channel.clone(), campaign.times()[i]));
+            }
+        }
+        Box::new(tagged.into_iter().map(Ok))
+    } else {
+        let reader: Box<dyn std::io::BufRead> = match positional(args) {
+            Some(file) => Box::new(std::io::BufReader::new(
+                std::fs::File::open(file).map_err(|e| format!("cannot open {file}: {e}"))?,
+            )),
+            None => Box::new(std::io::BufReader::new(std::io::stdin())),
+        };
+        Box::new(tagged_lines(reader))
+    };
+
+    if batch {
+        let session = builder.build_batch().map_err(|e| e.to_string())?;
+        drive_session(session, feed, target_p, stop_on_converged)
+    } else {
+        let config = StreamConfig {
+            block_size: block,
+            target_p,
+            ..StreamConfig::default()
+        };
+        let session = builder
+            .build_stream_with(config)
+            .map_err(|e| e.to_string())?;
+        drive_session(session, feed, target_p, stop_on_converged)
+    }
+}
+
+/// Parse a tagged-line reader (`<channel> <time>`, blank lines and `#`
+/// comments skipped) into a feed.
+fn tagged_lines(reader: impl std::io::BufRead) -> impl Iterator<Item = Result<Tagged, String>> {
+    reader.lines().filter_map(|line| match line {
+        Err(e) => Some(Err(format!("tagged stream read failed: {e}"))),
+        Ok(line) => {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                return None;
+            }
+            Some(
+                trimmed
+                    .parse::<Tagged>()
+                    .map_err(|e| format!("bad tagged line `{trimmed}`: {e}")),
+            )
+        }
+    })
+}
+
+/// Ingest a tagged feed, print scheduled snapshots, merge, and print the
+/// per-channel verdicts plus the program-level envelope.
+fn drive_session<F: EngineFactory>(
+    mut session: AnalysisSession<F>,
+    feed: impl Iterator<Item = Result<Tagged, String>>,
+    target_p: f64,
+    stop_on_converged: bool,
+) -> Result<(), String> {
+    for tagged in feed {
+        let snap = session.push(tagged?).map_err(|e| e.to_string())?;
+        if let Some(snap) = snap {
+            if !emit_estimate(Some(&snap.channel), target_p, &snap.estimate)? {
+                return Ok(());
+            }
+            if stop_on_converged && snap.estimate.converged && session.all_converged() {
+                // NOTE: "every channel" means every channel *seen so
+                // far* — a sequentially ordered file (all of channel A,
+                // then B) would stop after A. Make the early stop loud
+                // so an incomplete envelope is diagnosable.
+                eprintln!(
+                    "stopping early: all {} channel(s) seen so far converged \
+                     (total={} measurements; channels appearing later in the \
+                     feed are not analysed)",
+                    session.channel_count(),
+                    session.len(),
+                );
+                break;
+            }
+        }
+    }
+    if session.is_empty() {
+        return Err("session feed contained no measurements".into());
+    }
+    let total = session.len();
+    let merged = session.merge();
+
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let mut print_summary = || -> std::io::Result<()> {
+        writeln!(
+            out,
+            "session total={total} channels={}",
+            merged.channels().len()
+        )?;
+        for cv in merged.channels() {
+            match &cv.outcome {
+                Ok(v) => writeln!(
+                    out,
+                    "channel {} n={} engine={} pwcet@{target_p:e}={:.0} hwm={:.0} iid={}{}",
+                    cv.channel,
+                    v.provenance.n,
+                    v.provenance.engine,
+                    v.budget_for(target_p).unwrap_or(f64::NAN),
+                    v.high_watermark(),
+                    v.iid.label(),
+                    match v.provenance.converged {
+                        Some(true) => " CONVERGED",
+                        Some(false) => " settling",
+                        None => "",
+                    },
+                )?,
+                Err(e) => writeln!(
+                    out,
+                    "channel {} FAILED: {e}{}",
+                    cv.channel,
+                    if cv.dropped > 0 {
+                        format!(" ({} measurements dropped)", cv.dropped)
+                    } else {
+                        String::new()
+                    },
+                )?,
+            }
+        }
+        match merged.envelope_budget(target_p) {
+            Ok((worst, budget)) => writeln!(
+                out,
+                "envelope pwcet@{target_p:e}={budget:.0} (worst channel: {worst}) hwm={:.0}",
+                merged.high_watermark(),
+            ),
+            Err(e) => writeln!(out, "envelope UNAVAILABLE: {e}"),
+        }
+    };
+    match print_summary() {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
+        Err(e) => return Err(e.to_string()),
+    }
+    if !merged.all_ok() {
+        return Err(format!(
+            "{} of {} channels failed",
+            merged.failures().count(),
+            merged.channels().len()
+        ));
     }
     Ok(())
 }

@@ -35,12 +35,19 @@
 //! let trace = tvca.trace(ControlMode::Nominal);
 //! let campaign = Campaign::measure(&mut platform, &trace, 300, 0)?;
 //!
-//! // 3. MBPTA: i.i.d. gate, EVT fit, pWCET.
-//! let report = analyze(campaign.times(), &MbptaConfig::default())?;
-//! let budget = report.budget_for(1e-12)?;
-//! assert!(budget > report.high_watermark());
+//! // 3. MBPTA: i.i.d. gate, EVT fit, pWCET (one-shot session).
+//! let verdict = MbptaConfig::default().session().analyze(campaign.times())?;
+//! let budget = verdict.budget_for(1e-12)?;
+//! assert!(budget > verdict.high_watermark());
 //! # Ok::<(), proxima::mbpta::MbptaError>(())
 //! ```
+//!
+//! Multi-channel feeds (per path / per core / per tenant) go through the
+//! same builder: `MbptaConfig::default().session().build_batch()` (or
+//! `.build_stream()` from the [`stream`] crate's `SessionStreamExt`)
+//! demultiplexes `Tagged { channel, time }` measurements to one engine
+//! per channel and merges the per-channel verdicts into a program-level
+//! envelope — see `examples/session_demux.rs` and `mbpta session`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,16 +61,23 @@ pub use proxima_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use proxima_mbpta::session::SessionVerdict;
+    #[allow(deprecated)] // the deprecated shims stay importable from the prelude
+    pub use proxima_mbpta::{analyze, measure_and_analyze};
     pub use proxima_mbpta::{
-        analyze, baseline::MbtaEstimate, confidence::budget_interval, cv::analyze_cv,
-        measure_and_analyze, render_report, BlockSpec, Campaign, CampaignRunner, MbptaConfig,
-        MbptaReport, Pipeline, Pwcet,
+        baseline::MbtaEstimate, confidence::budget_interval, cv::analyze_cv, render_report,
+        AnalysisSession, BlockSpec, Campaign, CampaignRunner, ChannelHandle, ChannelId,
+        EngineEstimate, MbptaConfig, MbptaReport, Pipeline, Pwcet, SessionBuilder, SessionSnapshot,
+        Tagged, Verdict,
     };
     pub use proxima_prng::{Mwc64, PrngKind, RandomSource};
     pub use proxima_sim::{Inst, InstKind, Platform, PlatformConfig};
     pub use proxima_stats::dist::ContinuousDistribution;
+    #[allow(deprecated)]
+    pub use proxima_stream::PipelineStreamExt;
     pub use proxima_stream::{
-        LineSource, PipelineStreamExt, PwcetSnapshot, StreamAnalyzer, StreamConfig, TraceReplay,
+        LineSource, PwcetSnapshot, SessionStreamExt, StreamAnalyzer, StreamConfig, StreamEngine,
+        TraceReplay,
     };
     pub use proxima_workload::bench_suite::Benchmark;
     pub use proxima_workload::tvca::{ControlMode, Scale, Tvca, TvcaConfig};

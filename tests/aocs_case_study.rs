@@ -1,5 +1,10 @@
 //! The AOCS second case study (experiment E5 as assertions).
 
+// Deliberately exercises the deprecated pre-session API: these tests
+// double as regression coverage for the `analyze`/`PipelineStreamExt`
+// shims, which must stay behaviourally identical to the session path.
+#![allow(deprecated)]
+
 use proxima::mbpta::{analyze, MbptaConfig};
 use proxima::prelude::*;
 use proxima::workload::aocs::{Aocs, AocsConfig, AocsMode};

@@ -143,6 +143,174 @@ fn stream_too_short_input_fails_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("too small"));
 }
 
+/// Build a 3-channel tagged file by relabelling a measured campaign
+/// round-robin, returning the path and the per-channel vectors.
+fn tagged_fixture(name: &str) -> (std::path::PathBuf, Vec<(String, Vec<f64>)>) {
+    let out = mbpta()
+        .args(["measure", "--runs", "1800", "--seed", "10000000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let values: Vec<f64> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|l| l.trim().parse().expect("measurement"))
+        .collect();
+    let channels = ["alpha", "beta", "gamma"];
+    let mut per_channel: Vec<(String, Vec<f64>)> = channels
+        .iter()
+        .map(|c| (c.to_string(), Vec::new()))
+        .collect();
+    let mut tagged = String::new();
+    tagged.push_str("# tagged 3-channel feed\n");
+    for (i, v) in values.iter().enumerate() {
+        let c = i % channels.len();
+        tagged.push_str(&format!("{} {v}\n", channels[c]));
+        per_channel[c].1.push(*v);
+    }
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let file = dir.join(name);
+    std::fs::write(&file, tagged).expect("write tagged feed");
+    (file, per_channel)
+}
+
+#[test]
+fn session_from_tagged_file_reports_all_channels_and_envelope() {
+    let (file, channels) = tagged_fixture("session_feed.txt");
+    let out = mbpta()
+        .args([
+            "session",
+            file.to_str().expect("utf8 path"),
+            "--block",
+            "25",
+            "--every",
+            "300",
+            "--target-p",
+            "1e-9",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("snapshot channel="), "{text}");
+    assert!(text.contains("session total=1800 channels=3"), "{text}");
+    for (name, times) in &channels {
+        assert!(
+            text.contains(&format!("channel {name} n={}", times.len())),
+            "{text}"
+        );
+    }
+    assert!(text.contains("envelope pwcet@1e-9"), "{text}");
+}
+
+#[test]
+fn session_batch_engines_run_on_the_same_feed() {
+    let (file, _) = tagged_fixture("session_feed_batch.txt");
+    let out = mbpta()
+        .args([
+            "session",
+            file.to_str().expect("utf8 path"),
+            "--batch",
+            "--block",
+            "25",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("engine=batch"), "{text}");
+    assert!(text.contains("envelope pwcet@1e-12"), "{text}");
+}
+
+#[test]
+fn session_simulate_measures_all_paths_in_one_pool() {
+    let out = mbpta()
+        .args([
+            "session",
+            "--simulate",
+            "--runs",
+            "400",
+            "--block",
+            "25",
+            "--every",
+            "200",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("session total=1600 channels=4"), "{text}");
+    for path in ["nominal", "saturated-x", "saturated-y", "fault-recovery"] {
+        assert!(text.contains(&format!("channel {path} ")), "{text}");
+    }
+    assert!(text.contains("envelope pwcet@1e-12"), "{text}");
+}
+
+#[test]
+fn session_quarantines_bad_channel_but_reports_the_rest() {
+    let (file, _) = tagged_fixture("session_feed_mixed.txt");
+    // Append a degenerate channel: constant values cannot be analysed.
+    let mut feed = std::fs::read_to_string(&file).expect("read fixture");
+    for _ in 0..600 {
+        feed.push_str("stuck 500\n");
+    }
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    let mixed = dir.join("session_feed_with_bad.txt");
+    std::fs::write(&mixed, feed).expect("write mixed feed");
+
+    let out = mbpta()
+        .args([
+            "session",
+            mixed.to_str().expect("utf8 path"),
+            "--block",
+            "25",
+        ])
+        .output()
+        .expect("spawn");
+    // Exit code signals the failed channel, but the healthy channels and
+    // the envelope are still reported.
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("channel stuck FAILED"), "{text}");
+    assert!(text.contains("channel alpha n="), "{text}");
+    assert!(text.contains("envelope pwcet@1e-12"), "{text}");
+}
+
+#[test]
+fn session_rejects_malformed_tagged_line() {
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let file = dir.join("session_bad_line.txt");
+    std::fs::write(&file, "alpha 100\nnot-a-tagged-line\n").expect("write");
+    let out = mbpta()
+        .args(["session", file.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bad tagged line"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn analyze_missing_file_fails() {
     let out = mbpta()

@@ -1,6 +1,11 @@
 //! The DET-vs-RAND comparisons behind Figure 3 and the average-performance
 //! claim.
 
+// Deliberately exercises the deprecated pre-session API: these tests
+// double as regression coverage for the `analyze`/`PipelineStreamExt`
+// shims, which must stay behaviourally identical to the session path.
+#![allow(deprecated)]
+
 use proxima::prelude::*;
 
 fn measure(config: PlatformConfig, layout_seed: u64, runs: usize, seed: u64) -> Vec<f64> {

@@ -1,6 +1,11 @@
 //! End-to-end reproduction of the paper's analysis flow: TVCA on the
 //! randomized platform → i.i.d. gate → EVT fit → pWCET.
 
+// Deliberately exercises the deprecated pre-session API: these tests
+// double as regression coverage for the `analyze`/`PipelineStreamExt`
+// shims, which must stay behaviourally identical to the session path.
+#![allow(deprecated)]
+
 use proxima::prelude::*;
 
 fn full_tvca_campaign(runs: usize, seed: u64) -> Campaign {

@@ -1,5 +1,10 @@
 //! Multicore bus-contention behaviour (experiment A8 as assertions).
 
+// Deliberately exercises the deprecated pre-session API: these tests
+// double as regression coverage for the `analyze`/`PipelineStreamExt`
+// shims, which must stay behaviourally identical to the session path.
+#![allow(deprecated)]
+
 use proxima::mbpta::{analyze, MbptaConfig};
 use proxima::prelude::*;
 use proxima::sim::bus::BusModel;

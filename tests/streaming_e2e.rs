@@ -3,6 +3,11 @@
 //! agrees with the batch `analyze()` to within 1%, with memory bounded to
 //! the sketch + monitor window + block-maxima buffer.
 
+// Deliberately exercises the deprecated pre-session API: these tests
+// double as regression coverage for the `analyze`/`PipelineStreamExt`
+// shims, which must stay behaviourally identical to the session path.
+#![allow(deprecated)]
+
 use proxima::prelude::*;
 use proxima::stream::StreamConfig;
 use rand::{Rng, SeedableRng};
