@@ -1,0 +1,103 @@
+//! Criterion bench: federated sharded streaming — merge cost vs shard
+//! count, and sharded vs single-stream ingest.
+//!
+//! A fixed 40k-sample synthetic campaign is (a) streamed through one
+//! `StreamAnalyzer` and (b) routed to 2/4/8 federated shards and folded.
+//! The fold is a per-finish cost — sketch merge + maxima concatenation +
+//! window fold per shard — so `merged()` alone is timed against the
+//! shard count to show the coordinator's cost grows with shards, not
+//! with the stream length.
+//!
+//! The setup asserts the federated acceptance criterion: the folded
+//! pWCET equals the single-stream pWCET **bit for bit** at every shard
+//! count (shard boundaries are block-aligned, so the folded maxima
+//! buffer is the single-stream buffer).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use proxima_stream::{FederatedAnalyzer, FederatedConfig, StreamAnalyzer, StreamConfig};
+use std::hint::black_box;
+
+const TOTAL: usize = 40_000;
+
+/// Deterministic synthetic campaign (vendored StdRng).
+fn campaign(n: usize, seed: u64) -> Vec<f64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| 1e5 + (0..8).map(|_| rng.gen::<f64>()).sum::<f64>() * 100.0)
+        .collect()
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        block_size: 50,
+        refit_every_blocks: 5,
+        bootstrap: None, // measure ingest + fold, not the bootstrap
+        ..StreamConfig::default()
+    }
+}
+
+fn sharded(data: &[f64], shards: usize) -> FederatedAnalyzer {
+    let config = FederatedConfig::new(stream_config(), shards).balanced_for(data.len());
+    let mut fed = FederatedAnalyzer::new(config).expect("config");
+    for &x in data {
+        fed.push(x).expect("clean stream");
+    }
+    fed
+}
+
+fn bench_federated(c: &mut Criterion) {
+    let data = campaign(TOTAL, 1);
+
+    // Acceptance guard: the folded pWCET is bit-identical to the
+    // single-stream pWCET at every shard count.
+    let single_budget = {
+        let mut single = StreamAnalyzer::new(stream_config()).expect("config");
+        single.extend(data.iter().copied()).expect("ingest");
+        single.finish().expect("final").pwcet
+    };
+    for shards in [1usize, 2, 4, 8] {
+        let mut fed = sharded(&data, shards);
+        assert_eq!(
+            fed.finish().expect("fold").pwcet,
+            single_budget,
+            "shards={shards} diverged from the single stream"
+        );
+    }
+
+    // Ingest throughput: single stream vs federated routing (the demux
+    // adds one division per sample).
+    let mut group = c.benchmark_group("federated_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL as u64));
+    group.bench_function("single_stream", |b| {
+        b.iter(|| {
+            let mut analyzer = StreamAnalyzer::new(stream_config()).expect("config");
+            analyzer.extend(data.iter().copied()).expect("ingest");
+            black_box(analyzer.blocks())
+        })
+    });
+    for shards in [2usize, 8] {
+        group.bench_function(&format!("sharded_{shards}"), |b| {
+            b.iter(|| black_box(sharded(&data, shards)).len())
+        });
+    }
+    group.finish();
+
+    // Fold cost vs shard count: the coordinator's per-campaign cost.
+    let mut group = c.benchmark_group("federated_merge");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        let fed = sharded(&data, shards);
+        group.bench_function(&format!("merge_{shards}shards"), |b| {
+            b.iter(|| {
+                let merged = fed.merged().expect("aligned shards");
+                black_box(merged.blocks())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_federated);
+criterion_main!(benches);

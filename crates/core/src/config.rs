@@ -151,6 +151,7 @@ pub struct SessionBuilder {
     snapshot_every: usize,
     target_p: f64,
     jobs: usize,
+    early_finish: bool,
 }
 
 impl Default for SessionBuilder {
@@ -160,6 +161,7 @@ impl Default for SessionBuilder {
             snapshot_every: 250,
             target_p: 1e-12,
             jobs: 0,
+            early_finish: false,
         }
     }
 }
@@ -230,6 +232,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Finish each channel's engine as soon as that channel's estimate
+    /// converges, freeing its sketch/buffer memory immediately instead
+    /// of holding every engine until [`AnalysisSession::merge`] — the
+    /// long-session companion of `--stop-on-converged`. Measurements
+    /// arriving on an already-finished channel are counted and dropped,
+    /// so the channel's verdict covers its feed up to convergence.
+    #[must_use]
+    pub fn early_finish(mut self, enabled: bool) -> Self {
+        self.early_finish = enabled;
+        self
+    }
+
     /// The pipeline configuration as currently built.
     pub fn mbpta_config(&self) -> &MbptaConfig {
         &self.config
@@ -248,6 +262,11 @@ impl SessionBuilder {
     /// The configured worker-thread bound.
     pub fn job_bound(&self) -> usize {
         self.jobs
+    }
+
+    /// Whether channels finish early at convergence.
+    pub fn early_finish_enabled(&self) -> bool {
+        self.early_finish
     }
 
     /// Build a session running one batch engine per channel.
@@ -275,6 +294,7 @@ impl SessionBuilder {
             factory,
             self.snapshot_every,
             self.jobs,
+            self.early_finish,
         ))
     }
 

@@ -33,6 +33,10 @@ pub enum EngineKind {
     Batch,
     /// Bounded-memory incremental analysis.
     Stream,
+    /// Sharded bounded-memory analysis: independent per-shard streams
+    /// whose mergeable states are folded into one verdict at finish time
+    /// (the federated quantile-estimation shape).
+    Federated,
 }
 
 impl std::fmt::Display for EngineKind {
@@ -40,6 +44,7 @@ impl std::fmt::Display for EngineKind {
         match self {
             EngineKind::Batch => write!(f, "batch"),
             EngineKind::Stream => write!(f, "stream"),
+            EngineKind::Federated => write!(f, "federated"),
         }
     }
 }

@@ -17,6 +17,14 @@
 //! reported per channel in the merged [`SessionVerdict`], wrapped in
 //! [`MbptaError::Channel`].
 //!
+//! With [`SessionBuilder::early_finish`] enabled, a channel's engine is
+//! finished and **dropped the moment its estimate converges** — its
+//! sketch/buffer/window memory is freed mid-session instead of being
+//! held until [`AnalysisSession::merge`], and later measurements on that
+//! channel are counted and dropped.
+//!
+//! [`SessionBuilder::early_finish`]: crate::config::SessionBuilder::early_finish
+//!
 //! # Examples
 //!
 //! ```
@@ -169,11 +177,21 @@ pub struct SessionSnapshot {
 #[derive(Clone)]
 struct ChannelState<E> {
     id: ChannelId,
-    engine: E,
+    /// The running engine; `None` once the channel no longer needs one —
+    /// finished early (verdict moved to `early_verdict`) or quarantined
+    /// (`failed` set) — so its state (sketches, buffers, windows) is
+    /// freed mid-session instead of at merge.
+    engine: Option<E>,
+    /// The stored verdict of an early-finished channel, already
+    /// channel-scoped like [`AnalysisSession::merge`] produces it.
+    early_verdict: Option<Result<Verdict, MbptaError>>,
+    /// Measurements the engine had accepted when it was dropped (early
+    /// finish or quarantine).
+    accepted: usize,
     /// First engine failure on this channel; once set, the channel is
     /// quarantined and further measurements are counted in `dropped`.
     failed: Option<MbptaError>,
-    /// Measurements dropped after quarantine.
+    /// Measurements dropped after quarantine (or after an early finish).
     dropped: usize,
     /// `EngineEstimate::n` of the last emitted snapshot, for freshness.
     last_emitted_n: Option<usize>,
@@ -190,11 +208,12 @@ impl<E: Engine> ChannelState<E> {
     /// length whenever the outcome cannot change until the channel grows,
     /// so repeated scans between refits cost one length comparison.
     fn fresh_estimate(&mut self) -> Option<EngineEstimate> {
-        let len = self.engine.len();
+        let engine = self.engine.as_mut()?;
+        let len = engine.len();
         if len == self.last_polled_len {
             return None;
         }
-        match self.engine.estimate() {
+        match engine.estimate() {
             Some(estimate) if self.last_emitted_n != Some(estimate.n) => Some(estimate),
             _ => {
                 self.last_polled_len = len;
@@ -206,7 +225,25 @@ impl<E: Engine> ChannelState<E> {
     /// Record an emission at estimate count `n`.
     fn mark_emitted(&mut self, n: usize) {
         self.last_emitted_n = Some(n);
-        self.last_polled_len = self.engine.len();
+        self.last_polled_len = self.engine.as_ref().map_or(0, |e| e.len());
+    }
+
+    /// Finish the engine now and drop it, freeing its state; the verdict
+    /// is held for [`AnalysisSession::merge`]. Pushes arriving after
+    /// this are counted in `dropped`.
+    fn finish_early(&mut self) {
+        if let Some(mut engine) = self.engine.take() {
+            self.accepted = engine.len();
+            self.early_verdict = Some(
+                engine
+                    .finish()
+                    .map(|mut verdict| {
+                        verdict.provenance.channel = Some(self.id.clone());
+                        verdict
+                    })
+                    .map_err(|e| MbptaError::channel_scoped(self.id.clone(), e)),
+            );
+        }
     }
 }
 
@@ -222,6 +259,10 @@ pub struct AnalysisSession<F: EngineFactory> {
     since_snapshot: usize,
     rr_cursor: usize,
     jobs: usize,
+    /// When true, a channel's engine is finished and dropped as soon as
+    /// its estimate converges — freeing sketch/buffer memory in long
+    /// sessions — instead of running until [`merge`](Self::merge).
+    early_finish: bool,
     /// When false the session never polls engines (no scheduled
     /// snapshots, no convergence announcements) — the one-shot
     /// [`SessionBuilder::analyze`](crate::config::SessionBuilder::analyze)
@@ -233,8 +274,9 @@ impl<F: EngineFactory> AnalysisSession<F> {
     /// Create a session. `snapshot_every` is the scheduler period in
     /// measurements (`0` disables scheduled snapshots; convergence
     /// announcements still fire); `jobs` bounds the worker threads
-    /// [`merge`](Self::merge) uses (`0` = all cores).
-    pub(crate) fn new(factory: F, snapshot_every: usize, jobs: usize) -> Self {
+    /// [`merge`](Self::merge) uses (`0` = all cores); `early_finish`
+    /// finishes each channel at its convergence announcement.
+    pub(crate) fn new(factory: F, snapshot_every: usize, jobs: usize, early_finish: bool) -> Self {
         AnalysisSession {
             factory,
             channels: Vec::new(),
@@ -244,6 +286,7 @@ impl<F: EngineFactory> AnalysisSession<F> {
             since_snapshot: 0,
             rr_cursor: 0,
             jobs,
+            early_finish,
             polling: true,
         }
     }
@@ -283,15 +326,17 @@ impl<F: EngineFactory> AnalysisSession<F> {
     /// `true` once every healthy channel's estimate has converged (and
     /// at least one channel exists). Quarantined channels are excluded —
     /// they will never converge and are reported at [`merge`](Self::merge)
-    /// instead.
+    /// instead; early-finished channels count as converged.
     pub fn all_converged(&self) -> bool {
         let mut healthy = 0;
         for state in &self.channels {
             if state.failed.is_some() {
                 continue;
             }
-            if !state.engine.converged() {
-                return false;
+            if let Some(engine) = &state.engine {
+                if !engine.converged() {
+                    return false;
+                }
             }
             healthy += 1;
         }
@@ -309,7 +354,9 @@ impl<F: EngineFactory> AnalysisSession<F> {
         let i = self.channels.len();
         self.channels.push(ChannelState {
             id: id.clone(),
-            engine,
+            engine: Some(engine),
+            early_verdict: None,
+            accepted: 0,
             failed: None,
             dropped: 0,
             last_emitted_n: None,
@@ -395,10 +442,23 @@ impl<F: EngineFactory> AnalysisSession<F> {
     fn push_at(&mut self, index: usize, time: f64) -> Option<SessionSnapshot> {
         self.total += 1;
         let state = &mut self.channels[index];
-        if state.failed.is_some() {
-            state.dropped += 1;
-        } else if let Err(e) = state.engine.push(time) {
+        let outcome = match state.engine.as_mut() {
+            // Quarantined or early-finished: count and drop.
+            None => {
+                state.dropped += 1;
+                Ok(())
+            }
+            Some(engine) => engine.push(time),
+        };
+        if let Err(e) = outcome {
+            // Quarantine the channel AND free its engine state now: merge
+            // takes the error path and never reads the engine again, so
+            // holding its buffers for the rest of the session would only
+            // burn memory.
             state.failed = Some(e);
+            if let Some(engine) = state.engine.take() {
+                state.accepted = engine.len();
+            }
         }
         self.emit(index)
     }
@@ -413,23 +473,29 @@ impl<F: EngineFactory> AnalysisSession<F> {
         }
         let total = self.total;
         let state = &mut self.channels[pushed];
-        if state.failed.is_none() && !state.converged_emitted {
+        if state.failed.is_none() && !state.converged_emitted && state.engine.is_some() {
             // Poll the pushed channel even when scheduled snapshots are
             // off: engines that refit on demand (batch) track their
             // convergence inside `estimate`, and the poll is cadence-
             // gated inside the engine.
             let fresh = state.fresh_estimate();
-            if state.engine.converged() {
+            if state.engine.as_ref().is_some_and(Engine::converged) {
                 state.converged_emitted = true;
                 // Announce only if the scheduler has not already emitted
                 // this exact estimate (it carries `converged: true`).
-                if let Some(estimate) = fresh {
+                let announcement = fresh.map(|estimate| {
                     state.mark_emitted(estimate.n);
-                    return Some(SessionSnapshot {
+                    SessionSnapshot {
                         channel: state.id.clone(),
                         total,
                         estimate,
-                    });
+                    }
+                });
+                if self.early_finish {
+                    state.finish_early();
+                }
+                if announcement.is_some() {
+                    return announcement;
                 }
             }
         }
@@ -486,14 +552,22 @@ impl<F: EngineFactory> AnalysisSession<F> {
                         .expect("channel slot poisoned")
                         .take()
                         .expect("each channel finished exactly once");
-                    let outcome = match state.failed.take() {
-                        Some(e) => Err(e),
-                        None => state.engine.finish().map(|mut verdict| {
-                            verdict.provenance.channel = Some(state.id.clone());
-                            verdict
-                        }),
-                    }
-                    .map_err(|e| MbptaError::channel_scoped(state.id.clone(), e));
+                    let outcome = match (state.failed.take(), state.early_verdict.take()) {
+                        (Some(e), _) => Err(MbptaError::channel_scoped(state.id.clone(), e)),
+                        // Finished at convergence: the verdict is already
+                        // scoped and the engine state long freed.
+                        (None, Some(verdict)) => verdict,
+                        (None, None) => state
+                            .engine
+                            .take()
+                            .expect("running channel holds an engine")
+                            .finish()
+                            .map(|mut verdict| {
+                                verdict.provenance.channel = Some(state.id.clone());
+                                verdict
+                            })
+                            .map_err(|e| MbptaError::channel_scoped(state.id.clone(), e)),
+                    };
                     ChannelVerdict {
                         channel: state.id,
                         outcome,
@@ -520,6 +594,7 @@ where
             since_snapshot: self.since_snapshot,
             rr_cursor: self.rr_cursor,
             jobs: self.jobs,
+            early_finish: self.early_finish,
             polling: self.polling,
         }
     }
@@ -579,9 +654,11 @@ impl<F: EngineFactory> ChannelHandle<'_, F> {
         self.session.push_at(self.index, time)
     }
 
-    /// Measurements this channel's engine accepted.
+    /// Measurements this channel's engine accepted (frozen at the finish
+    /// point for an early-finished channel).
     pub fn len(&self) -> usize {
-        self.session.channels[self.index].engine.len()
+        let state = &self.session.channels[self.index];
+        state.engine.as_ref().map_or(state.accepted, Engine::len)
     }
 
     /// `true` before the channel's first measurement.
@@ -589,18 +666,32 @@ impl<F: EngineFactory> ChannelHandle<'_, F> {
         self.len() == 0
     }
 
-    /// The channel engine's current estimate, if any.
+    /// The channel engine's current estimate, if any (`None` once the
+    /// channel was finished early — its verdict waits in
+    /// [`AnalysisSession::merge`]).
     pub fn estimate(&mut self) -> Option<EngineEstimate> {
         let state = &mut self.session.channels[self.index];
         if state.failed.is_some() {
             return None;
         }
-        state.engine.estimate()
+        state.engine.as_mut()?.estimate()
     }
 
-    /// `true` once the channel's estimate converged.
+    /// `true` once the channel's estimate converged (an early-finished
+    /// channel converged by definition).
     pub fn converged(&self) -> bool {
-        self.session.channels[self.index].engine.converged()
+        let state = &self.session.channels[self.index];
+        state
+            .engine
+            .as_ref()
+            .map_or(state.early_verdict.is_some(), Engine::converged)
+    }
+
+    /// `true` if this channel was finished early at convergence (its
+    /// engine state freed, later measurements dropped).
+    pub fn finished_early(&self) -> bool {
+        let state = &self.session.channels[self.index];
+        state.engine.is_none() && state.early_verdict.is_some()
     }
 
     /// `true` if this channel was quarantined by a bad measurement.
@@ -946,6 +1037,86 @@ mod tests {
         }
         // Only a convergence announcement may fire; no periodic ones.
         assert!(emitted <= 1, "scheduled snapshots leaked: {emitted}");
+    }
+
+    #[test]
+    fn early_finish_freezes_channel_at_convergence() {
+        let feed = campaign(1e5, 6000, 9);
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .early_finish(true)
+            .build_batch()
+            .unwrap();
+        let mut frozen_at = None;
+        for &x in &feed {
+            session.push(Tagged::new("only", x)).unwrap();
+            let mut ch = session.channel("only").unwrap();
+            if ch.finished_early() {
+                frozen_at.get_or_insert(ch.len());
+                assert!(ch.converged());
+                assert!(ch.estimate().is_none(), "engine state is gone");
+            }
+        }
+        let frozen_at = frozen_at.expect("stationary feed converges well before 6000");
+        assert!(frozen_at < 6000);
+        assert!(session.all_converged());
+        let merged = session.merge();
+        let cv = &merged.channels()[0];
+        let verdict = cv.outcome.as_ref().unwrap();
+        // The verdict covers the feed up to convergence; the rest was
+        // dropped (and counted).
+        assert_eq!(verdict.summary.n, frozen_at);
+        assert_eq!(cv.dropped, 6000 - frozen_at);
+        let reference = analyze_impl(&feed[..frozen_at], &MbptaConfig::default()).unwrap();
+        assert_eq!(verdict.clone().into_report().unwrap(), reference);
+    }
+
+    #[test]
+    fn early_finish_announces_convergence_once_then_stays_silent() {
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .early_finish(true)
+            .build_batch()
+            .unwrap();
+        let mut announced = 0;
+        for x in campaign(1e5, 5000, 8) {
+            if session.push(Tagged::new("only", x)).unwrap().is_some() {
+                announced += 1;
+            }
+        }
+        assert_eq!(announced, 1, "one announcement, then the engine is gone");
+    }
+
+    #[test]
+    fn early_finish_off_keeps_engines_to_the_end() {
+        let feed = campaign(1e5, 5000, 8);
+        let run = |early| {
+            let mut session = MbptaConfig::default()
+                .session()
+                .snapshot_every(0)
+                .early_finish(early)
+                .build_batch()
+                .unwrap();
+            for &x in &feed {
+                session.push(Tagged::new("only", x)).unwrap();
+            }
+            session.merge()
+        };
+        let full = run(false);
+        let early = run(true);
+        let full_v = full.verdict("only").unwrap().as_ref().unwrap();
+        let early_v = early.verdict("only").unwrap().as_ref().unwrap();
+        assert_eq!(full_v.summary.n, 5000);
+        assert!(early_v.summary.n < 5000);
+        // Both describe the same stationary population: budgets agree to
+        // the convergence tolerance even though n differs.
+        let (f, e) = (
+            full_v.budget_for(1e-12).unwrap(),
+            early_v.budget_for(1e-12).unwrap(),
+        );
+        assert!((f / e - 1.0).abs() < 0.05, "full={f} early={e}");
     }
 
     #[test]

@@ -406,6 +406,68 @@ impl StreamAnalyzer {
         Ok(out)
     }
 
+    /// Fold another analyzer that observed the **continuation** of this
+    /// stream: the merged state is what a single analyzer would hold
+    /// after ingesting this analyzer's measurements followed by
+    /// `other`'s.
+    ///
+    /// * the quantile sketches merge with the federated `ε₁+ε₂`
+    ///   rank-error bound ([`QuantileSketch::merge`]) — count, sum and
+    ///   the high watermark stay exact;
+    /// * the block-maxima buffers concatenate, and `other`'s trailing
+    ///   partial block carries over — so when `other` started at a block
+    ///   boundary the merged buffer is **bit-identical** to the single
+    ///   stream's, and so is every Gumbel refit on it;
+    /// * the rolling i.i.d. monitors fold windows ([`IidMonitor::merge`]).
+    ///
+    /// Convergence/snapshot bookkeeping is reset: convergence is a
+    /// property of one observer's snapshot history, and neither shard's
+    /// history is the merged stream's. Call [`Self::finish`] (or keep
+    /// streaming) after merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] if the two configurations
+    /// differ, or if this analyzer holds a partial block (its stream must
+    /// sit on a block boundary — `other`'s block maxima were extracted
+    /// relative to its own start, and a partial block in between would
+    /// shift every one of them).
+    pub fn merge(&mut self, other: &StreamAnalyzer) -> Result<(), MbptaError> {
+        if other.n == 0 {
+            return Ok(());
+        }
+        if self.config != other.config {
+            return Err(MbptaError::InvalidConfig {
+                what: "stream merge requires identical stream configurations",
+            });
+        }
+        if self.current_block_len != 0 {
+            return Err(MbptaError::InvalidConfig {
+                what: "stream merge requires the left analyzer to sit on a block boundary",
+            });
+        }
+        self.sketch.merge(&other.sketch);
+        self.monitor.merge(&other.monitor);
+        self.maxima.extend_from_slice(&other.maxima);
+        self.current_block_max = other.current_block_max;
+        self.current_block_len = other.current_block_len;
+        self.n += other.n;
+        self.reset_progress();
+        Ok(())
+    }
+
+    /// Drop the snapshot/convergence bookkeeping (used after a merge: the
+    /// per-shard snapshot histories do not describe the merged stream).
+    pub(crate) fn reset_progress(&mut self) {
+        self.blocks_since_refit = 0;
+        self.snapshots = 0;
+        self.last_estimate = None;
+        self.stable_run = 0;
+        self.converged_at = None;
+        self.last_fit_error = None;
+        self.last_snapshot = None;
+    }
+
     /// Force a final refit over everything ingested so far (trailing
     /// partial blocks are discarded, exactly like the batch pipeline).
     /// If the stream ended exactly on a checkpoint, the checkpoint's
@@ -695,6 +757,101 @@ mod tests {
         let fin = b.finish().unwrap();
         assert_eq!(fin.blocks, 120);
         assert_eq!(b.snapshots_emitted(), emitted + 1);
+    }
+
+    #[test]
+    fn merge_of_aligned_shards_is_bit_identical_to_single_stream() {
+        let data = times(4000, 11);
+        let config = fixed_config(25, 4);
+        let mut single = StreamAnalyzer::new(config.clone()).unwrap();
+        single.extend(data.iter().copied()).unwrap();
+        let single_final = single.finish().unwrap();
+
+        // Four contiguous shards, each a multiple of the block size.
+        let mut merged = StreamAnalyzer::new(config.clone()).unwrap();
+        for chunk in data.chunks(1000) {
+            let mut shard = StreamAnalyzer::new(config.clone()).unwrap();
+            shard.extend(chunk.iter().copied()).unwrap();
+            merged.merge(&shard).unwrap();
+        }
+        assert_eq!(merged.len(), single.len());
+        assert_eq!(merged.maxima(), single.maxima());
+        assert_eq!(merged.high_watermark(), single.high_watermark());
+        assert_eq!(merged.monitor().health(), single.monitor().health());
+        let merged_final = merged.finish().unwrap();
+        assert_eq!(merged_final.pwcet, single_final.pwcet);
+        assert_eq!(merged_final.distribution, single_final.distribution);
+        assert_eq!(merged_final.blocks, single_final.blocks);
+        assert_eq!(merged_final.high_watermark, single_final.high_watermark);
+    }
+
+    #[test]
+    fn merge_carries_the_trailing_partial_block() {
+        // 1010 samples at block 25: the shard split 1000 + 10 leaves a
+        // 10-sample partial block that must keep filling after the merge.
+        let data = times(1010, 12);
+        let config = fixed_config(25, 4);
+        let mut merged = StreamAnalyzer::new(config.clone()).unwrap();
+        merged.extend(data[..1000].iter().copied()).unwrap();
+        let mut tail = StreamAnalyzer::new(config.clone()).unwrap();
+        tail.extend(data[1000..].iter().copied()).unwrap();
+        merged.merge(&tail).unwrap();
+        assert_eq!(merged.blocks(), 40);
+        // 15 more samples complete the straddling block.
+        let extra = times(15, 13);
+        merged.extend(extra.iter().copied()).unwrap();
+        assert_eq!(merged.blocks(), 41);
+        let mut single = StreamAnalyzer::new(config).unwrap();
+        single.extend(data.iter().copied()).unwrap();
+        single.extend(extra.iter().copied()).unwrap();
+        assert_eq!(merged.maxima(), single.maxima());
+    }
+
+    #[test]
+    fn merge_rejects_misaligned_left_and_foreign_config() {
+        let config = fixed_config(25, 4);
+        let mut left = StreamAnalyzer::new(config.clone()).unwrap();
+        left.extend(times(30, 14)).unwrap(); // 5 samples into block 2
+        let mut right = StreamAnalyzer::new(config.clone()).unwrap();
+        right.extend(times(50, 15)).unwrap();
+        assert!(matches!(
+            left.merge(&right),
+            Err(MbptaError::InvalidConfig { .. })
+        ));
+        // Merging an empty right side is a no-op even off-boundary.
+        let empty = StreamAnalyzer::new(config).unwrap();
+        left.merge(&empty).unwrap();
+        assert_eq!(left.len(), 30);
+        // Config mismatch is rejected up front.
+        let mut aligned = StreamAnalyzer::new(fixed_config(25, 4)).unwrap();
+        aligned.extend(times(25, 16)).unwrap();
+        let foreign = {
+            let mut a = StreamAnalyzer::new(fixed_config(50, 4)).unwrap();
+            a.extend(times(50, 17)).unwrap();
+            a
+        };
+        assert!(matches!(
+            aligned.merge(&foreign),
+            Err(MbptaError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_resets_convergence_bookkeeping() {
+        let config = fixed_config(25, 2);
+        let mut left = StreamAnalyzer::new(config.clone()).unwrap();
+        left.extend(times(5000, 18)).unwrap();
+        assert!(left.converged());
+        let mut right = StreamAnalyzer::new(config).unwrap();
+        right.extend(times(500, 19)).unwrap();
+        left.merge(&right).unwrap();
+        assert!(!left.converged(), "per-shard convergence must not leak");
+        assert_eq!(left.snapshots_emitted(), 0);
+        assert!(left.last_snapshot().is_none());
+        // finish() refits the merged buffer from scratch.
+        let snap = left.finish().unwrap();
+        assert_eq!(snap.blocks, 220);
+        assert_eq!(snap.n, 5500);
     }
 
     #[test]

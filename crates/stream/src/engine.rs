@@ -29,7 +29,7 @@ use crate::monitor::{IidHealth, IidStatus};
 
 /// Project the rolling monitor's health into the session-level i.i.d.
 /// vocabulary.
-fn iid_evidence(health: IidHealth) -> IidEvidence {
+pub(crate) fn iid_evidence(health: IidHealth) -> IidEvidence {
     IidEvidence::Rolling {
         healthy: match health.status {
             IidStatus::Warming => None,
@@ -40,6 +40,38 @@ fn iid_evidence(health: IidHealth) -> IidEvidence {
         runs_p: health.runs_p,
         window_len: health.window_len,
     }
+}
+
+/// Finish `analyzer` and assemble the session [`Verdict`] every
+/// stream-backed engine shares: final refit, fit evidence recomputed
+/// from the maxima buffer, sketch-exact summary, rolling i.i.d.
+/// evidence. `provenance.converged` carries the analyzer's online
+/// convergence state when `online_convergence` is set (a federated fold
+/// has no online history and passes `false` → `None`).
+pub(crate) fn finish_into_verdict(
+    analyzer: &mut StreamAnalyzer,
+    engine: EngineKind,
+    online_convergence: bool,
+) -> Result<Verdict, MbptaError> {
+    let snapshot = analyzer.finish()?;
+    let fit = fit_from_maxima(analyzer.maxima(), analyzer.config().block_size)?;
+    Ok(Verdict {
+        summary: ObservationSummary {
+            n: snapshot.n,
+            high_watermark: snapshot.high_watermark,
+            mean: analyzer.sketch().mean(),
+            detail: None,
+        },
+        iid: iid_evidence(analyzer.monitor().health()),
+        fit,
+        pwcet: snapshot.distribution,
+        provenance: Provenance {
+            engine,
+            n: snapshot.n,
+            converged: online_convergence.then_some(snapshot.converged),
+            channel: None,
+        },
+    })
 }
 
 /// Project an analyzer snapshot into the session estimate vocabulary.
@@ -107,26 +139,7 @@ impl Engine for StreamEngine {
     }
 
     fn finish(&mut self) -> Result<Verdict, MbptaError> {
-        let snapshot = self.analyzer.finish()?;
-        let config = self.analyzer.config();
-        let fit = fit_from_maxima(self.analyzer.maxima(), config.block_size)?;
-        Ok(Verdict {
-            summary: ObservationSummary {
-                n: snapshot.n,
-                high_watermark: snapshot.high_watermark,
-                mean: self.analyzer.sketch().mean(),
-                detail: None,
-            },
-            iid: iid_evidence(self.analyzer.monitor().health()),
-            fit,
-            pwcet: snapshot.distribution,
-            provenance: Provenance {
-                engine: EngineKind::Stream,
-                n: snapshot.n,
-                converged: Some(snapshot.converged),
-                channel: None,
-            },
-        })
+        finish_into_verdict(&mut self.analyzer, EngineKind::Stream, true)
     }
 }
 

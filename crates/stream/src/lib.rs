@@ -20,6 +20,15 @@
 //!   session core ([`proxima_mbpta::session`]):
 //!   `config.session().build_stream()` (via [`SessionStreamExt`]) serves
 //!   one bounded-memory engine per timing channel.
+//! * The analyzer state is **mergeable** — quantile sketch
+//!   ([`QuantileSketch::merge`](sketch::QuantileSketch::merge), `ε₁+ε₂`
+//!   rank error), block-maxima buffer and rolling i.i.d. window all fold
+//!   — so shards of one campaign can stream independently and combine:
+//!   [`federated::FederatedAnalyzer`] runs N per-shard analyzers over
+//!   contiguous block-aligned run ranges and folds them at finish into a
+//!   pWCET **bit-identical** to the single-stream one;
+//!   `config.session().build_federated(n)` (via [`SessionFederatedExt`])
+//!   backs a session channel with shards transparently.
 //!
 //! # Examples
 //!
@@ -59,6 +68,7 @@
 
 pub mod analyzer;
 pub mod engine;
+pub mod federated;
 pub mod monitor;
 pub mod replay;
 pub mod sketch;
@@ -67,6 +77,9 @@ pub mod sketch;
 pub use analyzer::PipelineStreamExt;
 pub use analyzer::{BootstrapSpec, PwcetSnapshot, StreamAnalyzer, StreamConfig};
 pub use engine::{SessionStreamExt, StreamEngine, StreamFactory};
+pub use federated::{
+    FederatedAnalyzer, FederatedConfig, FederatedEngine, FederatedFactory, SessionFederatedExt,
+};
 pub use monitor::{IidHealth, IidMonitor, IidStatus};
 pub use replay::{LineSource, LineSourceError, TraceReplay};
 pub use sketch::QuantileSketch;

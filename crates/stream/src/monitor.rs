@@ -144,6 +144,23 @@ impl IidMonitor {
         self.window.push_back(x);
     }
 
+    /// Fold a monitor that observed the **continuation** of this stream:
+    /// `other`'s window holds the observations that arrived after this
+    /// one's, so the merged window is the concatenation trimmed to the
+    /// most recent `capacity` observations.
+    ///
+    /// Because each shard's window is a suffix of its own chunk, folding
+    /// the shards of one contiguously split stream in shard order
+    /// reproduces **exactly** the window a single monitor over the whole
+    /// stream would hold — the monitor's sufficient statistics are its
+    /// window, and suffixes of consecutive chunks concatenate into a
+    /// suffix of the union.
+    pub fn merge(&mut self, other: &IidMonitor) {
+        for &x in &other.window {
+            self.push(x);
+        }
+    }
+
     /// Evaluate the diagnostics over the current window.
     pub fn health(&self) -> IidHealth {
         let w = self.window.len();
@@ -261,6 +278,37 @@ mod tests {
         let h = m.health();
         assert_eq!(h.window_len, 100);
         assert!(h.max_abs_autocorr.is_none());
+    }
+
+    #[test]
+    fn merge_reproduces_the_single_monitor_window() {
+        // A stream split into contiguous chunks, one monitor per chunk,
+        // folded in chunk order, must hold exactly the single monitor's
+        // window — including when chunks are shorter than the capacity.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let stream: Vec<f64> = (0..700).map(|_| 1e5 + 100.0 * rng.gen::<f64>()).collect();
+        for splits in [vec![700], vec![350, 350], vec![100, 80, 120, 400]] {
+            let mut single = IidMonitor::new(200, 0.05);
+            for &x in &stream {
+                single.push(x);
+            }
+            let mut merged: Option<IidMonitor> = None;
+            let mut start = 0;
+            for len in splits {
+                let mut shard = IidMonitor::new(200, 0.05);
+                for &x in &stream[start..start + len] {
+                    shard.push(x);
+                }
+                start += len;
+                match merged.as_mut() {
+                    None => merged = Some(shard),
+                    Some(m) => m.merge(&shard),
+                }
+            }
+            let merged = merged.unwrap();
+            assert_eq!(merged.window, single.window);
+            assert_eq!(merged.health(), single.health());
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! [`StreamAnalyzer`]: crate::analyzer::StreamAnalyzer
 
 use std::io::BufRead;
+use std::sync::Arc;
 
 use proxima_prng::SplitMix64;
 use proxima_sim::{Inst, Platform, PlatformConfig};
@@ -42,7 +43,9 @@ use proxima_workload::tvca::{ControlMode, Tvca, TvcaConfig};
 #[derive(Debug)]
 pub struct TraceReplay {
     platform: Platform,
-    trace: Vec<Inst>,
+    /// Shared, not owned: shard replays of one campaign all read the
+    /// same trace ([`Self::new_shared`]).
+    trace: Arc<[Inst]>,
     master_seed: u64,
     next_run: u64,
     runs: u64,
@@ -53,6 +56,17 @@ impl TraceReplay {
     /// `config`, seeding run `i` with the `i`-th element of
     /// `master_seed`'s SplitMix64 stream.
     pub fn new(config: PlatformConfig, trace: Vec<Inst>, runs: usize, master_seed: u64) -> Self {
+        TraceReplay::new_shared(config, trace.into(), runs, master_seed)
+    }
+
+    /// [`Self::new`] over an already-shared trace — per-shard replays of
+    /// one campaign clone the `Arc`, not the instructions.
+    pub fn new_shared(
+        config: PlatformConfig,
+        trace: Arc<[Inst]>,
+        runs: usize,
+        master_seed: u64,
+    ) -> Self {
         TraceReplay {
             platform: Platform::new(config),
             trace,
@@ -72,6 +86,17 @@ impl TraceReplay {
             runs,
             master_seed,
         )
+    }
+
+    /// Start the replay at run `start` (0-based) instead of run 0,
+    /// yielding runs `start..runs`. Seeds still come from the same
+    /// master stream — `SplitMix64::stream_seed` is an O(1) random
+    /// access — so shard replays over disjoint ranges reproduce exactly
+    /// the runs a single full replay yields, without fast-forwarding.
+    #[must_use]
+    pub fn starting_at(mut self, start: u64) -> Self {
+        self.next_run = start.min(self.runs);
+        self
     }
 
     /// Runs already replayed.
@@ -224,6 +249,23 @@ mod tests {
         assert_eq!(replay.runs(), 30);
         let times: Vec<f64> = replay.collect();
         assert_eq!(times.len(), 30);
+    }
+
+    #[test]
+    fn offset_replay_reproduces_the_suffix_of_a_full_replay() {
+        let trace = striding_loads(150);
+        let full: Vec<f64> =
+            TraceReplay::new(PlatformConfig::mbpta_compliant(), trace.clone(), 60, 42).collect();
+        let suffix: Vec<f64> = TraceReplay::new(PlatformConfig::mbpta_compliant(), trace, 60, 42)
+            .starting_at(40)
+            .collect();
+        assert_eq!(&full[40..], &suffix[..]);
+        // Clamped past the end: empty.
+        let empty: Vec<f64> =
+            TraceReplay::new(PlatformConfig::mbpta_compliant(), striding_loads(10), 5, 1)
+                .starting_at(99)
+                .collect();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! The exact minimum, maximum (the *high watermark* — load-bearing for
 //! MBPTA reporting), count and sum are tracked exactly on the side: they
 //! cost O(1) and the watermark must never be approximated.
+//!
+//! Sketches are **mergeable** ([`QuantileSketch::merge`]): two summaries
+//! built over disjoint shards of one stream combine into a summary of the
+//! union with the standard additive rank-error guarantee — a merged
+//! sketch answers any rank query within `ε₁n₁ + ε₂n₂`, which at equal
+//! per-shard `ε` is exactly `ε·(n₁+n₂)`. This is the federated
+//! quantile-estimation shape: shards sketch independently, a coordinator
+//! folds the sketches.
 
 use proxima_stats::StatsError;
 
@@ -162,6 +170,65 @@ impl QuantileSketch {
             }
             i -= 1;
         }
+    }
+
+    /// Fold another sketch into this one, as if every observation the
+    /// other sketch summarized had been inserted here.
+    ///
+    /// The exact side statistics (count, sum, min, max) merge exactly.
+    /// For the summary tuples the standard additive guarantee holds: the
+    /// merged sketch answers rank queries within `ε₁n₁ + ε₂n₂`, so
+    /// merging shards built at one common `ε` preserves `ε·n` over the
+    /// union — and the bound is transitive over any merge tree. The
+    /// merged `epsilon()` is `max(ε₁, ε₂)`, which dominates the additive
+    /// bound (`ε₁n₁ + ε₂n₂ ≤ max(ε₁,ε₂)·(n₁+n₂)`).
+    ///
+    /// Each tuple keeps its coverage `g` and widens its `delta` by the
+    /// rank uncertainty the *other* summary contributes at that value: if
+    /// the next not-yet-merged tuple of the other summary is `(g', Δ')`,
+    /// the true count of other-stream observations below the merged value
+    /// can swing by `g' + Δ' − 1`. Summing `r_min`/`r_max` bounds this
+    /// way is the classic GK merge.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.epsilon = self.epsilon.max(other.epsilon);
+        let a = std::mem::take(&mut self.tuples);
+        let b = &other.tuples;
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let from_a = j >= b.len() || (i < a.len() && a[i].v <= b[j].v);
+            let (t, peer) = if from_a {
+                let t = a[i];
+                i += 1;
+                (t, b.get(j))
+            } else {
+                let t = b[j];
+                j += 1;
+                (t, a.get(i))
+            };
+            // The next unconsumed peer tuple has a value ≥ t.v; the peer
+            // stream's rank at t.v is pinned only to within its spread.
+            let spread = peer.map_or(0, |p| p.g + p.delta - 1);
+            merged.push(Tuple {
+                v: t.v,
+                g: t.g,
+                delta: t.delta + spread,
+            });
+        }
+        self.tuples = merged;
+        self.compress();
+        self.inserts_since_compress = 0;
     }
 
     /// The value at quantile `phi ∈ [0, 1]`, within `εn` rank error.
@@ -336,6 +403,103 @@ mod tests {
         s.insert(1.0);
         assert_eq!(s.len(), 1);
         assert_eq!(s.quantile(0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn merge_side_stats_are_exact() {
+        let mut a = QuantileSketch::new(0.01).unwrap();
+        let mut b = QuantileSketch::new(0.01).unwrap();
+        for x in [5.0, 1.0, 9.0] {
+            a.insert(x);
+        }
+        for x in [2.0, 12.0] {
+            b.insert(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(12.0));
+        assert_eq!(a.mean(), Some(29.0 / 5.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut filled = QuantileSketch::new(0.01).unwrap();
+        for i in 0..500 {
+            filled.insert(i as f64);
+        }
+        let reference = filled.clone();
+        filled.merge(&QuantileSketch::new(0.01).unwrap());
+        assert_eq!(filled, reference);
+        let mut empty = QuantileSketch::new(0.01).unwrap();
+        empty.merge(&reference);
+        assert_eq!(empty, reference);
+    }
+
+    #[test]
+    fn merged_quantiles_within_rank_error() {
+        let eps = 0.01;
+        let n = 20_000usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut values: Vec<f64> = Vec::with_capacity(n);
+        // Four shards with disjoint value regimes — the worst case for a
+        // naive merge that averaged instead of bounding ranks.
+        let mut shards: Vec<QuantileSketch> =
+            (0..4).map(|_| QuantileSketch::new(eps).unwrap()).collect();
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for _ in 0..n / 4 {
+                let x = 1e5 * (s + 1) as f64 + 1e4 * rng.gen::<f64>();
+                values.push(x);
+                shard.insert(x);
+            }
+        }
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.len(), n as u64);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let est = merged.quantile(phi).unwrap();
+            let rank = values.partition_point(|&v| v <= est) as f64;
+            let err = (rank - phi * n as f64).abs();
+            assert!(
+                err <= eps * n as f64 + 1.0,
+                "phi={phi} rank err {err} > {}",
+                eps * n as f64
+            );
+        }
+    }
+
+    #[test]
+    fn merge_keeps_memory_sublinear_and_insertable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut merged = QuantileSketch::new(0.01).unwrap();
+        for _ in 0..8 {
+            let mut shard = QuantileSketch::new(0.01).unwrap();
+            for _ in 0..5_000 {
+                shard.insert(rng.gen::<f64>());
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.len(), 40_000);
+        assert!(merged.tuples() < 4_000, "tuples = {}", merged.tuples());
+        // The merged sketch keeps accepting inserts under the grown band.
+        for _ in 0..5_000 {
+            merged.insert(rng.gen::<f64>());
+        }
+        let med = merged.quantile(0.5).unwrap();
+        assert!((med - 0.5).abs() < 0.02, "median {med}");
+    }
+
+    #[test]
+    fn merge_takes_the_looser_epsilon() {
+        let mut tight = QuantileSketch::new(0.001).unwrap();
+        let mut loose = QuantileSketch::new(0.05).unwrap();
+        tight.insert(1.0);
+        loose.insert(2.0);
+        tight.merge(&loose);
+        assert_eq!(tight.epsilon(), 0.05);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 
 use proptest::prelude::*;
 use proxima_mbpta::{BlockSpec, MbptaConfig, Pipeline};
-use proxima_stream::{QuantileSketch, StreamAnalyzer, StreamConfig};
+use proxima_stream::{
+    FederatedAnalyzer, FederatedConfig, QuantileSketch, StreamAnalyzer, StreamConfig,
+};
 
 /// Deterministic synthetic campaign: base latency plus `k` summed uniform
 /// jitter terms (bounded, light-tailed — the MBPTA-compliant shape).
@@ -136,6 +138,135 @@ proptest! {
                 sample.len()
             );
         }
+    }
+
+    /// Federated soundness: for ANY split of a stream into shard-local
+    /// sketches, the merged sketch answers every rank query within the
+    /// `ε₁n₁ + … + εₖnₖ = ε·n` additive bound of the federated
+    /// guarantee.
+    #[test]
+    fn merged_sketch_within_rank_bound_over_random_splits(
+        sample in prop::collection::vec(0.0f64..1e6, 200..2_000),
+        cuts in prop::collection::vec(0usize..2_000, 1..6),
+        phi in 0.0f64..1.0,
+    ) {
+        let eps = 0.02;
+        // Random split points → contiguous shards of arbitrary sizes.
+        let mut bounds: Vec<usize> = cuts.iter().map(|i| i % sample.len()).collect();
+        bounds.push(0);
+        bounds.push(sample.len());
+        bounds.sort_unstable();
+        let mut merged = QuantileSketch::new(eps).unwrap();
+        for window in bounds.windows(2) {
+            let mut shard = QuantileSketch::new(eps).unwrap();
+            for &x in &sample[window[0]..window[1]] {
+                shard.insert(x);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(merged.len(), sample.len() as u64);
+        let est = merged.quantile(phi).unwrap();
+        let mut sorted = sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = sorted.partition_point(|&v| v < est) as f64;
+        let hi = sorted.partition_point(|&v| v <= est) as f64;
+        let target = phi * sample.len() as f64;
+        let slack = eps * sample.len() as f64 + 1.0;
+        let dist = if target < lo {
+            lo - target
+        } else if target > hi {
+            target - hi
+        } else {
+            0.0
+        };
+        prop_assert!(dist <= slack, "phi={phi} dist={dist} slack={slack}");
+    }
+
+    /// Merge is commutative and associative up to the quantile
+    /// tolerance: every merge order answers within `ε·n` of the truth,
+    /// so any two orders are within `2εn` of each other. (Tuple layouts
+    /// may differ; the *answers* must not.)
+    #[test]
+    fn sketch_merge_order_insensitive_within_tolerance(
+        a in prop::collection::vec(0.0f64..1e6, 100..800),
+        b in prop::collection::vec(0.0f64..1e6, 100..800),
+        c in prop::collection::vec(0.0f64..1e6, 100..800),
+    ) {
+        let eps = 0.02;
+        let sketch_of = |xs: &[f64]| {
+            let mut s = QuantileSketch::new(eps).unwrap();
+            for &x in xs {
+                s.insert(x);
+            }
+            s
+        };
+        // (a ∪ b) ∪ c, c ∪ (b ∪ a), and b ∪ (a ∪ c).
+        let mut ab_c = sketch_of(&a);
+        ab_c.merge(&sketch_of(&b));
+        ab_c.merge(&sketch_of(&c));
+        let mut c_ba = sketch_of(&c);
+        let mut ba = sketch_of(&b);
+        ba.merge(&sketch_of(&a));
+        c_ba.merge(&ba);
+        let mut b_ac = sketch_of(&b);
+        let mut ac = sketch_of(&a);
+        ac.merge(&sketch_of(&c));
+        b_ac.merge(&ac);
+
+        let n = (a.len() + b.len() + c.len()) as f64;
+        let mut union: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        union.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for s in [&ab_c, &c_ba, &b_ac] {
+            prop_assert_eq!(s.len() as f64, n);
+            prop_assert_eq!(s.min().unwrap(), union[0]);
+            prop_assert_eq!(s.max().unwrap(), *union.last().unwrap());
+        }
+        for phi in [0.1, 0.5, 0.9, 0.99] {
+            for s in [&ab_c, &c_ba, &b_ac] {
+                let est = s.quantile(phi).unwrap();
+                let rank = union.partition_point(|&v| v <= est) as f64;
+                // Each order individually honours the federated bound —
+                // that is the order-insensitivity that matters.
+                prop_assert!(
+                    (rank - phi * n).abs() <= eps * n + 1.0,
+                    "phi={phi} rank={rank}"
+                );
+            }
+        }
+    }
+
+    /// Sharded `finish()` agrees with the single analyzer's pWCET within
+    /// the acceptance bound (<1%; exact at block-aligned shards, the
+    /// assert keeps the tolerance of the spec) for any shard count.
+    #[test]
+    fn sharded_finish_matches_single_analyzer(
+        seed in 0u64..10,
+        shards in 1usize..9,
+    ) {
+        let times = campaign(4_000, seed);
+        let config = StreamConfig {
+            block_size: 25,
+            refit_every_blocks: 4,
+            bootstrap: None,
+            ..StreamConfig::default()
+        };
+        let mut single = StreamAnalyzer::new(config.clone()).unwrap();
+        single.extend(times.iter().copied()).unwrap();
+        let single_final = single.finish().unwrap();
+
+        let federated = FederatedConfig::new(config, shards).balanced_for(times.len());
+        let mut fed = FederatedAnalyzer::new(federated).unwrap();
+        for &x in &times {
+            fed.push(x).unwrap();
+        }
+        let sharded = fed.finish().unwrap();
+        let rel = (sharded.pwcet / single_final.pwcet - 1.0).abs();
+        prop_assert!(rel < 0.01, "shards={shards} rel={rel}");
+        // Block-aligned shards make the agreement exact, not just close.
+        prop_assert_eq!(sharded.pwcet, single_final.pwcet);
+        prop_assert_eq!(sharded.n, single_final.n);
+        prop_assert_eq!(sharded.blocks, single_final.blocks);
+        prop_assert_eq!(sharded.high_watermark, single_final.high_watermark);
     }
 
     /// The analyzer's exact side-channel stats agree with the raw stream:

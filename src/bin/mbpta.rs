@@ -40,7 +40,7 @@ USAGE:
                [--simulate] [--runs <n>] [--seed <s>] [--path <name>]
                [--stop-on-converged]
   mbpta session [<file>] [--target-p <p>] [--block <n>] [--every <k>]
-                [--batch] [--jobs <j>] [--stop-on-converged]
+                [--batch] [--shards <n>] [--jobs <j>] [--stop-on-converged]
                 [--simulate] [--runs <n>] [--seed <s>]
   mbpta --help
 
@@ -92,12 +92,18 @@ OPTIONS (session):
                        round-robin across channels (0 = off)    [250]
   --batch              buffer per channel and analyse at the end
                        (default: bounded-memory streaming engines)
+  --shards <n>         back each channel with <n> federated stream
+                       shards folded at the end; the report is
+                       bit-identical at every shard count (0 = off;
+                       not valid with --stop-on-converged)          [0]
   --jobs <j>           merge/measure worker threads (0 = all)   [0]
   --simulate           feed the four TVCA paths as channels,
                        measured in one thread pool
   --runs <n>           simulated runs per path (--simulate)     [1500]
   --seed <s>           simulation master seed                   [10000000]
-  --stop-on-converged  stop once every channel's estimate is stable
+  --stop-on-converged  stop once every channel's estimate is stable;
+                       converged channels finish early and free
+                       their engine state immediately
 ";
 
 fn main() -> ExitCode {
@@ -480,9 +486,33 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
     let block: usize = parse_flag(args, "--block", 50)?;
     let every: usize = parse_flag(args, "--every", 250)?;
     let jobs: usize = parse_flag(args, "--jobs", 0)?;
+    let shards: usize = parse_flag(args, "--shards", 0)?;
     let batch = args.iter().any(|a| a == "--batch");
     let simulate = args.iter().any(|a| a == "--simulate");
     let stop_on_converged = args.iter().any(|a| a == "--stop-on-converged");
+    if shards > 0 && batch {
+        return Err("--shards applies to the streaming engines; drop --batch".into());
+    }
+    // Shards fold at the end and only track per-shard stability, which
+    // depends on the shard geometry: convergence-gated stopping would
+    // make the report depend on the shard count, breaking the federated
+    // determinism guarantee. Reject the combination loudly.
+    if shards > 0 && stop_on_converged {
+        return Err(
+            "--stop-on-converged is not valid with --shards (federated shards fold at the \
+             end; convergence-gated stopping needs the single-stream engines)"
+                .into(),
+        );
+    }
+    // An explicitly requested snapshot cadence would be silently inert:
+    // federated engines emit no intermediate estimates (the global
+    // estimate exists only at fold time). Say so instead of going quiet.
+    if shards > 0 && args.iter().any(|a| a == "--every") {
+        eprintln!(
+            "note: --every has no effect with --shards \
+             (federated channels emit no intermediate snapshots)"
+        );
+    }
     if !simulate {
         for flag in ["--runs", "--seed"] {
             if args.iter().any(|a| a == flag) {
@@ -507,10 +537,17 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
     .session()
     .snapshot_every(every)
     .target_p(target_p)
-    .jobs(jobs);
+    .jobs(jobs)
+    // Converged channels free their engine state immediately; the feed
+    // keeps going until every channel converged (or runs out).
+    .early_finish(stop_on_converged);
 
-    let feed: Box<dyn Iterator<Item = Result<Tagged, String>>> = if simulate {
-        let (runs, seed) = sim_params(args, 1500)?;
+    let sim = if simulate {
+        Some(sim_params(args, 1500)?)
+    } else {
+        None
+    };
+    let feed: Box<dyn Iterator<Item = Result<Tagged, String>>> = if let Some((runs, seed)) = sim {
         // All four TVCA paths measured in ONE thread pool (`run_many`
         // shards the 4 × runs indices over the workers), then replayed
         // into the session as a round-robin interleaved tagged feed —
@@ -547,17 +584,30 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
         Box::new(tagged_lines(reader))
     };
 
+    let stream_config = StreamConfig {
+        block_size: block,
+        target_p,
+        ..StreamConfig::default()
+    };
     if batch {
         let session = builder.build_batch().map_err(|e| e.to_string())?;
         drive_session(session, feed, target_p, stop_on_converged)
-    } else {
-        let config = StreamConfig {
-            block_size: block,
-            target_p,
-            ..StreamConfig::default()
-        };
+    } else if shards > 0 {
+        // Federated: each channel routed to per-shard analyzers folded at
+        // merge. With a known per-channel volume (--simulate) the shards
+        // are balanced; for files/stdin the default block-aligned shard
+        // length applies. Reports are bit-identical at every shard count.
+        let mut config = FederatedConfig::new(stream_config, shards);
+        if let Some((runs, _)) = sim {
+            config = config.balanced_for(runs);
+        }
         let session = builder
-            .build_stream_with(config)
+            .build_federated_with(config)
+            .map_err(|e| e.to_string())?;
+        drive_session(session, feed, target_p, stop_on_converged)
+    } else {
+        let session = builder
+            .build_stream_with(stream_config)
             .map_err(|e| e.to_string())?;
         drive_session(session, feed, target_p, stop_on_converged)
     }

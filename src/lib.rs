@@ -76,7 +76,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use proxima_stream::PipelineStreamExt;
     pub use proxima_stream::{
-        LineSource, PwcetSnapshot, SessionStreamExt, StreamAnalyzer, StreamConfig, StreamEngine,
+        FederatedAnalyzer, FederatedConfig, FederatedEngine, LineSource, PwcetSnapshot,
+        SessionFederatedExt, SessionStreamExt, StreamAnalyzer, StreamConfig, StreamEngine,
         TraceReplay,
     };
     pub use proxima_workload::bench_suite::Benchmark;

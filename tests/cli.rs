@@ -294,6 +294,78 @@ fn session_quarantines_bad_channel_but_reports_the_rest() {
 }
 
 #[test]
+fn session_sharded_report_is_identical_at_every_shard_count() {
+    // The end-to-end determinism invariant the CI job enforces on the
+    // built binary: federated channels fold block-aligned shard states,
+    // so the report must not depend on the shard count (or on --jobs).
+    let run = |shards: &str, jobs: &str| {
+        let out = mbpta()
+            .args([
+                "session",
+                "--simulate",
+                "--runs",
+                "800",
+                "--block",
+                "25",
+                "--shards",
+                shards,
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let reference = run("1", "1");
+    assert!(reference.contains("engine=federated"), "{reference}");
+    assert!(reference.contains("envelope pwcet@1e-12"), "{reference}");
+    for (shards, jobs) in [("4", "1"), ("1", "8"), ("4", "8")] {
+        assert_eq!(
+            reference,
+            run(shards, jobs),
+            "report diverged at --shards {shards} --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn session_rejects_shards_with_batch_or_stop_on_converged() {
+    let out = mbpta()
+        .args(["session", "--simulate", "--batch", "--shards", "2"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--shards"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Convergence is tracked per shard only; gating the stop on it would
+    // make the report depend on the shard geometry.
+    let out = mbpta()
+        .args([
+            "session",
+            "--simulate",
+            "--shards",
+            "2",
+            "--stop-on-converged",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--stop-on-converged"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn session_rejects_malformed_tagged_line() {
     let dir = std::env::temp_dir().join("proxima_cli_test");
     std::fs::create_dir_all(&dir).expect("tmpdir");
