@@ -277,6 +277,21 @@ pub trait Engine: Send {
     /// Whatever the underlying analysis returns (too few runs, i.i.d.
     /// rejection, degenerate fit, …).
     fn finish(&mut self) -> Result<Verdict, MbptaError>;
+
+    /// Serialize the engine's complete state into a sealed checkpoint
+    /// blob ([`persist`](crate::persist) format), such that
+    /// [`EngineFactory::restore`] rebuilds an engine whose every future
+    /// output is **bit-identical** to this one's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Checkpoint`] if the engine does not support
+    /// checkpointing (the default).
+    fn save_state(&self) -> Result<Vec<u8>, MbptaError> {
+        Err(MbptaError::checkpoint(
+            "this engine does not support checkpointing",
+        ))
+    }
 }
 
 /// Creates one [`Engine`] per session channel. Implemented by
@@ -295,6 +310,23 @@ pub trait EngineFactory {
     ///
     /// [`AnalysisSession::channel`]: crate::session::AnalysisSession::channel
     fn create(&self, channel: &ChannelId) -> Result<Self::Engine, MbptaError>;
+
+    /// Rebuild an engine from a checkpoint blob written by
+    /// [`Engine::save_state`], verifying that the blob's configuration
+    /// fingerprint matches this factory's (a checkpoint must not be
+    /// silently resumed under different analysis settings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Checkpoint`] for corrupt or mismatched
+    /// bytes, or if the factory does not support restoring (the
+    /// default).
+    fn restore(&self, channel: &ChannelId, state: &[u8]) -> Result<Self::Engine, MbptaError> {
+        let _ = (channel, state);
+        Err(MbptaError::checkpoint(
+            "this engine factory does not support checkpoint restore",
+        ))
+    }
 }
 
 /// Creates a [`BatchEngine`] per channel, all sharing one [`MbptaConfig`].
@@ -334,6 +366,20 @@ impl EngineFactory for BatchFactory {
     fn create(&self, _channel: &ChannelId) -> Result<BatchEngine, MbptaError> {
         Ok(BatchEngine::new(self.config.clone(), self.target_p))
     }
+
+    fn restore(&self, _channel: &ChannelId, state: &[u8]) -> Result<BatchEngine, MbptaError> {
+        let payload = crate::persist::unseal(state, crate::persist::MAGIC_ENGINE)?;
+        let mut r = crate::persist::Reader::new(payload);
+        let kind = crate::persist::Decode::decode(&mut r)?;
+        if !matches!(kind, EngineKind::Batch) {
+            return Err(MbptaError::checkpoint(format!(
+                "checkpointed engine is `{kind}`, session expects `batch`"
+            )));
+        }
+        let engine = crate::persist::decode_batch_engine(&mut r, &self.config, self.target_p)?;
+        r.finish()?;
+        Ok(engine)
+    }
 }
 
 /// How often a batch engine refits for an intermediate estimate, in
@@ -361,15 +407,15 @@ const BATCH_STABLE: usize = 3;
 /// [`analyze`]: crate::pipeline::analyze
 #[derive(Debug, Clone)]
 pub struct BatchEngine {
-    config: MbptaConfig,
-    target_p: f64,
-    times: Vec<f64>,
-    high_watermark: f64,
-    last_fit_n: usize,
-    cached: Option<EngineEstimate>,
-    last_budget: Option<f64>,
-    stable_run: usize,
-    converged: bool,
+    pub(crate) config: MbptaConfig,
+    pub(crate) target_p: f64,
+    pub(crate) times: Vec<f64>,
+    pub(crate) high_watermark: f64,
+    pub(crate) last_fit_n: usize,
+    pub(crate) cached: Option<EngineEstimate>,
+    pub(crate) last_budget: Option<f64>,
+    pub(crate) stable_run: usize,
+    pub(crate) converged: bool,
 }
 
 impl BatchEngine {
@@ -466,6 +512,16 @@ impl Engine for BatchEngine {
 
     fn finish(&mut self) -> Result<Verdict, MbptaError> {
         analyze_impl(&self.times, &self.config).map(Verdict::from_report)
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, MbptaError> {
+        let mut w = crate::persist::Writer::new();
+        crate::persist::Encode::encode(&EngineKind::Batch, &mut w);
+        crate::persist::encode_batch_engine(self, &mut w);
+        Ok(crate::persist::seal(
+            crate::persist::MAGIC_ENGINE,
+            w.into_bytes(),
+        ))
     }
 }
 
@@ -579,6 +635,60 @@ mod tests {
         assert_eq!(from_maxima.gof, tail.gof);
         assert_eq!(from_maxima.n_maxima, tail.n_maxima);
         assert!(from_maxima.pot_cross_check.is_none());
+    }
+
+    #[test]
+    fn batch_engine_checkpoint_round_trips_bit_identically() {
+        let times = campaign(1700, 6);
+        let factory = BatchFactory::new(MbptaConfig::default(), 1e-12).unwrap();
+        let channel = ChannelId::new("only");
+        let mut engine = factory.create(&channel).unwrap();
+        let mut estimates = Vec::new();
+        for &x in &times[..900] {
+            engine.push(x).unwrap();
+            estimates.push(engine.estimate());
+        }
+        let blob = engine.save_state().unwrap();
+        let mut restored = factory.restore(&channel, &blob).unwrap();
+        // The restored engine continues exactly where the original left
+        // off: every subsequent estimate and the final verdict match bit
+        // for bit.
+        for &x in &times[900..] {
+            engine.push(x).unwrap();
+            restored.push(x).unwrap();
+            assert_eq!(engine.estimate(), restored.estimate());
+            assert_eq!(engine.converged(), restored.converged());
+        }
+        assert_eq!(engine.finish().unwrap(), restored.finish().unwrap());
+    }
+
+    #[test]
+    fn batch_restore_rejects_foreign_config_and_corrupt_bytes() {
+        let factory = BatchFactory::new(MbptaConfig::default(), 1e-12).unwrap();
+        let channel = ChannelId::new("only");
+        let mut engine = factory.create(&channel).unwrap();
+        for &x in campaign(300, 7).iter() {
+            engine.push(x).unwrap();
+        }
+        let blob = engine.save_state().unwrap();
+        // A factory with a different cutoff must refuse the blob.
+        let other = BatchFactory::new(MbptaConfig::default(), 1e-9).unwrap();
+        assert!(matches!(
+            other.restore(&channel, &blob),
+            Err(MbptaError::Checkpoint { .. })
+        ));
+        // Truncated and bit-flipped blobs are typed errors, not panics.
+        assert!(matches!(
+            factory.restore(&channel, &blob[..blob.len() / 2]),
+            Err(MbptaError::Checkpoint { .. })
+        ));
+        let mut flipped = blob.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            factory.restore(&channel, &flipped),
+            Err(MbptaError::Checkpoint { .. })
+        ));
     }
 
     #[test]

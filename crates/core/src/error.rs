@@ -48,6 +48,15 @@ pub enum MbptaError {
         /// The underlying failure.
         source: Box<MbptaError>,
     },
+    /// A checkpoint could not be saved or restored: the bytes were
+    /// truncated, corrupted (checksum mismatch), written by an
+    /// unsupported format version, or inconsistent with the session
+    /// configuration they are being restored into. Decoding **never**
+    /// panics on malformed input — it returns this variant.
+    Checkpoint {
+        /// Description of what went wrong.
+        what: String,
+    },
 }
 
 impl MbptaError {
@@ -61,6 +70,13 @@ impl MbptaError {
                 source: Box::new(other),
             },
         }
+    }
+
+    /// Build a [`MbptaError::Checkpoint`] from any message — the
+    /// conventional way the persistence layer reports malformed or
+    /// mismatched checkpoint bytes.
+    pub fn checkpoint(what: impl Into<String>) -> MbptaError {
+        MbptaError::Checkpoint { what: what.into() }
     }
 
     /// Strip a channel scope, returning the underlying error; non-channel
@@ -95,6 +111,7 @@ impl fmt::Display for MbptaError {
             MbptaError::Channel { channel, source } => {
                 write!(f, "channel `{channel}`: {source}")
             }
+            MbptaError::Checkpoint { what } => write!(f, "checkpoint error: {what}"),
         }
     }
 }
@@ -150,6 +167,13 @@ mod tests {
             rewrapped.into_unscoped(),
             MbptaError::Stats(StatsError::NonFiniteData)
         ));
+    }
+
+    #[test]
+    fn checkpoint_error_displays_reason() {
+        let e = MbptaError::checkpoint("bad magic");
+        assert!(matches!(e, MbptaError::Checkpoint { .. }));
+        assert!(e.to_string().contains("bad magic"));
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod engine;
 pub mod evt_fit;
 pub mod iid;
 pub mod paths;
+pub mod persist;
 pub mod pwcet;
 pub mod risk;
 pub mod sched;

@@ -531,6 +531,157 @@ impl<F: EngineFactory> AnalysisSession<F> {
         None
     }
 
+    /// Serialize the session's complete state into a sealed checkpoint
+    /// blob: scheduler cursors (`total`, snapshot phase, round-robin
+    /// cursor), the early-finish/polling flags, and — per channel, in
+    /// first-seen order — its engine state ([`Engine::save_state`]),
+    /// quarantine error, early-finish verdict, drop counters and
+    /// snapshot-freshness bookkeeping.
+    ///
+    /// [`AnalysisSession::restore`] rebuilds a session whose every
+    /// subsequent snapshot, convergence announcement and merged verdict
+    /// is **bit-identical** to this one's, at any `jobs` setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Checkpoint`] if a channel's engine cannot
+    /// serialize its state.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, MbptaError> {
+        use crate::persist::{seal, Encode, Writer, MAGIC_SESSION};
+        let mut w = Writer::new();
+        w.usize(self.total);
+        w.usize(self.snapshot_every);
+        w.usize(self.since_snapshot);
+        w.usize(self.rr_cursor);
+        w.bool(self.early_finish);
+        w.bool(self.polling);
+        w.usize(self.channels.len());
+        for state in &self.channels {
+            state.id.encode(&mut w);
+            match &state.engine {
+                Some(engine) => {
+                    w.bool(true);
+                    w.bytes(&engine.save_state()?);
+                }
+                None => w.bool(false),
+            }
+            match &state.early_verdict {
+                None => w.u8(0),
+                Some(Ok(verdict)) => {
+                    w.u8(1);
+                    verdict.encode(&mut w);
+                }
+                Some(Err(e)) => {
+                    w.u8(2);
+                    e.encode(&mut w);
+                }
+            }
+            w.usize(state.accepted);
+            state.failed.encode(&mut w);
+            w.usize(state.dropped);
+            state.last_emitted_n.encode(&mut w);
+            w.usize(state.last_polled_len);
+            w.bool(state.converged_emitted);
+        }
+        Ok(seal(MAGIC_SESSION, w.into_bytes()))
+    }
+
+    /// Rebuild a session from a [`checkpoint`](Self::checkpoint) blob.
+    /// Channel engines are recreated through
+    /// [`EngineFactory::restore`], which verifies the blob's
+    /// configuration fingerprint against `factory` — a checkpoint cannot
+    /// be silently resumed under different analysis settings. `jobs`
+    /// bounds the worker threads [`merge`](Self::merge) will use (it
+    /// does not affect results, so it may differ from the
+    /// checkpointing process's setting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Checkpoint`] for truncated, corrupted,
+    /// wrong-version or configuration-mismatched bytes.
+    pub fn restore(factory: F, state: &[u8], jobs: usize) -> Result<Self, MbptaError> {
+        use crate::persist::{unseal, Decode, Reader, MAGIC_SESSION};
+        let payload = unseal(state, MAGIC_SESSION)?;
+        let mut r = Reader::new(payload);
+        let total = r.usize()?;
+        let snapshot_every = r.usize()?;
+        let since_snapshot = r.usize()?;
+        let rr_cursor = r.usize()?;
+        let early_finish = r.bool()?;
+        let polling = r.bool()?;
+        let n_channels = r.usize()?;
+        if n_channels > payload.len() {
+            return Err(MbptaError::checkpoint(
+                "checkpoint channel count exceeds the payload size",
+            ));
+        }
+        let mut channels = Vec::with_capacity(n_channels);
+        let mut index = HashMap::with_capacity(n_channels);
+        for _ in 0..n_channels {
+            let id = ChannelId::decode(&mut r)?;
+            let engine = if r.bool()? {
+                Some(factory.restore(&id, r.bytes()?)?)
+            } else {
+                None
+            };
+            let early_verdict = match r.u8()? {
+                0 => None,
+                1 => Some(Ok(Verdict::decode(&mut r)?)),
+                2 => Some(Err(MbptaError::decode(&mut r)?)),
+                other => {
+                    return Err(MbptaError::checkpoint(format!(
+                        "unknown early-verdict tag {other}"
+                    )))
+                }
+            };
+            let accepted = r.usize()?;
+            let failed = Option::decode(&mut r)?;
+            let dropped = r.usize()?;
+            let last_emitted_n = Option::decode(&mut r)?;
+            let last_polled_len = r.usize()?;
+            let converged_emitted = r.bool()?;
+            if engine.is_none() && early_verdict.is_none() && failed.is_none() {
+                return Err(MbptaError::checkpoint(
+                    "checkpointed channel has neither an engine nor a recorded outcome",
+                ));
+            }
+            if engine.is_some() && early_verdict.is_some() {
+                return Err(MbptaError::checkpoint(
+                    "checkpointed channel has both a live engine and an early verdict",
+                ));
+            }
+            if index.insert(id.clone(), channels.len()).is_some() {
+                return Err(MbptaError::checkpoint(format!(
+                    "checkpoint repeats channel `{id}`"
+                )));
+            }
+            channels.push(ChannelState {
+                id,
+                engine,
+                early_verdict,
+                accepted,
+                failed,
+                dropped,
+                last_emitted_n,
+                last_polled_len,
+                converged_emitted,
+            });
+        }
+        r.finish()?;
+        Ok(AnalysisSession {
+            factory,
+            channels,
+            index,
+            total,
+            snapshot_every,
+            since_snapshot,
+            rr_cursor,
+            jobs,
+            early_finish,
+            polling,
+        })
+    }
+
     /// Finish every channel's engine and fold the per-channel verdicts
     /// into the merged [`SessionVerdict`]. Channels are finished in
     /// parallel over the workspace sharding engine (bounded by the
@@ -812,7 +963,7 @@ impl SessionVerdict {
 mod tests {
     use super::*;
     use crate::config::MbptaConfig;
-    use crate::engine::EngineKind;
+    use crate::engine::{BatchFactory, EngineKind};
     use crate::pipeline::analyze_impl;
     use rand::{Rng, SeedableRng};
 
@@ -1117,6 +1268,97 @@ mod tests {
             early_v.budget_for(1e-12).unwrap(),
         );
         assert!((f / e - 1.0).abs() < 0.05, "full={f} early={e}");
+    }
+
+    #[test]
+    fn session_checkpoint_resume_is_bit_identical_mid_feed() {
+        let a = campaign(1.0e5, 1600, 31);
+        let b = campaign(1.2e5, 1600, 32);
+        let build = || {
+            MbptaConfig::default()
+                .session()
+                .snapshot_every(100)
+                .build_batch()
+                .unwrap()
+        };
+        let mut uninterrupted = build();
+        let mut resumed = build();
+        let mut resumed_snaps = Vec::new();
+        let mut uninterrupted_snaps = Vec::new();
+        for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {
+            for (ch, v) in [("a", x), ("b", y)] {
+                if let Some(s) = uninterrupted.push(Tagged::new(ch, v)).unwrap() {
+                    uninterrupted_snaps.push(s);
+                }
+                if let Some(s) = resumed.push(Tagged::new(ch, v)).unwrap() {
+                    resumed_snaps.push(s);
+                }
+            }
+            if i == 700 {
+                // Checkpoint → restore mid-feed, with a different jobs
+                // setting; everything downstream must not notice.
+                let blob = resumed.checkpoint().unwrap();
+                let factory = BatchFactory::new(MbptaConfig::default(), 1e-12).unwrap();
+                resumed = AnalysisSession::restore(factory, &blob, 3).unwrap();
+                assert_eq!(resumed.len(), uninterrupted.len());
+                assert_eq!(resumed.jobs(), 3);
+            }
+        }
+        assert_eq!(resumed_snaps, uninterrupted_snaps);
+        let merged_u = uninterrupted.merge();
+        let merged_r = resumed.merge();
+        for ch in ["a", "b"] {
+            assert_eq!(merged_u.verdict(ch).unwrap(), merged_r.verdict(ch).unwrap());
+        }
+    }
+
+    #[test]
+    fn checkpoint_captures_quarantine_and_early_finish() {
+        let feed = campaign(1e5, 6000, 9);
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .early_finish(true)
+            .build_batch()
+            .unwrap();
+        for &x in &feed {
+            session.push(Tagged::new("good", x)).unwrap();
+            session.push(Tagged::new("stuck", 500.0)).unwrap();
+        }
+        {
+            let ch = session.channel("good").unwrap();
+            assert!(ch.finished_early(), "stationary feed finishes early");
+        }
+        let blob = session.checkpoint().unwrap();
+        let factory = BatchFactory::new(MbptaConfig::default(), 1e-12).unwrap();
+        let restored = AnalysisSession::restore(factory, &blob, 0).unwrap();
+        let (a, b) = (session.merge(), restored.merge());
+        assert_eq!(a.verdict("good").unwrap(), b.verdict("good").unwrap());
+        assert_eq!(a.verdict("stuck").unwrap(), b.verdict("stuck").unwrap());
+        assert_eq!(a.channels()[0].dropped, b.channels()[0].dropped);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_bytes_with_typed_errors() {
+        let mut session = MbptaConfig::default().session().build_batch().unwrap();
+        for x in campaign(1e5, 400, 10) {
+            session.push(Tagged::new("only", x)).unwrap();
+        }
+        let blob = session.checkpoint().unwrap();
+        let factory = || BatchFactory::new(MbptaConfig::default(), 1e-12).unwrap();
+        for cut in [0, 4, 12, blob.len() / 2, blob.len() - 1] {
+            assert!(matches!(
+                AnalysisSession::restore(factory(), &blob[..cut], 0),
+                Err(MbptaError::Checkpoint { .. })
+            ));
+        }
+        let mut flipped = blob.clone();
+        let mid = flipped.len() / 3;
+        flipped[mid] ^= 1;
+        assert!(matches!(
+            AnalysisSession::restore(factory(), &flipped, 0),
+            Err(MbptaError::Checkpoint { .. })
+        ));
     }
 
     #[test]

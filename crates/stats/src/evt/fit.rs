@@ -135,6 +135,15 @@ pub fn fit_gev(maxima: &[f64]) -> Result<Gev, StatsError> {
     }
     let c = (2.0 * b1 - b0) / denom - std::f64::consts::LN_2 / 3f64.ln();
     let k = 7.8590 * c + 2.9554 * c * c; // Hosking shape, k = −ξ
+                                         // On near-degenerate samples the PWM differences are pure rounding
+                                         // noise and their ratio can land far outside the Hosking domain
+                                         // (|k| < 0.5). The closed forms below need Γ(1+k), so a shape at or
+                                         // below −1 is a fit failure, never a panic.
+    if k <= -1.0 {
+        return Err(StatsError::NoConvergence {
+            what: "gev pwm shape outside the Hosking domain",
+        });
+    }
     let (sigma, mu) = if k.abs() < 1e-6 {
         // Gumbel limit.
         let sigma = (2.0 * b1 - b0) / std::f64::consts::LN_2;
@@ -326,6 +335,17 @@ mod tests {
         let xs = vec![1.0, 2.0, 3.0];
         assert!(fit_gumbel_pwm(&xs).is_err());
         assert!(fit_gev(&xs).is_err());
+    }
+
+    #[test]
+    fn gev_fit_on_constant_sample_errors_instead_of_panicking() {
+        // PWM differences on a constant sample are rounding noise; the
+        // implied Hosking shape can land below −1, where Γ(1+k) is
+        // undefined. Regression: this used to panic inside ln_gamma.
+        for n in [20usize, 64, 100, 500] {
+            let xs = vec![500.0f64; n];
+            assert!(fit_gev(&xs).is_err(), "n={n}");
+        }
     }
 
     #[test]

@@ -237,20 +237,20 @@ pub struct PwcetSnapshot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamAnalyzer {
-    config: StreamConfig,
-    sketch: QuantileSketch,
-    monitor: IidMonitor,
-    n: usize,
-    current_block_max: f64,
-    current_block_len: usize,
-    maxima: Vec<f64>,
-    blocks_since_refit: usize,
-    snapshots: usize,
-    last_estimate: Option<f64>,
-    stable_run: usize,
-    converged_at: Option<usize>,
-    last_fit_error: Option<MbptaError>,
-    last_snapshot: Option<PwcetSnapshot>,
+    pub(crate) config: StreamConfig,
+    pub(crate) sketch: QuantileSketch,
+    pub(crate) monitor: IidMonitor,
+    pub(crate) n: usize,
+    pub(crate) current_block_max: f64,
+    pub(crate) current_block_len: usize,
+    pub(crate) maxima: Vec<f64>,
+    pub(crate) blocks_since_refit: usize,
+    pub(crate) snapshots: usize,
+    pub(crate) last_estimate: Option<f64>,
+    pub(crate) stable_run: usize,
+    pub(crate) converged_at: Option<usize>,
+    pub(crate) last_fit_error: Option<MbptaError>,
+    pub(crate) last_snapshot: Option<PwcetSnapshot>,
 }
 
 impl StreamAnalyzer {

@@ -141,6 +141,14 @@ impl Engine for StreamEngine {
     fn finish(&mut self) -> Result<Verdict, MbptaError> {
         finish_into_verdict(&mut self.analyzer, EngineKind::Stream, true)
     }
+
+    fn save_state(&self) -> Result<Vec<u8>, MbptaError> {
+        use proxima_mbpta::persist::{seal, Encode, Writer, MAGIC_ENGINE};
+        let mut w = Writer::new();
+        EngineKind::Stream.encode(&mut w);
+        self.analyzer.encode(&mut w);
+        Ok(seal(MAGIC_ENGINE, w.into_bytes()))
+    }
 }
 
 /// Creates a [`StreamEngine`] per session channel, all sharing one
@@ -175,6 +183,26 @@ impl EngineFactory for StreamFactory {
 
     fn create(&self, _channel: &ChannelId) -> Result<StreamEngine, MbptaError> {
         StreamEngine::new(self.config.clone())
+    }
+
+    fn restore(&self, _channel: &ChannelId, state: &[u8]) -> Result<StreamEngine, MbptaError> {
+        use proxima_mbpta::persist::{unseal, Decode, Reader, MAGIC_ENGINE};
+        let payload = unseal(state, MAGIC_ENGINE)?;
+        let mut r = Reader::new(payload);
+        let kind = EngineKind::decode(&mut r)?;
+        if !matches!(kind, EngineKind::Stream) {
+            return Err(MbptaError::checkpoint(format!(
+                "checkpointed engine is `{kind}`, session expects `stream`"
+            )));
+        }
+        let analyzer = StreamAnalyzer::decode(&mut r)?;
+        r.finish()?;
+        if *analyzer.config() != self.config {
+            return Err(MbptaError::checkpoint(
+                "checkpointed stream engine configuration does not match the session's",
+            ));
+        }
+        Ok(StreamEngine { analyzer })
     }
 }
 

@@ -141,10 +141,10 @@ impl FederatedConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FederatedAnalyzer {
-    config: FederatedConfig,
-    shards: Vec<StreamAnalyzer>,
-    shard_len: usize,
-    n: usize,
+    pub(crate) config: FederatedConfig,
+    pub(crate) shards: Vec<StreamAnalyzer>,
+    pub(crate) shard_len: usize,
+    pub(crate) n: usize,
 }
 
 impl FederatedAnalyzer {
@@ -409,6 +409,14 @@ impl Engine for FederatedEngine {
         // `None`).
         finish_into_verdict(&mut merged, EngineKind::Federated, false)
     }
+
+    fn save_state(&self) -> Result<Vec<u8>, MbptaError> {
+        use proxima_mbpta::persist::{seal, Encode, Writer, MAGIC_ENGINE};
+        let mut w = Writer::new();
+        EngineKind::Federated.encode(&mut w);
+        self.analyzer.encode(&mut w);
+        Ok(seal(MAGIC_ENGINE, w.into_bytes()))
+    }
 }
 
 /// Creates a [`FederatedEngine`] per session channel, all sharing one
@@ -441,6 +449,26 @@ impl EngineFactory for FederatedFactory {
 
     fn create(&self, _channel: &ChannelId) -> Result<FederatedEngine, MbptaError> {
         FederatedEngine::new(self.config.clone())
+    }
+
+    fn restore(&self, _channel: &ChannelId, state: &[u8]) -> Result<FederatedEngine, MbptaError> {
+        use proxima_mbpta::persist::{unseal, Decode, Reader, MAGIC_ENGINE};
+        let payload = unseal(state, MAGIC_ENGINE)?;
+        let mut r = Reader::new(payload);
+        let kind = EngineKind::decode(&mut r)?;
+        if !matches!(kind, EngineKind::Federated) {
+            return Err(MbptaError::checkpoint(format!(
+                "checkpointed engine is `{kind}`, session expects `federated`"
+            )));
+        }
+        let analyzer = FederatedAnalyzer::decode(&mut r)?;
+        r.finish()?;
+        if *analyzer.config() != self.config {
+            return Err(MbptaError::checkpoint(
+                "checkpointed federated engine configuration does not match the session's",
+            ));
+        }
+        Ok(FederatedEngine { analyzer })
     }
 }
 

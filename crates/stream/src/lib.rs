@@ -70,6 +70,7 @@ pub mod analyzer;
 pub mod engine;
 pub mod federated;
 pub mod monitor;
+pub mod persist;
 pub mod replay;
 pub mod sketch;
 

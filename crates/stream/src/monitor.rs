@@ -96,13 +96,13 @@ impl IidHealth {
 /// ```
 #[derive(Debug, Clone)]
 pub struct IidMonitor {
-    window: VecDeque<f64>,
-    capacity: usize,
-    alpha: f64,
+    pub(crate) window: VecDeque<f64>,
+    pub(crate) capacity: usize,
+    pub(crate) alpha: f64,
 }
 
 /// Observations required before the diagnostics run.
-const MIN_WINDOW: usize = 50;
+pub(crate) const MIN_WINDOW: usize = 50;
 
 impl IidMonitor {
     /// Create a monitor holding the last `capacity` observations, testing

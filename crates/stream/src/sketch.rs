@@ -29,10 +29,10 @@ use proxima_stats::StatsError;
 /// true rank of `v` lies in `[r_min, r_max]`; the GK invariant keeps
 /// `g_i + delta_i ≤ ⌊2εn⌋ + 1` so any rank query is answerable within `εn`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Tuple {
-    v: f64,
-    g: u64,
-    delta: u64,
+pub(crate) struct Tuple {
+    pub(crate) v: f64,
+    pub(crate) g: u64,
+    pub(crate) delta: u64,
 }
 
 /// An ε-approximate streaming quantile sketch over `f64` observations.
@@ -54,13 +54,13 @@ struct Tuple {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantileSketch {
-    epsilon: f64,
-    tuples: Vec<Tuple>,
-    n: u64,
-    inserts_since_compress: u64,
-    min: f64,
-    max: f64,
-    sum: f64,
+    pub(crate) epsilon: f64,
+    pub(crate) tuples: Vec<Tuple>,
+    pub(crate) n: u64,
+    pub(crate) inserts_since_compress: u64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    pub(crate) sum: f64,
 }
 
 impl QuantileSketch {

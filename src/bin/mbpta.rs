@@ -25,10 +25,11 @@
 use std::process::ExitCode;
 
 use proxima::mbpta::cv::analyze_cv;
-use proxima::mbpta::engine::EngineFactory;
+use proxima::mbpta::engine::{BatchFactory, EngineFactory, EngineKind};
+use proxima::mbpta::persist;
 use proxima::prelude::*;
 use proxima::stream::replay::{LineSource, TraceReplay};
-use proxima::stream::StreamConfig;
+use proxima::stream::{FederatedFactory, StreamConfig, StreamFactory};
 
 const USAGE: &str = "\
 mbpta - measurement-based probabilistic timing analysis
@@ -42,6 +43,9 @@ USAGE:
   mbpta session [<file>] [--target-p <p>] [--block <n>] [--every <k>]
                 [--batch] [--shards <n>] [--jobs <j>] [--stop-on-converged]
                 [--simulate] [--runs <n>] [--seed <s>]
+                [--checkpoint <path> --checkpoint-every <k>]
+  mbpta session --resume <path> [<file>] [--jobs <j>]
+                [--checkpoint <path> --checkpoint-every <k>]
   mbpta --help
 
 COMMANDS:
@@ -104,6 +108,23 @@ OPTIONS (session):
   --stop-on-converged  stop once every channel's estimate is stable;
                        converged channels finish early and free
                        their engine state immediately
+
+CHECKPOINT / RESUME (session):
+  --checkpoint <path>      write a checkpoint of the full session state
+                           to <path> (atomic write-rename: a crash
+                           mid-write never corrupts the file)
+  --checkpoint-every <k>   checkpoint cadence, in measurements; required
+                           with --checkpoint
+  --resume <path>          resume a checkpointed session; the engine and
+                           analysis flags are read from the file, so
+                           they must not be repeated (re-supply the
+                           measurement file for file feeds; a simulated
+                           feed is regenerated from the recorded
+                           runs/seed). The resumed report is
+                           bit-identical to an uninterrupted run.
+  --crash-after <n>        abort the process after <n> measurements —
+                           a deterministic crash injector for the
+                           restart-determinism CI job
 ";
 
 fn main() -> ExitCode {
@@ -481,11 +502,187 @@ const TVCA_PATHS: &[(&str, ControlMode)] = &[
     ("fault-recovery", ControlMode::FaultRecovery),
 ];
 
+/// Everything `--resume` needs to rebuild a session besides the session
+/// blob itself: the engine selection, the analysis knobs, and (for
+/// simulated feeds) the campaign parameters.
+#[derive(Debug, Clone, PartialEq)]
+struct SessionParams {
+    kind: EngineKind,
+    block: usize,
+    target_p: f64,
+    every: usize,
+    shards: usize,
+    stop_on_converged: bool,
+    /// `Some((runs, seed))` when the feed is the built-in simulator.
+    sim: Option<(usize, u64)>,
+}
+
+/// Magic tag of a `mbpta session` checkpoint file (which wraps the
+/// library's session blob together with the CLI parameters).
+const MAGIC_CLI_CHECKPOINT: [u8; 4] = *b"PXCP";
+
+impl SessionParams {
+    fn encode(&self, w: &mut persist::Writer) {
+        persist::Encode::encode(&self.kind, w);
+        w.usize(self.block);
+        w.f64(self.target_p);
+        w.usize(self.every);
+        w.usize(self.shards);
+        w.bool(self.stop_on_converged);
+        match self.sim {
+            None => w.bool(false),
+            Some((runs, seed)) => {
+                w.bool(true);
+                w.usize(runs);
+                w.u64(seed);
+            }
+        }
+    }
+
+    fn decode(r: &mut persist::Reader<'_>) -> Result<Self, String> {
+        let mut take = || -> Result<SessionParams, proxima::mbpta::MbptaError> {
+            Ok(SessionParams {
+                kind: persist::Decode::decode(r)?,
+                block: r.usize()?,
+                target_p: r.f64()?,
+                every: r.usize()?,
+                shards: r.usize()?,
+                stop_on_converged: r.bool()?,
+                sim: if r.bool()? {
+                    Some((r.usize()?, r.u64()?))
+                } else {
+                    None
+                },
+            })
+        };
+        take().map_err(|e| e.to_string())
+    }
+}
+
+/// Write a session checkpoint file atomically and durably: serialize to
+/// `<path>.tmp` in the same directory, fsync it, rename over `<path>`,
+/// then fsync the directory — a crash (or power cut) mid-write leaves
+/// either the previous checkpoint or the new one, never a torn file.
+fn write_checkpoint<F: EngineFactory>(
+    path: &str,
+    params: &SessionParams,
+    session: &AnalysisSession<F>,
+) -> Result<(), String> {
+    use std::io::Write;
+    let blob = session
+        .checkpoint()
+        .map_err(|e| format!("cannot checkpoint session: {e}"))?;
+    let mut w = persist::Writer::new();
+    params.encode(&mut w);
+    w.usize(session.len());
+    w.bytes(&blob);
+    let bytes = persist::seal(MAGIC_CLI_CHECKPOINT, w.into_bytes());
+    let tmp = format!("{path}.tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(|e| format!("cannot create {tmp}: {e}"))?;
+    file.write_all(&bytes)
+        .map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    // The rename only renames metadata; without flushing the data first,
+    // a power cut shortly after the rename could leave the *new* name
+    // pointing at an empty/partial file with the old checkpoint gone.
+    file.sync_all()
+        .map_err(|e| format!("cannot sync {tmp}: {e}"))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} over {path}: {e}"))?;
+    // Persist the rename itself (best effort — directory fsync is not
+    // supported everywhere).
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read a session checkpoint file: `(params, measurements consumed,
+/// session blob)`.
+fn read_checkpoint(path: &str) -> Result<(SessionParams, usize, Vec<u8>), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let payload = persist::unseal(&bytes, MAGIC_CLI_CHECKPOINT).map_err(|e| e.to_string())?;
+    let mut r = persist::Reader::new(payload);
+    let params = SessionParams::decode(&mut r)?;
+    let consumed = r.usize().map_err(|e| e.to_string())?;
+    let blob = r.bytes().map_err(|e| e.to_string())?.to_vec();
+    r.finish().map_err(|e| e.to_string())?;
+    Ok((params, consumed, blob))
+}
+
+/// Parse and validate the `--checkpoint`/`--checkpoint-every` pair.
+fn checkpoint_spec(args: &[String]) -> Result<Option<(String, usize)>, String> {
+    let path = flag_value(args, "--checkpoint")?;
+    let every: Option<usize> = flag_value(args, "--checkpoint-every")?
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("invalid value for --checkpoint-every: `{raw}`"))
+        })
+        .transpose()?;
+    match (path, every) {
+        (None, None) => Ok(None),
+        (Some(_), None) => Err("--checkpoint requires --checkpoint-every".into()),
+        (None, Some(_)) => Err("--checkpoint-every requires --checkpoint".into()),
+        (Some(_), Some(0)) => Err("--checkpoint-every must be positive".into()),
+        (Some(path), Some(every)) => Ok(Some((path.to_string(), every))),
+    }
+}
+
 fn session_cmd(args: &[String]) -> Result<(), String> {
+    let jobs: usize = parse_flag(args, "--jobs", 0)?;
+    let ckpt = checkpoint_spec(args)?;
+    let crash_after: Option<usize> = flag_value(args, "--crash-after")?
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("invalid value for --crash-after: `{raw}`"))
+        })
+        .transpose()?;
+
+    if let Some(resume_path) = flag_value(args, "--resume")? {
+        // The checkpoint records the full session configuration;
+        // re-specifying engine or analysis flags would either be
+        // redundant or silently conflict with the recorded state.
+        for flag in [
+            "--batch",
+            "--shards",
+            "--block",
+            "--every",
+            "--target-p",
+            "--stop-on-converged",
+            "--simulate",
+            "--runs",
+            "--seed",
+            "--path",
+        ] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!(
+                    "{flag} conflicts with --resume (the checkpoint already records \
+                     the session configuration)"
+                ));
+            }
+        }
+        let (params, consumed, blob) = read_checkpoint(resume_path)?;
+        eprintln!("resuming from {resume_path}: {consumed} measurements already analysed",);
+        return run_session(
+            args,
+            &params,
+            jobs,
+            consumed,
+            Some(&blob),
+            ckpt.as_ref(),
+            crash_after,
+        );
+    }
+
     let target_p: f64 = parse_flag(args, "--target-p", 1e-12)?;
     let block: usize = parse_flag(args, "--block", 50)?;
     let every: usize = parse_flag(args, "--every", 250)?;
-    let jobs: usize = parse_flag(args, "--jobs", 0)?;
     let shards: usize = parse_flag(args, "--shards", 0)?;
     let batch = args.iter().any(|a| a == "--batch");
     let simulate = args.iter().any(|a| a == "--simulate");
@@ -530,28 +727,45 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let builder = MbptaConfig {
-        block: BlockSpec::Fixed(block),
-        ..MbptaConfig::default()
-    }
-    .session()
-    .snapshot_every(every)
-    .target_p(target_p)
-    .jobs(jobs)
-    // Converged channels free their engine state immediately; the feed
-    // keeps going until every channel converged (or runs out).
-    .early_finish(stop_on_converged);
-
-    let sim = if simulate {
-        Some(sim_params(args, 1500)?)
-    } else {
-        None
+    let params = SessionParams {
+        kind: if batch {
+            EngineKind::Batch
+        } else if shards > 0 {
+            EngineKind::Federated
+        } else {
+            EngineKind::Stream
+        },
+        block,
+        target_p,
+        every,
+        shards,
+        stop_on_converged,
+        sim: if simulate {
+            Some(sim_params(args, 1500)?)
+        } else {
+            None
+        },
     };
-    let feed: Box<dyn Iterator<Item = Result<Tagged, String>>> = if let Some((runs, seed)) = sim {
+    run_session(args, &params, jobs, 0, None, ckpt.as_ref(), crash_after)
+}
+
+/// Build the tagged feed a session analyses — the simulated four-path
+/// TVCA campaign when `params.sim` is set, a tagged file/stdin otherwise
+/// — skipping the first `consumed` measurements (already analysed by a
+/// checkpointed run being resumed).
+fn session_feed(
+    args: &[String],
+    params: &SessionParams,
+    jobs: usize,
+    consumed: usize,
+) -> Result<Box<dyn Iterator<Item = Result<Tagged, String>>>, String> {
+    if let Some((runs, seed)) = params.sim {
         // All four TVCA paths measured in ONE thread pool (`run_many`
         // shards the 4 × runs indices over the workers), then replayed
         // into the session as a round-robin interleaved tagged feed —
-        // the demux workload end to end.
+        // the demux workload end to end. The campaign is a pure function
+        // of (runs, seed), so a resumed run regenerates the identical
+        // feed and skips what the checkpoint already covered.
         let tvca = Tvca::new(TvcaConfig::default());
         let traces: Vec<Vec<Inst>> = TVCA_PATHS.iter().map(|(_, m)| tvca.trace(*m)).collect();
         let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant()).with_jobs(jobs);
@@ -573,7 +787,7 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
                 tagged.push(Tagged::new(channel.clone(), campaign.times()[i]));
             }
         }
-        Box::new(tagged.into_iter().map(Ok))
+        Ok(Box::new(tagged.into_iter().map(Ok).skip(consumed)))
     } else {
         let reader: Box<dyn std::io::BufRead> = match positional(args) {
             Some(file) => Box::new(std::io::BufReader::new(
@@ -581,35 +795,86 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
             )),
             None => Box::new(std::io::BufReader::new(std::io::stdin())),
         };
-        Box::new(tagged_lines(reader))
-    };
+        Ok(Box::new(tagged_lines(reader).skip(consumed)))
+    }
+}
+
+/// Build (or restore, when `resume_blob` is set) the session described
+/// by `params` and drive the feed through it.
+fn run_session(
+    args: &[String],
+    params: &SessionParams,
+    jobs: usize,
+    consumed: usize,
+    resume_blob: Option<&[u8]>,
+    ckpt: Option<&(String, usize)>,
+    crash_after: Option<usize>,
+) -> Result<(), String> {
+    let feed = session_feed(args, params, jobs, consumed)?;
+    let builder = MbptaConfig {
+        block: BlockSpec::Fixed(params.block),
+        ..MbptaConfig::default()
+    }
+    .session()
+    .snapshot_every(params.every)
+    .target_p(params.target_p)
+    .jobs(jobs)
+    // Converged channels free their engine state immediately; the feed
+    // keeps going until every channel converged (or runs out).
+    .early_finish(params.stop_on_converged);
 
     let stream_config = StreamConfig {
-        block_size: block,
-        target_p,
+        block_size: params.block,
+        target_p: params.target_p,
         ..StreamConfig::default()
     };
-    if batch {
-        let session = builder.build_batch().map_err(|e| e.to_string())?;
-        drive_session(session, feed, target_p, stop_on_converged)
-    } else if shards > 0 {
-        // Federated: each channel routed to per-shard analyzers folded at
-        // merge. With a known per-channel volume (--simulate) the shards
-        // are balanced; for files/stdin the default block-aligned shard
-        // length applies. Reports are bit-identical at every shard count.
-        let mut config = FederatedConfig::new(stream_config, shards);
-        if let Some((runs, _)) = sim {
-            config = config.balanced_for(runs);
+    match params.kind {
+        EngineKind::Batch => {
+            let config = MbptaConfig {
+                block: BlockSpec::Fixed(params.block),
+                ..MbptaConfig::default()
+            };
+            let factory = BatchFactory::new(config, params.target_p).map_err(|e| e.to_string())?;
+            let session = match resume_blob {
+                Some(blob) => {
+                    AnalysisSession::restore(factory, blob, jobs).map_err(|e| e.to_string())?
+                }
+                None => builder.build_with(factory).map_err(|e| e.to_string())?,
+            };
+            drive_session(session, feed, params, ckpt, crash_after)
         }
-        let session = builder
-            .build_federated_with(config)
-            .map_err(|e| e.to_string())?;
-        drive_session(session, feed, target_p, stop_on_converged)
-    } else {
-        let session = builder
-            .build_stream_with(stream_config)
-            .map_err(|e| e.to_string())?;
-        drive_session(session, feed, target_p, stop_on_converged)
+        EngineKind::Federated => {
+            // Federated: each channel routed to per-shard analyzers
+            // folded at merge. With a known per-channel volume
+            // (--simulate) the shards are balanced; for files/stdin the
+            // default block-aligned shard length applies. Reports are
+            // bit-identical at every shard count.
+            let mut config = FederatedConfig::new(stream_config, params.shards);
+            if let Some((runs, _)) = params.sim {
+                config = config.balanced_for(runs);
+            }
+            let factory = FederatedFactory::new(config).map_err(|e| e.to_string())?;
+            let session = match resume_blob {
+                Some(blob) => {
+                    AnalysisSession::restore(factory, blob, jobs).map_err(|e| e.to_string())?
+                }
+                None => builder.build_with(factory).map_err(|e| e.to_string())?,
+            };
+            drive_session(session, feed, params, ckpt, crash_after)
+        }
+        EngineKind::Stream => {
+            let factory = StreamFactory::new(stream_config).map_err(|e| e.to_string())?;
+            let session = match resume_blob {
+                Some(blob) => {
+                    AnalysisSession::restore(factory, blob, jobs).map_err(|e| e.to_string())?
+                }
+                None => builder.build_with(factory).map_err(|e| e.to_string())?,
+            };
+            drive_session(session, feed, params, ckpt, crash_after)
+        }
+        // `EngineKind` is #[non_exhaustive]: a kind added by a future
+        // library version has no CLI wiring here yet.
+        other => Err(format!("engine kind `{other}` has no session wiring")),
     }
 }
 
@@ -632,14 +897,18 @@ fn tagged_lines(reader: impl std::io::BufRead) -> impl Iterator<Item = Result<Ta
     })
 }
 
-/// Ingest a tagged feed, print scheduled snapshots, merge, and print the
-/// per-channel verdicts plus the program-level envelope.
+/// Ingest a tagged feed, print scheduled snapshots, write checkpoints at
+/// the configured cadence, merge, and print the per-channel verdicts
+/// plus the program-level envelope.
 fn drive_session<F: EngineFactory>(
     mut session: AnalysisSession<F>,
     feed: impl Iterator<Item = Result<Tagged, String>>,
-    target_p: f64,
-    stop_on_converged: bool,
+    params: &SessionParams,
+    ckpt: Option<&(String, usize)>,
+    crash_after: Option<usize>,
 ) -> Result<(), String> {
+    let target_p = params.target_p;
+    let stop_on_converged = params.stop_on_converged;
     for tagged in feed {
         let snap = session.push(tagged?).map_err(|e| e.to_string())?;
         if let Some(snap) = snap {
@@ -660,6 +929,22 @@ fn drive_session<F: EngineFactory>(
                 );
                 break;
             }
+        }
+        if let Some((path, every)) = ckpt {
+            if session.len() % every == 0 {
+                write_checkpoint(path, params, &session)?;
+            }
+        }
+        if crash_after.is_some_and(|n| session.len() >= n) {
+            // Deterministic crash injection for the restart-determinism
+            // CI job: die hard, no unwinding, no cleanup — exactly like
+            // a kill -9 mid-campaign. The last atomic checkpoint (if
+            // any) is what a resume sees.
+            eprintln!(
+                "crashing after {} measurements (--crash-after)",
+                session.len()
+            );
+            std::process::abort();
         }
     }
     if session.is_empty() {

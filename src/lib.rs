@@ -61,6 +61,7 @@ pub use proxima_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use proxima_mbpta::persist::{Decode, Encode};
     pub use proxima_mbpta::session::SessionVerdict;
     #[allow(deprecated)] // the deprecated shims stay importable from the prelude
     pub use proxima_mbpta::{analyze, measure_and_analyze};
@@ -73,6 +74,9 @@ pub mod prelude {
     pub use proxima_prng::{Mwc64, PrngKind, RandomSource};
     pub use proxima_sim::{Inst, InstKind, Platform, PlatformConfig};
     pub use proxima_stats::dist::ContinuousDistribution;
+    pub use proxima_stream::persist::{
+        load_analyzer, load_federated, save_analyzer, save_federated,
+    };
     #[allow(deprecated)]
     pub use proxima_stream::PipelineStreamExt;
     pub use proxima_stream::{

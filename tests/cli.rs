@@ -334,35 +334,190 @@ fn session_sharded_report_is_identical_at_every_shard_count() {
 }
 
 #[test]
-fn session_rejects_shards_with_batch_or_stop_on_converged() {
-    let out = mbpta()
-        .args(["session", "--simulate", "--batch", "--shards", "2"])
-        .output()
-        .expect("spawn");
-    assert!(!out.status.success());
-    assert!(
-        String::from_utf8_lossy(&out.stderr).contains("--shards"),
-        "{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    // Convergence is tracked per shard only; gating the stop on it would
-    // make the report depend on the shard geometry.
-    let out = mbpta()
-        .args([
-            "session",
-            "--simulate",
+fn session_rejects_conflicting_flag_combos() {
+    // Table-driven negative paths: every conflicting combination must be
+    // rejected fast (before any measuring/IO) with a pointed message.
+    // Covers the pre-existing --shards conflicts plus the checkpoint /
+    // resume flag surface.
+    let table: &[(&[&str], &str)] = &[
+        // Engine-selection conflicts (PR 4 invariants).
+        (
+            &["session", "--simulate", "--batch", "--shards", "2"],
             "--shards",
-            "2",
+        ),
+        (
+            &[
+                "session",
+                "--simulate",
+                "--shards",
+                "2",
+                "--stop-on-converged",
+            ],
             "--stop-on-converged",
-        ])
+        ),
+        // Checkpoint flags come in pairs.
+        (
+            &["session", "--simulate", "--checkpoint", "ck.bin"],
+            "--checkpoint requires",
+        ),
+        (
+            &["session", "--simulate", "--checkpoint-every", "100"],
+            "--checkpoint-every requires",
+        ),
+        (
+            &[
+                "session",
+                "--simulate",
+                "--checkpoint",
+                "ck.bin",
+                "--checkpoint-every",
+                "0",
+            ],
+            "--checkpoint-every must be positive",
+        ),
+        // --resume records the configuration; re-specifying it conflicts.
+        (
+            &["session", "--resume", "ck.bin", "--batch"],
+            "--batch conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--shards", "4"],
+            "--shards conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--block", "25"],
+            "--block conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--every", "100"],
+            "--every conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--target-p", "1e-9"],
+            "--target-p conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--stop-on-converged"],
+            "--stop-on-converged conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--simulate"],
+            "--simulate conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--runs", "100"],
+            "--runs conflicts with --resume",
+        ),
+        (
+            &["session", "--resume", "ck.bin", "--seed", "7"],
+            "--seed conflicts with --resume",
+        ),
+        // Simulation-only flags still need --simulate.
+        (&["session", "--runs", "100"], "--runs requires --simulate"),
+        (&["session", "--seed", "5"], "--seed requires --simulate"),
+        // --path never applied to sessions.
+        (
+            &["session", "--simulate", "--path", "nominal"],
+            "--path is not valid",
+        ),
+    ];
+    for (args, expected) in table {
+        let out = mbpta().args(*args).output().expect("spawn");
+        assert!(
+            !out.status.success(),
+            "`{}` unexpectedly succeeded",
+            args.join(" ")
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(expected),
+            "`{}` stderr missing `{expected}`:\n{stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn session_resume_rejects_missing_and_corrupt_checkpoints() {
+    let out = mbpta()
+        .args(["session", "--resume", "/nonexistent/ck.bin"])
         .output()
         .expect("spawn");
     assert!(!out.status.success());
     assert!(
-        String::from_utf8_lossy(&out.stderr).contains("--stop-on-converged"),
+        String::from_utf8_lossy(&out.stderr).contains("cannot open"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let bogus = dir.join("bogus_checkpoint.bin");
+    std::fs::write(&bogus, b"definitely not a checkpoint").expect("write");
+    let out = mbpta()
+        .args(["session", "--resume", bogus.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checkpoint"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn session_checkpoint_crash_resume_is_bit_identical() {
+    // The restart-determinism contract, end to end on the built binary:
+    // crash a checkpointing session mid-campaign (deterministically, via
+    // --crash-after), resume from the last atomic checkpoint, and the
+    // resumed stdout must be an exact suffix of the uninterrupted run's
+    // — snapshots and final report alike — for stream and federated
+    // engines.
+    let dir = std::env::temp_dir().join("proxima_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    for (label, extra) in [("stream", &[][..]), ("federated", &["--shards", "4"][..])] {
+        let ck = dir.join(format!("crash_resume_{label}.bin"));
+        let _ = std::fs::remove_file(&ck);
+        let base = ["session", "--simulate", "--runs", "500", "--block", "25"];
+
+        let full = mbpta().args(base).args(extra).output().expect("spawn");
+        assert!(full.status.success());
+        let full_log = String::from_utf8_lossy(&full.stdout).to_string();
+
+        let crashed = mbpta()
+            .args(base)
+            .args(extra)
+            .args([
+                "--checkpoint",
+                ck.to_str().expect("utf8 path"),
+                "--checkpoint-every",
+                "600",
+                "--crash-after",
+                "1500",
+            ])
+            .output()
+            .expect("spawn");
+        assert!(!crashed.status.success(), "--crash-after must kill the run");
+        assert!(ck.exists(), "a checkpoint must survive the crash");
+
+        let resumed = mbpta()
+            .args(["session", "--resume", ck.to_str().expect("utf8 path")])
+            .output()
+            .expect("spawn");
+        assert!(
+            resumed.status.success(),
+            "{}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        let resumed_log = String::from_utf8_lossy(&resumed.stdout).to_string();
+        assert!(
+            full_log.ends_with(&resumed_log),
+            "[{label}] resumed output is not a suffix of the uninterrupted run\n\
+             --- uninterrupted ---\n{full_log}\n--- resumed ---\n{resumed_log}"
+        );
+        assert!(resumed_log.contains("session total=2000 channels=4"));
+    }
 }
 
 #[test]
