@@ -150,5 +150,73 @@ fn bench_session_demux(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_session_demux);
+/// Batched vs single-measurement session feeds on a channel-major feed
+/// (all of channel 0, then channel 1, …): the shape where the CLI's
+/// run-buffering actually forms large batches. Bit-identity of the bulk
+/// path is asserted via session checkpoint bytes before timing.
+fn bench_session_batch_ingest(c: &mut Criterion) {
+    const CHUNK: usize = 4096;
+    const CHANNELS: usize = 4;
+    let per_channel = TOTAL / CHANNELS;
+    let feeds: Vec<(String, Vec<f64>)> = (0..CHANNELS)
+        .map(|ch| (format!("chan{ch}"), campaign(per_channel, 1 + ch as u64)))
+        .collect();
+
+    let build = || {
+        MbptaConfig::default()
+            .session()
+            .snapshot_every(0)
+            .build_stream_with(stream_config())
+            .expect("config")
+    };
+
+    // Identity guard: batched and itemized channel-major feeds produce
+    // the same checkpoint, byte for byte.
+    let mut itemized = build();
+    for (name, v) in &feeds {
+        for &x in v {
+            itemized.push(Tagged::new(name.as_str(), x)).expect("feed");
+        }
+    }
+    let mut batched = build();
+    for (name, v) in &feeds {
+        for chunk in v.chunks(CHUNK) {
+            batched.push_batch(name.as_str(), chunk).expect("feed");
+        }
+    }
+    assert_eq!(
+        batched.checkpoint().expect("checkpoint"),
+        itemized.checkpoint().expect("checkpoint"),
+        "batched session feed diverged from itemized"
+    );
+
+    let mut group = c.benchmark_group("session_ingest_batch_vs_single");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL as u64));
+    group.bench_function("single_push_24k", |b| {
+        b.iter(|| {
+            let mut session = build();
+            for (name, v) in &feeds {
+                for &x in v {
+                    session.push(Tagged::new(name.as_str(), x)).expect("feed");
+                }
+            }
+            black_box(session.len())
+        })
+    });
+    group.bench_function("batch_push_24k", |b| {
+        b.iter(|| {
+            let mut session = build();
+            for (name, v) in &feeds {
+                for chunk in v.chunks(CHUNK) {
+                    session.push_batch(name.as_str(), chunk).expect("feed");
+                }
+            }
+            black_box(session.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_demux, bench_session_batch_ingest);
 criterion_main!(benches);

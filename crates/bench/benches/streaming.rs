@@ -97,5 +97,56 @@ fn bench_streaming_vs_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_streaming_vs_batch);
+/// Batched vs single-measurement ingest on the same campaign: the bulk
+/// path must be bit-identical (asserted via checkpoint bytes) while
+/// amortizing sketch compaction and monitor maintenance over each chunk.
+/// The machine-independent gate on this claim lives in the
+/// `ingest_report` bin; here criterion reads the wall-clock side.
+fn bench_batch_vs_single_ingest(c: &mut Criterion) {
+    const CHUNK: usize = 4096;
+    let times = campaign(N, 3);
+
+    // Identity guard: same checkpoint bytes, so same sketch tuples,
+    // monitor window, maxima and counters.
+    let mut itemized = StreamAnalyzer::new(stream_config()).expect("config");
+    itemized.extend(times.iter().copied()).expect("ingest");
+    let mut batched = StreamAnalyzer::new(stream_config()).expect("config");
+    for chunk in times.chunks(CHUNK) {
+        batched.push_batch(chunk).expect("ingest");
+    }
+    assert_eq!(
+        proxima_stream::persist::save_analyzer(&batched),
+        proxima_stream::persist::save_analyzer(&itemized),
+        "batched ingest diverged from itemized"
+    );
+
+    let mut group = c.benchmark_group("ingest_batch_vs_single");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("single_push_10k", |b| {
+        b.iter(|| {
+            let mut a = StreamAnalyzer::new(stream_config()).expect("config");
+            for &x in &times {
+                a.push(x).expect("ingest");
+            }
+            black_box(a.len())
+        })
+    });
+    group.bench_function("batch_push_10k", |b| {
+        b.iter(|| {
+            let mut a = StreamAnalyzer::new(stream_config()).expect("config");
+            for chunk in times.chunks(CHUNK) {
+                a.push_batch(chunk).expect("ingest");
+            }
+            black_box(a.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_streaming_vs_batch,
+    bench_batch_vs_single_ingest
+);
 criterion_main!(benches);

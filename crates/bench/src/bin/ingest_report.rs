@@ -1,0 +1,193 @@
+//! **Ingest hot-path report**: batched vs itemized ingestion cost,
+//! measured by machine-independent counters — emits `BENCH_ingest.json`.
+//!
+//! Wall-clock throughput on a shared 1-core CI runner is noise, so the
+//! regression gate is the quantile sketch's tuple-maintenance counter
+//! (`QuantileSketch::maintenance_ops`): tuple slots shifted, merged or
+//! sorted per ingested measurement. Batched ingest must do at least
+//! [`MIN_SPEEDUP`]× less maintenance work per measurement than itemized
+//! ingest, at the sketch level and through the full stream analyzer.
+//! Bit-identity of the batched state is asserted before anything is
+//! reported — a fast batch that computes a different sketch is a bug,
+//! not a win. Wall-clock ops/sec are included in the JSON for local
+//! reading but never gated on.
+//!
+//! ```text
+//! cargo run --release -p proxima-bench --bin ingest_report [-- <out.json>]
+//! ```
+
+use std::time::Instant;
+
+use proxima_prng::{RandomSource, SplitMix64};
+use proxima_stream::persist::save_analyzer;
+use proxima_stream::{QuantileSketch, StreamAnalyzer, StreamConfig};
+
+/// Measurements in the synthetic campaign.
+const N: usize = 100_000;
+/// Measurements per `push_batch` call (the CLI's feed chunk size).
+const CHUNK: usize = 4096;
+/// Rank-error bound of the gated sketch (the analyzer default).
+const EPSILON: f64 = 0.001;
+/// The gate: itemized maintenance ops per measurement must be at least
+/// this multiple of the batched ops per measurement.
+const MIN_SPEEDUP: f64 = 5.0;
+
+/// Deterministic synthetic campaign: base latency plus summed uniform
+/// jitter (SplitMix64 — the bench crate's bins avoid the dev-only rand).
+fn campaign(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut uniform = || (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    (0..n)
+        .map(|_| 1e5 + (0..8).map(|_| uniform()).sum::<f64>() * 100.0)
+        .collect()
+}
+
+/// One measured ingest run: the counter delta, final tuple count, and
+/// wall time.
+struct IngestRun {
+    maintenance_ops: u64,
+    tuples: usize,
+    elapsed_s: f64,
+}
+
+impl IngestRun {
+    fn ops_per_measurement(&self) -> f64 {
+        self.maintenance_ops as f64 / N as f64
+    }
+
+    fn measurements_per_s(&self) -> f64 {
+        N as f64 / self.elapsed_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"maintenance_ops\": {}, \"ops_per_measurement\": {:.3}, \
+             \"tuples\": {}, \"elapsed_s\": {:.6}, \"measurements_per_s\": {:.0}}}",
+            self.maintenance_ops,
+            self.ops_per_measurement(),
+            self.tuples,
+            self.elapsed_s,
+            self.measurements_per_s(),
+        )
+    }
+}
+
+fn sketch_run(times: &[f64], batched: bool) -> (QuantileSketch, IngestRun) {
+    let mut sketch = QuantileSketch::new(EPSILON).expect("epsilon");
+    let start = Instant::now();
+    if batched {
+        for chunk in times.chunks(CHUNK) {
+            sketch.push_batch(chunk);
+        }
+    } else {
+        for &x in times {
+            sketch.insert(x);
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let run = IngestRun {
+        maintenance_ops: sketch.maintenance_ops(),
+        tuples: sketch.tuples(),
+        elapsed_s,
+    };
+    (sketch, run)
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        block_size: 50,
+        refit_every_blocks: 5,
+        bootstrap: None, // gate the ingest path, not the bootstrap
+        ..StreamConfig::default()
+    }
+}
+
+fn analyzer_run(times: &[f64], batched: bool) -> (StreamAnalyzer, IngestRun) {
+    let mut analyzer = StreamAnalyzer::new(stream_config()).expect("config");
+    let start = Instant::now();
+    if batched {
+        for chunk in times.chunks(CHUNK) {
+            analyzer.push_batch(chunk).expect("clean feed");
+        }
+    } else {
+        analyzer.extend(times.iter().copied()).expect("clean feed");
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let run = IngestRun {
+        maintenance_ops: analyzer.sketch().maintenance_ops(),
+        tuples: analyzer.sketch().tuples(),
+        elapsed_s,
+    };
+    (analyzer, run)
+}
+
+/// Approximate resident analyzer state, in bytes: sketch tuples
+/// (`(v, g, delta)` = 24 bytes), the i.i.d. monitor window, and the
+/// block maxima — the bounded-memory footprint the streaming design
+/// trades per-item work for.
+fn analyzer_state_bytes(a: &StreamAnalyzer) -> usize {
+    a.sketch().tuples() * 24 + a.monitor().len() * 8 + a.maxima().len() * 8
+}
+
+/// Gate one level: itemized must cost at least `MIN_SPEEDUP`× the
+/// batched maintenance ops per measurement.
+fn gate(level: &str, itemized: &IngestRun, batched: &IngestRun) -> f64 {
+    let speedup = itemized.maintenance_ops as f64 / batched.maintenance_ops as f64;
+    eprintln!(
+        "{level}: itemized {:.1} ops/measurement, batched {:.1} ops/measurement \
+         ({speedup:.1}x, gate {MIN_SPEEDUP}x)",
+        itemized.ops_per_measurement(),
+        batched.ops_per_measurement(),
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "{level} ingest regression: batched maintenance is only {speedup:.2}x \
+         cheaper than itemized (gate: {MIN_SPEEDUP}x)"
+    );
+    speedup
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+    let times = campaign(N, 42);
+
+    // Sketch level.
+    let (sketch_item, item) = sketch_run(&times, false);
+    let (sketch_batch, batch) = sketch_run(&times, true);
+    assert_eq!(
+        sketch_batch, sketch_item,
+        "batched sketch diverged from itemized"
+    );
+    let sketch_speedup = gate("sketch", &item, &batch);
+
+    // Full analyzer (sketch + monitor + block maxima + refits).
+    let (analyzer_item, a_item) = analyzer_run(&times, false);
+    let (analyzer_batch, a_batch) = analyzer_run(&times, true);
+    assert_eq!(
+        save_analyzer(&analyzer_batch),
+        save_analyzer(&analyzer_item),
+        "batched analyzer checkpoint diverged from itemized"
+    );
+    let analyzer_speedup = gate("analyzer", &a_item, &a_batch);
+
+    let state_bytes = analyzer_state_bytes(&analyzer_batch);
+    let json = format!(
+        "{{\n  \"schema\": \"mbpta-bench-ingest/1\",\n  \"n\": {N},\n  \
+         \"chunk\": {CHUNK},\n  \"sketch\": {{\n    \"epsilon\": {EPSILON},\n    \
+         \"itemized\": {},\n    \"batched\": {},\n    \"speedup_ops\": {sketch_speedup:.2}\n  }},\n  \
+         \"analyzer\": {{\n    \"itemized\": {},\n    \"batched\": {},\n    \
+         \"speedup_ops\": {analyzer_speedup:.2},\n    \"state_bytes\": {state_bytes},\n    \
+         \"bytes_per_measurement\": {:.4}\n  }},\n  \
+         \"gate\": {{\"min_speedup_ops\": {MIN_SPEEDUP}, \"pass\": true}}\n}}\n",
+        item.json(),
+        batch.json(),
+        a_item.json(),
+        a_batch.json(),
+        state_bytes as f64 / N as f64,
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

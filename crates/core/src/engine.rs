@@ -253,6 +253,24 @@ pub trait Engine: Send {
     /// channel instead of aborting the session.
     fn push(&mut self, x: f64) -> Result<(), MbptaError>;
 
+    /// Bulk-ingest a slice of measurements. The default folds
+    /// [`push`](Self::push) over the slice, so every engine keeps
+    /// working unchanged; engines with an amortized bulk path (the
+    /// streaming and federated engines) override it. Either way the
+    /// engine afterwards is **bit-identical** to the itemized loop at
+    /// every batch split.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::push`]: ingestion stops at the first rejected
+    /// value, with everything before it ingested.
+    fn push_batch(&mut self, xs: &[f64]) -> Result<(), MbptaError> {
+        for &x in xs {
+            self.push(x)?;
+        }
+        Ok(())
+    }
+
     /// Measurements ingested so far.
     fn len(&self) -> usize;
 
@@ -265,6 +283,19 @@ pub trait Engine: Send {
     /// refit at their own cadence and may return a cached estimate; the
     /// caller detects freshness via [`EngineEstimate::n`].
     fn estimate(&mut self) -> Option<EngineEstimate>;
+
+    /// How many further measurements this engine can ingest with
+    /// [`estimate`](Self::estimate) and [`converged`](Self::converged)
+    /// guaranteed unchanged — i.e. its next refit/convergence event lies
+    /// strictly beyond that many ingests. The session's bulk path polls
+    /// once per such stretch instead of once per measurement.
+    ///
+    /// The default, `None`, promises nothing: the session falls back to
+    /// per-item scheduling, which keeps engines that refit *inside*
+    /// `estimate()` (the batch engine's poll-cadence refits) exact.
+    fn quiet_horizon(&self) -> Option<usize> {
+        None
+    }
 
     /// `true` once the engine's convergence criterion has been met
     /// (latched).

@@ -23,6 +23,27 @@
 //! held until [`AnalysisSession::merge`], and later measurements on that
 //! channel are counted and dropped.
 //!
+//! Same-channel runs can be bulk-ingested through
+//! [`AnalysisSession::push_batch`] (or a [`ChannelHandle`]'s), which is
+//! bit-identical to the per-item feed — identical snapshots, scheduler
+//! bookkeeping and checkpoint bytes — while the scheduler scan runs once
+//! per quiet stretch instead of once per measurement:
+//!
+//! ```
+//! use proxima_mbpta::session::Tagged;
+//! use proxima_mbpta::MbptaConfig;
+//!
+//! let times: Vec<f64> = (0..400).map(|i| 1e5 + f64::from(i % 83)).collect();
+//! let mut itemized = MbptaConfig::default().session().build_batch()?;
+//! for &x in &times {
+//!     itemized.push(Tagged::new("chan", x))?;
+//! }
+//! let mut batched = MbptaConfig::default().session().build_batch()?;
+//! batched.push_batch("chan", &times)?;
+//! assert_eq!(batched.checkpoint()?, itemized.checkpoint()?);
+//! # Ok::<(), proxima_mbpta::MbptaError>(())
+//! ```
+//!
 //! [`SessionBuilder::early_finish`]: crate::config::SessionBuilder::early_finish
 //!
 //! # Examples
@@ -439,6 +460,175 @@ impl<F: EngineFactory> AnalysisSession<F> {
         Ok(out)
     }
 
+    /// Bulk-ingest a slice of measurements for one channel, collecting
+    /// every snapshot the itemized [`push`](Self::push) loop would have
+    /// emitted — **bit for bit**, including the scheduler's checkpointed
+    /// bookkeeping — while the engine ingests in amortized batches.
+    ///
+    /// The slice is cut into *quiet stretches*: runs of measurements
+    /// across which the channel's engine guarantees its estimate and
+    /// convergence verdict cannot change ([`Engine::quiet_horizon`]) and
+    /// no scheduled snapshot falls due. Each stretch takes the engine's
+    /// [`Engine::push_batch`] path and settles the scheduler with one
+    /// poll (or, when the scheduler is primed, one scan) instead of one
+    /// per measurement; the measurements *at* refit checkpoints and
+    /// snapshot deadlines go through the exact per-item path. Engines
+    /// with no horizon (the batch engine's poll-cadence refits) fall
+    /// back to per-item scheduling throughout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Channel`] only if the engine factory fails
+    /// for a new channel. A measurement the engine rejects does *not*
+    /// error: exactly as in the itemized loop it quarantines the channel,
+    /// and the rest of the slice is counted as dropped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_mbpta::session::Tagged;
+    /// use proxima_mbpta::MbptaConfig;
+    ///
+    /// let feed: Vec<f64> = (0..2_000).map(|i| 1e5 + ((i * 37) % 500) as f64).collect();
+    /// let mut batched = MbptaConfig::default().session().build_batch()?;
+    /// let mut itemized = MbptaConfig::default().session().build_batch()?;
+    ///
+    /// let snaps = batched.push_batch("nominal", &feed)?;
+    /// let mut reference = Vec::new();
+    /// for &x in &feed {
+    ///     reference.extend(itemized.push(Tagged::new("nominal", x))?);
+    /// }
+    /// assert_eq!(snaps, reference);
+    /// # Ok::<(), proxima_mbpta::MbptaError>(())
+    /// ```
+    pub fn push_batch(
+        &mut self,
+        channel: impl Into<ChannelId>,
+        xs: &[f64],
+    ) -> Result<Vec<SessionSnapshot>, MbptaError> {
+        let index = self.channel_index(channel.into())?;
+        Ok(self.push_batch_at(index, xs))
+    }
+
+    fn push_batch_at(&mut self, index: usize, xs: &[f64]) -> Vec<SessionSnapshot> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < xs.len() {
+            let stretch = self.quiet_stretch(index, xs.len() - i);
+            if stretch <= 1 {
+                // At a refit checkpoint, snapshot deadline or pending
+                // announcement: take the exact per-item path.
+                if let Some(snap) = self.push_at(index, xs[i]) {
+                    out.push(snap);
+                }
+                i += 1;
+                continue;
+            }
+            let chunk = &xs[i..i + stretch];
+            i += stretch;
+            self.ingest_quietly(index, chunk);
+            if !self.polling {
+                continue;
+            }
+            if self.snapshot_every == 0 {
+                self.poll_quietly(index);
+            } else if self.since_snapshot >= self.snapshot_every {
+                // Primed scheduler: the per-item scans all provably
+                // failed (no channel was fresh when it primed and the
+                // pushed engine is inside its quiet horizon); the last
+                // item's full emit reproduces their cumulative
+                // bookkeeping exactly.
+                let emitted = self.emit(index);
+                debug_assert!(emitted.is_none(), "scan emitted inside a quiet stretch");
+            } else {
+                self.since_snapshot += chunk.len();
+                debug_assert!(self.since_snapshot < self.snapshot_every);
+                self.poll_quietly(index);
+            }
+        }
+        out
+    }
+
+    /// How many measurements can be bulk-ingested for `channels[index]`
+    /// from the current state before the per-item scheduler could do
+    /// anything but bookkeeping. `<= 1` means "go item by item".
+    fn quiet_stretch(&self, index: usize, remaining: usize) -> usize {
+        if !self.polling {
+            return remaining;
+        }
+        let state = &self.channels[index];
+        let engine_h = match &state.engine {
+            // Quarantined or early-finished: pushes only count drops and
+            // can never announce.
+            None => usize::MAX,
+            Some(engine) => {
+                if state.failed.is_none() && !state.converged_emitted && engine.converged() {
+                    return 1; // announcement pending on the next push
+                }
+                match engine.quiet_horizon() {
+                    None => return 1,
+                    Some(h) => h,
+                }
+            }
+        };
+        let schedule_h = if self.snapshot_every == 0 {
+            usize::MAX
+        } else if self.since_snapshot >= self.snapshot_every {
+            // Primed: scans run every item but provably keep failing
+            // inside the engine's horizon.
+            engine_h
+        } else {
+            self.snapshot_every - self.since_snapshot - 1
+        };
+        remaining.min(engine_h).min(schedule_h)
+    }
+
+    /// The per-item ingest loop of [`Self::push_at`], collapsed for a
+    /// quiet stretch: bulk engine ingest, with the itemized quarantine
+    /// semantics (prefix accepted, rejected value swallowed, remainder
+    /// dropped) on an engine error.
+    fn ingest_quietly(&mut self, index: usize, chunk: &[f64]) {
+        self.total += chunk.len();
+        let poll_eligible = self.polling;
+        let state = &mut self.channels[index];
+        match state.engine.as_mut() {
+            None => state.dropped += chunk.len(),
+            Some(engine) => {
+                let before = engine.len();
+                if let Err(e) = engine.push_batch(chunk) {
+                    let ingested = engine.len() - before;
+                    // The itemized loop polled after each accepted
+                    // measurement; settle that bookkeeping while the
+                    // engine is still here (a no-op when nothing was
+                    // accepted — the outcome class cannot change inside
+                    // the quiet stretch).
+                    if poll_eligible && state.failed.is_none() && !state.converged_emitted {
+                        let _ = state.fresh_estimate();
+                    }
+                    state.failed = Some(e);
+                    if let Some(engine) = state.engine.take() {
+                        state.accepted = engine.len();
+                    }
+                    // The rejected measurement itself is neither
+                    // accepted nor dropped, exactly as in `push_at`.
+                    state.dropped += chunk.len() - ingested - 1;
+                }
+            }
+        }
+    }
+
+    /// The convergence-announcement poll of [`Self::emit`] for a whole
+    /// quiet stretch: one `fresh_estimate` settles `last_polled_len` to
+    /// exactly the per-item end state (fruitless polls record the final
+    /// length; a fresh-but-unconverged estimate leaves it untouched —
+    /// and the class cannot flip inside the stretch).
+    fn poll_quietly(&mut self, index: usize) {
+        let state = &mut self.channels[index];
+        if state.failed.is_none() && !state.converged_emitted && state.engine.is_some() {
+            let _ = state.fresh_estimate();
+        }
+    }
+
     fn push_at(&mut self, index: usize, time: f64) -> Option<SessionSnapshot> {
         self.total += 1;
         let state = &mut self.channels[index];
@@ -803,6 +993,13 @@ impl<F: EngineFactory> ChannelHandle<'_, F> {
     /// [`AnalysisSession::push`], channel lookup already done).
     pub fn push(&mut self, time: f64) -> Option<SessionSnapshot> {
         self.session.push_at(self.index, time)
+    }
+
+    /// Bulk-ingest a slice of measurements into this channel (same
+    /// semantics and bit-identity guarantee as
+    /// [`AnalysisSession::push_batch`], channel lookup already done).
+    pub fn push_batch(&mut self, xs: &[f64]) -> Vec<SessionSnapshot> {
+        self.session.push_batch_at(self.index, xs)
     }
 
     /// Measurements this channel's engine accepted (frozen at the finish

@@ -24,6 +24,37 @@
 //! reference cutoff must stay within `rel_tol` for `stable_snapshots`
 //! checkpoints; [`StreamConfig::from_convergence`] maps a
 //! [`ConvergenceConfig`] onto the streaming knobs directly.
+//!
+//! # Bulk ingestion
+//!
+//! [`StreamAnalyzer::push_batch`] ingests a slice in one call and is
+//! **bit-identical** to pushing the values one by one — same snapshots,
+//! same refit points, same checkpoint bytes — while amortizing sketch
+//! compaction and monitor maintenance over each batch (the cost model
+//! is laid out in `docs/PERFORMANCE.md`):
+//!
+//! ```
+//! use proxima_stream::{StreamAnalyzer, StreamConfig};
+//!
+//! let config = StreamConfig {
+//!     block_size: 25,
+//!     refit_every_blocks: 4,
+//!     ..StreamConfig::default()
+//! };
+//! let times: Vec<f64> = (0..600).map(|i| 1e5 + f64::from(i % 97)).collect();
+//!
+//! let mut itemized = StreamAnalyzer::new(config.clone())?;
+//! let mut snaps_itemized = Vec::new();
+//! for &x in &times {
+//!     snaps_itemized.extend(itemized.push(x)?);
+//! }
+//! let mut batched = StreamAnalyzer::new(config)?;
+//! let snaps_batched = batched.push_batch(&times)?;
+//!
+//! assert_eq!(snaps_batched, snaps_itemized);
+//! assert_eq!(batched.len(), itemized.len());
+//! # Ok::<(), proxima_mbpta::MbptaError>(())
+//! ```
 
 use proxima_mbpta::confidence::{interval_from_maxima, BudgetInterval};
 use proxima_mbpta::convergence::ConvergenceConfig;
@@ -406,6 +437,107 @@ impl StreamAnalyzer {
         Ok(out)
     }
 
+    /// Bulk-ingest a slice of measurements, collecting every snapshot a
+    /// per-item [`push`](Self::push) loop would have emitted.
+    ///
+    /// The analyzer afterwards is **bit-identical** to the itemized loop
+    /// at every batch split — same sketch tuples, monitor window, block
+    /// maxima and snapshot sequence — but the sketch and monitor are
+    /// maintained in amortized chunks: the batch is cut exactly at the
+    /// refit checkpoints, so each refit still observes the state as of
+    /// its own measurement, and everything between two checkpoints goes
+    /// through [`QuantileSketch::insert_batch`] /
+    /// [`IidMonitor::push_batch`](crate::monitor::IidMonitor::push_batch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::push`]: ingestion stops at the first non-finite or
+    /// negative value. Everything before the bad value is ingested,
+    /// leaving the analyzer exactly where the itemized loop would stop.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_stream::analyzer::{StreamAnalyzer, StreamConfig};
+    ///
+    /// let config = StreamConfig::default();
+    /// let xs: Vec<f64> = (0..3_000).map(|i| 1e5 + ((i * 37) % 500) as f64).collect();
+    ///
+    /// let mut batched = StreamAnalyzer::new(config.clone())?;
+    /// let mut itemized = StreamAnalyzer::new(config)?;
+    /// let snaps = batched.push_batch(&xs)?;
+    /// assert_eq!(snaps, itemized.extend(xs.iter().copied())?);
+    /// assert_eq!(batched.len(), itemized.len());
+    /// # Ok::<(), proxima_mbpta::MbptaError>(())
+    /// ```
+    pub fn push_batch(&mut self, xs: &[f64]) -> Result<Vec<PwcetSnapshot>, MbptaError> {
+        let (valid, bad) = match xs.iter().position(|&x| !x.is_finite() || x < 0.0) {
+            Some(i) => (&xs[..i], true),
+            None => (xs, false),
+        };
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < valid.len() {
+            let to_refit = self.measurements_until_refit();
+            let chunk = &valid[i..(i + to_refit).min(valid.len())];
+            i += chunk.len();
+            self.ingest_chunk(chunk);
+            if chunk.len() == to_refit {
+                self.blocks_since_refit = 0;
+                if let Some(snap) = self.refit() {
+                    out.push(snap);
+                }
+            }
+        }
+        if bad {
+            return Err(MbptaError::Stats(StatsError::NonFiniteData));
+        }
+        Ok(out)
+    }
+
+    /// Measurements until the next refit checkpoint fires, given the
+    /// current partial block and refit cadence — where the bulk path must
+    /// cut its next chunk (and how far a session can bulk-ingest before
+    /// this analyzer's estimate can change).
+    pub(crate) fn measurements_until_refit(&self) -> usize {
+        let to_block = self.config.block_size - self.current_block_len;
+        let k = self
+            .config
+            .min_blocks
+            .saturating_sub(self.maxima.len())
+            .max(
+                self.config
+                    .refit_every_blocks
+                    .saturating_sub(self.blocks_since_refit),
+            )
+            .max(1);
+        (k - 1) * self.config.block_size + to_block
+    }
+
+    /// Ingest a pre-validated chunk that never crosses a refit checkpoint:
+    /// bulk sketch/monitor maintenance, per-block maxima folded in
+    /// arrival order.
+    fn ingest_chunk(&mut self, chunk: &[f64]) {
+        self.n += chunk.len();
+        self.sketch.insert_batch(chunk);
+        self.monitor.push_batch(chunk);
+        let mut i = 0usize;
+        while i < chunk.len() {
+            let take = (self.config.block_size - self.current_block_len).min(chunk.len() - i);
+            for &x in &chunk[i..i + take] {
+                self.current_block_max = self.current_block_max.max(x);
+            }
+            self.current_block_len += take;
+            i += take;
+            if self.current_block_len == self.config.block_size {
+                self.maxima.push(self.current_block_max);
+                self.current_block_max = f64::NEG_INFINITY;
+                self.current_block_len = 0;
+                self.blocks_since_refit += 1;
+            }
+        }
+    }
+
     /// Fold another analyzer that observed the **continuation** of this
     /// stream: the merged state is what a single analyzer would hold
     /// after ingesting this analyzer's measurements followed by
@@ -664,6 +796,48 @@ mod tests {
         ] {
             assert!(bad.validate().is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn push_batch_is_bit_identical_to_itemized_push() {
+        let stream = times(4_000, 21);
+        let mut itemized = StreamAnalyzer::new(fixed_config(25, 4)).unwrap();
+        let itemized_snaps = itemized.extend(stream.iter().copied()).unwrap();
+        let reference = crate::persist::save_analyzer(&itemized);
+        // Splits off, on and straddling block and refit boundaries.
+        for chunk in [1, 7, 25, 100, 101, 1_000, stream.len()] {
+            let mut batched = StreamAnalyzer::new(fixed_config(25, 4)).unwrap();
+            let mut snaps = Vec::new();
+            for piece in stream.chunks(chunk) {
+                snaps.extend(batched.push_batch(piece).unwrap());
+            }
+            assert_eq!(snaps, itemized_snaps, "chunk {chunk} snapshots diverged");
+            assert_eq!(
+                crate::persist::save_analyzer(&batched),
+                reference,
+                "chunk {chunk} checkpoint bytes diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn push_batch_stops_at_first_bad_value_like_itemized() {
+        let mut stream = times(1_234, 22);
+        stream.push(f64::NAN);
+        stream.extend(times(100, 23));
+        let mut itemized = StreamAnalyzer::new(fixed_config(25, 4)).unwrap();
+        assert!(itemized.extend(stream.iter().copied()).is_err());
+        let mut batched = StreamAnalyzer::new(fixed_config(25, 4)).unwrap();
+        assert!(batched.push_batch(&stream).is_err());
+        // Both ingested exactly the prefix before the bad value.
+        assert_eq!(batched.len(), 1_234);
+        assert_eq!(
+            crate::persist::save_analyzer(&batched),
+            crate::persist::save_analyzer(&itemized)
+        );
+        // A negative measurement is rejected the same way.
+        assert!(batched.push_batch(&[1.0, -3.0]).is_err());
+        assert_eq!(batched.len(), 1_235);
     }
 
     #[test]

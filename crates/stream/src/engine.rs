@@ -126,12 +126,23 @@ impl Engine for StreamEngine {
         self.analyzer.push(x).map(|_| ())
     }
 
+    fn push_batch(&mut self, xs: &[f64]) -> Result<(), MbptaError> {
+        self.analyzer.push_batch(xs).map(|_| ())
+    }
+
     fn len(&self) -> usize {
         self.analyzer.len()
     }
 
     fn estimate(&mut self) -> Option<EngineEstimate> {
         self.analyzer.last_snapshot().map(estimate_from_snapshot)
+    }
+
+    fn quiet_horizon(&self) -> Option<usize> {
+        // The cached snapshot and the convergence latch only move when a
+        // refit checkpoint completes; everything strictly before the
+        // next one is a quiet stretch.
+        Some(self.analyzer.measurements_until_refit().saturating_sub(1))
     }
 
     fn converged(&self) -> bool {

@@ -239,6 +239,21 @@ impl FederatedAnalyzer {
         (self.n / self.shard_len).min(self.shards.len() - 1)
     }
 
+    /// Measurements this analyzer can ingest before its observable
+    /// outputs ([`converged`](Self::converged), per-shard snapshots) can
+    /// next change: strictly before the active shard's next refit
+    /// checkpoint, and never across a shard handoff (a freshly fed shard
+    /// flips the convergence verdict).
+    pub(crate) fn quiet_horizon(&self) -> usize {
+        let s = self.active_shard();
+        let shard_h = self.shards[s].measurements_until_refit().saturating_sub(1);
+        if s == self.shards.len() - 1 {
+            shard_h
+        } else {
+            shard_h.min((s + 1) * self.shard_len - self.n)
+        }
+    }
+
     /// Ingest one measurement into its shard. Returns the shard's
     /// snapshot when this measurement completed one of its refit
     /// checkpoints.
@@ -251,6 +266,37 @@ impl FederatedAnalyzer {
         let snap = self.shards[s].push(x)?;
         self.n += 1;
         Ok(snap)
+    }
+
+    /// Bulk-ingest a slice of measurements, splitting it at the shard
+    /// boundaries so each contiguous piece takes its shard's amortized
+    /// [`StreamAnalyzer::push_batch`] path. Snapshots come back in the
+    /// order the itemized loop would have emitted them, and the analyzer
+    /// state — every shard — is bit-identical to it at every batch split.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::push`]: ingestion stops at the first non-finite or
+    /// negative value, with everything before it ingested.
+    pub fn push_batch(&mut self, xs: &[f64]) -> Result<Vec<PwcetSnapshot>, MbptaError> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < xs.len() {
+            let s = self.active_shard();
+            let take = if s == self.shards.len() - 1 {
+                xs.len() - i
+            } else {
+                ((s + 1) * self.shard_len - self.n).min(xs.len() - i)
+            };
+            let before = self.shards[s].len();
+            let result = self.shards[s].push_batch(&xs[i..i + take]);
+            // The shard ingested exactly the prefix before any bad value;
+            // mirror that into the routing count before propagating.
+            self.n += self.shards[s].len() - before;
+            out.extend(result?);
+            i += take;
+        }
+        Ok(out)
     }
 
     /// Replay `runs` executions of `trace` on the simulated platform,
@@ -387,6 +433,10 @@ impl Engine for FederatedEngine {
         self.analyzer.push(x).map(|_| ())
     }
 
+    fn push_batch(&mut self, xs: &[f64]) -> Result<(), MbptaError> {
+        self.analyzer.push_batch(xs).map(|_| ())
+    }
+
     fn len(&self) -> usize {
         self.analyzer.len()
     }
@@ -396,6 +446,10 @@ impl Engine for FederatedEngine {
         // prefixes, not the union, and emitting them would make session
         // output depend on the shard count.
         None
+    }
+
+    fn quiet_horizon(&self) -> Option<usize> {
+        Some(self.analyzer.quiet_horizon())
     }
 
     fn converged(&self) -> bool {
@@ -576,6 +630,66 @@ mod tests {
         assert_eq!(fed.len(), 200);
         let lens: Vec<usize> = fed.shards().iter().map(StreamAnalyzer::len).collect();
         assert_eq!(lens, vec![50, 50, 100], "last shard takes the overflow");
+    }
+
+    #[test]
+    fn federated_push_batch_is_bit_identical_to_itemized_push() {
+        let data = times(2_000, 17);
+        for shards in [1usize, 3, 4] {
+            let config = FederatedConfig {
+                stream: stream_config(),
+                shards,
+                shard_len: 500,
+            };
+            let mut itemized = FederatedAnalyzer::new(config.clone()).unwrap();
+            let mut itemized_snaps = Vec::new();
+            for &x in &data {
+                itemized_snaps.extend(itemized.push(x).unwrap());
+            }
+            let reference = crate::persist::save_federated(&itemized);
+            // Splits off, on and straddling the shard boundaries.
+            for chunk in [1, 13, 500, 501, 1_250, data.len()] {
+                let mut batched = FederatedAnalyzer::new(config.clone()).unwrap();
+                let mut snaps = Vec::new();
+                for piece in data.chunks(chunk) {
+                    snaps.extend(batched.push_batch(piece).unwrap());
+                }
+                assert_eq!(
+                    snaps, itemized_snaps,
+                    "shards {shards} chunk {chunk} snapshots diverged"
+                );
+                assert_eq!(
+                    crate::persist::save_federated(&batched),
+                    reference,
+                    "shards {shards} chunk {chunk} checkpoint bytes diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn federated_push_batch_error_leaves_itemized_state() {
+        let config = FederatedConfig {
+            stream: stream_config(),
+            shards: 3,
+            shard_len: 50,
+        };
+        let mut poisoned = times(130, 18);
+        poisoned.push(f64::NAN);
+        poisoned.extend(times(20, 19));
+        let mut itemized = FederatedAnalyzer::new(config.clone()).unwrap();
+        for &x in &poisoned {
+            if itemized.push(x).is_err() {
+                break;
+            }
+        }
+        let mut batched = FederatedAnalyzer::new(config).unwrap();
+        assert!(batched.push_batch(&poisoned).is_err());
+        assert_eq!(batched.len(), 130);
+        assert_eq!(
+            crate::persist::save_federated(&batched),
+            crate::persist::save_federated(&itemized)
+        );
     }
 
     #[test]

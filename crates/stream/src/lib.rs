@@ -82,5 +82,5 @@ pub use federated::{
     FederatedAnalyzer, FederatedConfig, FederatedEngine, FederatedFactory, SessionFederatedExt,
 };
 pub use monitor::{IidHealth, IidMonitor, IidStatus};
-pub use replay::{LineSource, LineSourceError, TraceReplay};
+pub use replay::{ByteLines, LineSource, LineSourceError, TraceReplay};
 pub use sketch::QuantileSketch;

@@ -144,6 +144,23 @@ impl IidMonitor {
         self.window.push_back(x);
     }
 
+    /// Bulk-ingest a slice of observations. The window afterwards is
+    /// exactly what folding [`push`](Self::push) over the slice leaves:
+    /// the most recent `capacity` observations — but computed without
+    /// per-item eviction churn (a batch at least as long as the window
+    /// replaces it outright; a shorter one evicts the overflow in one
+    /// drain).
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        if xs.len() >= self.capacity {
+            self.window.clear();
+            self.window.extend(&xs[xs.len() - self.capacity..]);
+            return;
+        }
+        let overflow = (self.window.len() + xs.len()).saturating_sub(self.capacity);
+        self.window.drain(..overflow);
+        self.window.extend(xs);
+    }
+
     /// Fold a monitor that observed the **continuation** of this stream:
     /// `other`'s window holds the observations that arrived after this
     /// one's, so the merged window is the concatenation trimmed to the
@@ -308,6 +325,33 @@ mod tests {
             let merged = merged.unwrap();
             assert_eq!(merged.window, single.window);
             assert_eq!(merged.health(), single.health());
+        }
+    }
+
+    #[test]
+    fn push_batch_matches_itemized_push_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let stream: Vec<f64> = (0..700).map(|_| 1e5 + 100.0 * rng.gen::<f64>()).collect();
+        for capacity in [50, 200, 650, 1000] {
+            let mut itemized = IidMonitor::new(capacity, 0.05);
+            for &x in &stream {
+                itemized.push(x);
+            }
+            // Splits shorter than, equal to and longer than the window.
+            for chunk in [1, 49, capacity, capacity + 1, stream.len()] {
+                let mut batched = IidMonitor::new(capacity, 0.05);
+                for piece in stream.chunks(chunk) {
+                    batched.push_batch(piece);
+                }
+                assert_eq!(
+                    batched.window, itemized.window,
+                    "capacity {capacity} chunk {chunk} diverged"
+                );
+            }
+            // Empty batch is a no-op.
+            let before = itemized.window.clone();
+            itemized.push_batch(&[]);
+            assert_eq!(itemized.window, before);
         }
     }
 

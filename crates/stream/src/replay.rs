@@ -11,7 +11,10 @@
 //!   batch campaign with the same master seed produces.
 //! * [`LineSource`] — parse the one-time-per-line interchange format
 //!   (blank lines and `#` comments skipped) incrementally from any
-//!   reader, without materializing the campaign first.
+//!   reader, without materializing the campaign first. Built on
+//!   [`ByteLines`], the zero-copy line walker: lines are parsed as byte
+//!   slices straight out of the reader's buffer, never copied into an
+//!   intermediate `String`.
 //!
 //! [`StreamAnalyzer`]: crate::analyzer::StreamAnalyzer
 
@@ -138,15 +141,21 @@ pub enum LineSourceError {
     /// The underlying reader failed (disk fault, closed pipe, bad UTF-8).
     Io(std::io::Error),
     /// A non-blank, non-comment line did not parse as a number.
-    Parse(String),
+    Parse {
+        /// 1-based line number in the feed (comments and blank lines
+        /// counted), so a bad line in a million-line feed is locatable.
+        line_no: u64,
+        /// The offending line, whitespace-trimmed.
+        line: String,
+    },
 }
 
 impl std::fmt::Display for LineSourceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LineSourceError::Io(e) => write!(f, "measurement stream read failed: {e}"),
-            LineSourceError::Parse(line) => {
-                write!(f, "unparsable measurement line: `{line}`")
+            LineSourceError::Parse { line_no, line } => {
+                write!(f, "unparsable measurement line {line_no}: `{line}`")
             }
         }
     }
@@ -156,13 +165,129 @@ impl std::error::Error for LineSourceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LineSourceError::Io(e) => Some(e),
-            LineSourceError::Parse(_) => None,
+            LineSourceError::Parse { .. } => None,
         }
+    }
+}
+
+/// Zero-copy line walker over any [`BufRead`]: hands each complete line
+/// to a closure as a byte slice borrowed straight from the reader's
+/// internal buffer — no intermediate `String` (or `Vec`) per line. A
+/// small carry buffer is touched only when a line straddles a buffer
+/// refill or the input ends without a trailing newline.
+///
+/// This is the ingestion path under [`LineSource`] and the CLI's tagged
+/// feed; it is public so other line-oriented formats can reuse it.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_stream::replay::ByteLines;
+///
+/// let mut lines = ByteLines::new("a\nbb\nccc".as_bytes());
+/// let mut lens = Vec::new();
+/// while let Some(len) = lines.next_line(|_, bytes| bytes.len()).unwrap() {
+///     lens.push(len);
+/// }
+/// assert_eq!(lens, vec![1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct ByteLines<R> {
+    reader: R,
+    /// Spill-over for lines that straddle a `fill_buf` boundary; empty on
+    /// the fast path.
+    carry: Vec<u8>,
+    line_no: u64,
+}
+
+impl<R: BufRead> ByteLines<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        ByteLines {
+            reader,
+            carry: Vec::new(),
+            line_no: 0,
+        }
+    }
+
+    /// Apply `f` to the next complete line — `(1-based line number, line
+    /// bytes without the trailing newline)` — and return its result.
+    /// `Ok(None)` means end of input. The slice is only valid inside the
+    /// closure; copy out what must outlive the call.
+    pub fn next_line<T>(&mut self, f: impl FnOnce(u64, &[u8]) -> T) -> std::io::Result<Option<T>> {
+        loop {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                // EOF. A final line without a trailing newline sits in
+                // the carry buffer.
+                if self.carry.is_empty() {
+                    return Ok(None);
+                }
+                self.line_no += 1;
+                let out = f(self.line_no, &self.carry);
+                self.carry.clear();
+                return Ok(Some(out));
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                None => {
+                    let n = buf.len();
+                    self.carry.extend_from_slice(buf);
+                    self.reader.consume(n);
+                }
+                Some(pos) => {
+                    self.line_no += 1;
+                    let out = if self.carry.is_empty() {
+                        f(self.line_no, &buf[..pos])
+                    } else {
+                        self.carry.extend_from_slice(&buf[..pos]);
+                        let out = f(self.line_no, &self.carry);
+                        self.carry.clear();
+                        out
+                    };
+                    self.reader.consume(pos + 1);
+                    return Ok(Some(out));
+                }
+            }
+        }
+    }
+}
+
+/// What one measurement line held, classified while its bytes are still
+/// borrowed from the reader's buffer.
+enum LineOutcome {
+    /// Blank line or `#` comment.
+    Skip,
+    Value(f64),
+    Bad(LineSourceError),
+}
+
+fn classify(line_no: u64, bytes: &[u8]) -> LineOutcome {
+    let trimmed = bytes.trim_ascii();
+    if trimmed.is_empty() || trimmed[0] == b'#' {
+        return LineOutcome::Skip;
+    }
+    let Ok(text) = std::str::from_utf8(trimmed) else {
+        // The previous String-based reader surfaced invalid UTF-8 as an
+        // I/O error; keep the transport-vs-data split unchanged.
+        return LineOutcome::Bad(LineSourceError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("stream did not contain valid UTF-8 (line {line_no})"),
+        )));
+    };
+    match text.parse::<f64>() {
+        Ok(v) => LineOutcome::Value(v),
+        Err(_) => LineOutcome::Bad(LineSourceError::Parse {
+            line_no,
+            line: text.to_string(),
+        }),
     }
 }
 
 /// Incremental reader of the one-time-per-line measurement format: yields
 /// each parsed value as it is read, skipping blank lines and `#` comments.
+/// Parsing is zero-copy — each line is read as bytes in place via
+/// [`ByteLines`], with no intermediate `String` per line — so feeding a
+/// million-line file allocates nothing on the per-measurement path.
 ///
 /// # Examples
 ///
@@ -173,18 +298,27 @@ impl std::error::Error for LineSourceError {
 /// let times: Result<Vec<f64>, _> = LineSource::new(data.as_bytes()).collect();
 /// assert_eq!(times.unwrap(), vec![100.0, 105.5, 103.0]);
 /// ```
+///
+/// A malformed line reports its position in the feed:
+///
+/// ```
+/// use proxima_stream::replay::LineSource;
+///
+/// let err = LineSource::new("# header\n100\noops\n".as_bytes())
+///     .collect::<Result<Vec<f64>, _>>()
+///     .unwrap_err();
+/// assert_eq!(err.to_string(), "unparsable measurement line 3: `oops`");
+/// ```
 #[derive(Debug)]
 pub struct LineSource<R> {
-    reader: R,
-    line: String,
+    lines: ByteLines<R>,
 }
 
 impl<R: BufRead> LineSource<R> {
     /// Wrap a buffered reader.
     pub fn new(reader: R) -> Self {
         LineSource {
-            reader,
-            line: String::new(),
+            lines: ByteLines::new(reader),
         }
     }
 }
@@ -194,21 +328,13 @@ impl<R: BufRead> Iterator for LineSource<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            self.line.clear();
-            match self.reader.read_line(&mut self.line) {
-                Ok(0) => return None,
-                Ok(_) => {}
+            match self.lines.next_line(classify) {
                 Err(e) => return Some(Err(LineSourceError::Io(e))),
+                Ok(None) => return None,
+                Ok(Some(LineOutcome::Skip)) => continue,
+                Ok(Some(LineOutcome::Value(v))) => return Some(Ok(v)),
+                Ok(Some(LineOutcome::Bad(e))) => return Some(Err(e)),
             }
-            let trimmed = self.line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
-            }
-            return Some(
-                trimmed
-                    .parse::<f64>()
-                    .map_err(|_| LineSourceError::Parse(trimmed.to_string())),
-            );
         }
     }
 }
@@ -288,10 +414,53 @@ mod tests {
         let mut src = LineSource::new("1\nabc\n2\n".as_bytes());
         assert_eq!(src.next().unwrap().unwrap(), 1.0);
         let err = src.next().unwrap().unwrap_err();
-        assert!(matches!(&err, LineSourceError::Parse(line) if line == "abc"));
-        assert!(err.to_string().contains("abc"));
+        assert!(
+            matches!(&err, LineSourceError::Parse { line_no: 2, line } if line == "abc"),
+            "{err:?}"
+        );
+        assert_eq!(err.to_string(), "unparsable measurement line 2: `abc`");
         assert_eq!(src.next().unwrap().unwrap(), 2.0);
         assert!(src.next().is_none());
+    }
+
+    #[test]
+    fn line_source_survives_lines_straddling_buffer_refills() {
+        // A 4-byte BufRead buffer forces every multi-digit line through
+        // the carry path; the parsed stream must be unchanged, and the
+        // final unterminated line must still be yielded.
+        let data = "# a long comment line\n123456\n\n7.25\n99999999";
+        let tiny = std::io::BufReader::with_capacity(4, data.as_bytes());
+        let vals: Result<Vec<f64>, _> = LineSource::new(tiny).collect();
+        assert_eq!(vals.unwrap(), vec![123456.0, 7.25, 99999999.0]);
+    }
+
+    #[test]
+    fn line_numbers_count_comments_and_blanks() {
+        // Line 5 is the bad one: comment, value, blank, value, garbage.
+        let data = "# h\n1\n\n2\nnope\n";
+        let err = LineSource::new(data.as_bytes())
+            .collect::<Result<Vec<f64>, _>>()
+            .unwrap_err();
+        assert!(
+            matches!(&err, LineSourceError::Parse { line_no: 5, line } if line == "nope"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn byte_lines_walks_raw_lines_with_numbers() {
+        let mut lines = ByteLines::new("a\n\nbb".as_bytes());
+        let mut seen = Vec::new();
+        while let Some(item) = lines
+            .next_line(|no, bytes| (no, String::from_utf8_lossy(bytes).into_owned()))
+            .unwrap()
+        {
+            seen.push(item);
+        }
+        assert_eq!(
+            seen,
+            vec![(1, "a".into()), (2, String::new()), (3, "bb".into())]
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub(crate) struct Tuple {
 /// assert!(s.tuples() < 600); // bounded memory, not 10k points
 /// # Ok::<(), proxima_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct QuantileSketch {
     pub(crate) epsilon: f64,
     pub(crate) tuples: Vec<Tuple>,
@@ -61,6 +61,27 @@ pub struct QuantileSketch {
     pub(crate) min: f64,
     pub(crate) max: f64,
     pub(crate) sum: f64,
+    /// Cumulative tuple-maintenance work (shifted/merged/sorted tuple
+    /// slots) — a machine-independent cost counter for the ingest
+    /// benches. Not part of the sketch's logical state: excluded from
+    /// equality and never persisted.
+    pub(crate) maintenance_ops: u64,
+}
+
+/// Equality is over the logical sketch state only; the
+/// [`maintenance_ops`](QuantileSketch::maintenance_ops) work counter is
+/// bookkeeping about *how* the state was reached, not part of it (the
+/// batched and itemized ingest paths must compare equal).
+impl PartialEq for QuantileSketch {
+    fn eq(&self, other: &Self) -> bool {
+        self.epsilon == other.epsilon
+            && self.tuples == other.tuples
+            && self.n == other.n
+            && self.inserts_since_compress == other.inserts_since_compress
+            && self.min == other.min
+            && self.max == other.max
+            && self.sum == other.sum
+    }
 }
 
 impl QuantileSketch {
@@ -84,6 +105,7 @@ impl QuantileSketch {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             sum: 0.0,
+            maintenance_ops: 0,
         })
     }
 
@@ -127,6 +149,21 @@ impl QuantileSketch {
         (2.0 * self.epsilon * self.n as f64).floor() as u64
     }
 
+    /// The smallest insert count at which the periodic compress fires —
+    /// the integer form of the `inserts as f64 >= 1/(2ε)` trigger, so the
+    /// batch path can cut its segments at exactly the itemized
+    /// compression points.
+    fn compress_threshold(&self) -> u64 {
+        let limit = 1.0 / (2.0 * self.epsilon);
+        let mut k = limit.ceil() as u64;
+        // Defend the float edge: k must be the *smallest* integer whose
+        // f64 image clears the trigger.
+        while k > 1 && (k - 1) as f64 >= limit {
+            k -= 1;
+        }
+        k.max(1)
+    }
+
     /// Ingest one observation. Non-finite values are ignored by the sketch
     /// proper (the analyzer validates before inserting).
     pub fn insert(&mut self, x: f64) {
@@ -145,6 +182,8 @@ impl QuantileSketch {
         } else {
             self.band().saturating_sub(1)
         };
+        // Cost model: the mid-list insert shifts every tuple behind it.
+        self.maintenance_ops += (self.tuples.len() - pos) as u64 + 1;
         self.tuples.insert(pos, Tuple { v: x, g: 1, delta });
         self.inserts_since_compress += 1;
         if self.inserts_since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
@@ -153,23 +192,168 @@ impl QuantileSketch {
         }
     }
 
+    /// Bulk-ingest a slice of observations, maintaining the summary in
+    /// amortized chunks: each segment between two compression points is
+    /// sorted once and sort-merged into the tuple list in a single pass,
+    /// instead of `len` binary-searched mid-list inserts.
+    ///
+    /// The resulting sketch is **bit-identical** to folding
+    /// [`insert`](Self::insert) over the slice — every tuple, counter and
+    /// side statistic, at every batch split — so checkpoints, merges and
+    /// the `εn` rank bound are untouched; only the maintenance cost
+    /// changes (see [`maintenance_ops`](Self::maintenance_ops)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_stream::sketch::QuantileSketch;
+    ///
+    /// let mut batched = QuantileSketch::new(0.01)?;
+    /// let mut itemized = QuantileSketch::new(0.01)?;
+    /// let xs: Vec<f64> = (0..5_000).map(|i| ((i * 37) % 1000) as f64).collect();
+    /// batched.insert_batch(&xs);
+    /// for &x in &xs {
+    ///     itemized.insert(x);
+    /// }
+    /// assert_eq!(batched, itemized);
+    /// # Ok::<(), proxima_stats::StatsError>(())
+    /// ```
+    pub fn insert_batch(&mut self, xs: &[f64]) {
+        let threshold = self.compress_threshold();
+        let mut seg: Vec<f64> = Vec::new();
+        let mut i = 0usize;
+        while i < xs.len() {
+            // A segment ends exactly where the itemized path would have
+            // compressed; `max(1)` keeps progress if a decoded counter
+            // somehow sits at/past the threshold (itemized would then
+            // compress after one more insert).
+            let room = threshold
+                .saturating_sub(self.inserts_since_compress)
+                .max(1)
+                .min(xs.len() as u64) as usize;
+            seg.clear();
+            while i < xs.len() && seg.len() < room {
+                let x = xs[i];
+                i += 1;
+                // Non-finite values are ignored and do not advance the
+                // compression counter, exactly as in `insert`.
+                if x.is_finite() {
+                    seg.push(x);
+                }
+            }
+            if seg.is_empty() {
+                break;
+            }
+            self.insert_segment(&seg);
+            self.inserts_since_compress += seg.len() as u64;
+            if self.inserts_since_compress >= threshold {
+                self.compress();
+                self.inserts_since_compress = 0;
+            }
+        }
+    }
+
+    /// Uniform bulk-ingest spelling shared with the monitor/analyzer/
+    /// session layers; identical to [`insert_batch`](Self::insert_batch).
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        self.insert_batch(xs);
+    }
+
+    /// Sort-merge one all-finite segment (never spanning a compression
+    /// point) into the tuple list, reproducing the per-item insert state
+    /// exactly: each element's `delta` is fixed by whether it was a new
+    /// extreme *at its own arrival* (against both the pre-existing tuples
+    /// and the earlier elements of the segment) and by `band(n)` at its
+    /// own `n`; ties land before equal-valued earlier arrivals, as
+    /// `partition_point` places them.
+    fn insert_segment(&mut self, seg: &[f64]) {
+        // Running extremes of the evolving tuple list: `pos == 0` in the
+        // itemized path means `x <= tuples[0].v`, `pos == len` means
+        // `x > tuples.last().v`.
+        let mut lo = self.tuples.first().map_or(f64::INFINITY, |t| t.v);
+        let mut hi = self.tuples.last().map_or(f64::NEG_INFINITY, |t| t.v);
+        // (value, arrival index, delta)
+        let mut entries: Vec<(f64, usize, u64)> = Vec::with_capacity(seg.len());
+        for (seq, &x) in seg.iter().enumerate() {
+            self.n += 1;
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+            self.sum += x;
+            let delta = if x <= lo || x > hi {
+                0
+            } else {
+                self.band().saturating_sub(1)
+            };
+            lo = lo.min(x);
+            hi = hi.max(x);
+            entries.push((x, seq, delta));
+        }
+        // Later arrivals sort before earlier ones at equal values: a
+        // repeated insert lands at the partition point, *before* the
+        // equal-valued tuple already present.
+        entries.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("segment values are finite")
+                .then(b.1.cmp(&a.1))
+        });
+        let old = std::mem::take(&mut self.tuples);
+        let m = entries.len();
+        // Cost model: one O(m log m) sort plus one linear merge pass.
+        self.maintenance_ops +=
+            (old.len() + m) as u64 + m as u64 * u64::from((m.max(2) - 1).ilog2() + 1);
+        let mut merged = Vec::with_capacity(old.len() + m);
+        let mut j = 0usize;
+        for t in old {
+            while j < m && entries[j].0 <= t.v {
+                let (v, _, delta) = entries[j];
+                merged.push(Tuple { v, g: 1, delta });
+                j += 1;
+            }
+            merged.push(t);
+        }
+        for &(v, _, delta) in &entries[j..] {
+            merged.push(Tuple { v, g: 1, delta });
+        }
+        self.tuples = merged;
+    }
+
     /// Merge adjacent tuples whose combined coverage still satisfies the GK
-    /// invariant, sweeping from the tail (standard GK compress).
+    /// invariant, sweeping from the tail (standard GK compress), in one
+    /// backward pass.
     fn compress(&mut self) {
         if self.tuples.len() < 3 {
             return;
         }
         let band = self.band();
-        let mut i = self.tuples.len() - 2;
-        // Never merge away the first or last tuple: they pin min/max ranks.
-        while i >= 1 {
-            let merged_g = self.tuples[i].g + self.tuples[i + 1].g;
-            if merged_g + self.tuples[i + 1].delta <= band {
-                self.tuples[i + 1].g = merged_g;
-                self.tuples.remove(i);
+        self.maintenance_ops += self.tuples.len() as u64;
+        let old = std::mem::take(&mut self.tuples);
+        let mut rev: Vec<Tuple> = Vec::with_capacity(old.len());
+        // Never merge away the first or last tuple: they pin min/max
+        // ranks. `right` is the rightmost not-yet-emitted survivor, so a
+        // run of small tuples chains into it exactly as the classic
+        // remove()-based sweep does.
+        let mut right = old[old.len() - 1];
+        for i in (1..old.len() - 1).rev() {
+            let merged_g = old[i].g + right.g;
+            if merged_g + right.delta <= band {
+                right.g = merged_g;
+            } else {
+                rev.push(right);
+                right = old[i];
             }
-            i -= 1;
         }
+        rev.push(right);
+        rev.push(old[0]);
+        rev.reverse();
+        self.tuples = rev;
+    }
+
+    /// Cumulative tuple-maintenance operations (slots shifted, merged or
+    /// sorted) since construction — the machine-independent work counter
+    /// the ingest benches compare batched vs itemized ingest on. Resets
+    /// to zero on checkpoint restore and never participates in equality.
+    pub fn maintenance_ops(&self) -> u64 {
+        self.maintenance_ops
     }
 
     /// Fold another sketch into this one, as if every observation the
@@ -500,6 +684,103 @@ mod tests {
         loose.insert(2.0);
         tight.merge(&loose);
         assert_eq!(tight.epsilon(), 0.05);
+    }
+
+    #[test]
+    fn batch_insert_is_bit_identical_to_itemized() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let streams: Vec<Vec<f64>> = vec![
+            (0..5_000).map(|_| 1e5 + 1e4 * rng.gen::<f64>()).collect(),
+            (0..5_000).map(|i| i as f64).collect(),
+            (0..5_000).rev().map(|i| i as f64).collect(),
+            (0..5_000)
+                .map(|i| if i % 10 == 0 { 2.0 } else { 1.0 })
+                .collect(),
+            vec![42.0; 3_000],
+        ];
+        for (k, stream) in streams.iter().enumerate() {
+            for eps in [0.001, 0.01, 0.2] {
+                let mut itemized = QuantileSketch::new(eps).unwrap();
+                for &x in stream {
+                    itemized.insert(x);
+                }
+                // One whole-stream batch, and ragged splits that straddle
+                // compression points.
+                for chunk in [stream.len(), 1, 7, 499, 500, 501] {
+                    let mut batched = QuantileSketch::new(eps).unwrap();
+                    for piece in stream.chunks(chunk) {
+                        batched.insert_batch(piece);
+                    }
+                    assert_eq!(
+                        batched, itemized,
+                        "stream {k} eps {eps} chunk {chunk} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_insert_skips_non_finite_like_itemized() {
+        let stream = [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY];
+        let mut itemized = QuantileSketch::new(0.01).unwrap();
+        for &x in &stream {
+            itemized.insert(x);
+        }
+        let mut batched = QuantileSketch::new(0.01).unwrap();
+        batched.insert_batch(&stream);
+        assert_eq!(batched, itemized);
+        assert_eq!(batched.len(), 3);
+        // An all-non-finite batch is a no-op.
+        let before = batched.clone();
+        batched.insert_batch(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(batched, before);
+    }
+
+    #[test]
+    fn batch_insert_does_less_maintenance_work() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let stream: Vec<f64> = (0..20_000).map(|_| 1e5 + 1e4 * rng.gen::<f64>()).collect();
+        let mut itemized = QuantileSketch::new(0.001).unwrap();
+        for &x in &stream {
+            itemized.insert(x);
+        }
+        let mut batched = QuantileSketch::new(0.001).unwrap();
+        for piece in stream.chunks(1_000) {
+            batched.insert_batch(piece);
+        }
+        assert_eq!(batched, itemized);
+        let (b, i) = (batched.maintenance_ops(), itemized.maintenance_ops());
+        assert!(
+            b * 5 <= i,
+            "batched ingest must do ≥5x less tuple maintenance: batched {b} vs itemized {i}"
+        );
+    }
+
+    #[test]
+    fn batched_compaction_keeps_the_rank_error_bound() {
+        // The εn bound must survive batched maintenance (acceptance: GK
+        // rank-error bound under batched compaction).
+        let eps = 0.01;
+        let n = 20_000usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut s = QuantileSketch::new(eps).unwrap();
+        let values: Vec<f64> = (0..n).map(|_| 1e5 + 1e4 * rng.gen::<f64>()).collect();
+        for piece in values.chunks(777) {
+            s.insert_batch(piece);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let est = s.quantile(phi).unwrap();
+            let rank = sorted.partition_point(|&v| v <= est) as f64;
+            let err = (rank - phi * n as f64).abs();
+            assert!(
+                err <= eps * n as f64 + 1.0,
+                "phi={phi} rank err {err} > {}",
+                eps * n as f64
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use proxima::mbpta::cv::analyze_cv;
 use proxima::mbpta::engine::{BatchFactory, EngineFactory, EngineKind};
 use proxima::mbpta::persist;
 use proxima::prelude::*;
-use proxima::stream::replay::{LineSource, TraceReplay};
+use proxima::stream::replay::{ByteLines, LineSource, TraceReplay};
 use proxima::stream::{FederatedFactory, StreamConfig, StreamFactory};
 
 const USAGE: &str = "\
@@ -451,20 +451,67 @@ fn stream_cmd(args: &[String]) -> Result<(), String> {
     let channel = ChannelId::new("stream");
     let mut snapshots = 0usize;
     let mut converged_at: Option<usize> = None;
-    for x in source {
-        let snap = session
-            .push(Tagged::new(channel.clone(), x?))
-            .map_err(|e| e.to_string())?;
-        if let Some(snap) = snap {
-            snapshots += 1;
-            if snap.estimate.converged && converged_at.is_none() {
-                converged_at = Some(snap.estimate.n);
+    if stop_on_converged {
+        // Convergence-gated stopping is measurement-granular — the feed
+        // must stop at exactly the converging measurement — so this mode
+        // keeps the per-item path.
+        for x in source {
+            let snap = session
+                .push(Tagged::new(channel.clone(), x?))
+                .map_err(|e| e.to_string())?;
+            if let Some(snap) = snap {
+                snapshots += 1;
+                if snap.estimate.converged && converged_at.is_none() {
+                    converged_at = Some(snap.estimate.n);
+                }
+                if !emit_estimate(None, target_p, &snap.estimate)? {
+                    return Ok(());
+                }
+                if snap.estimate.converged {
+                    break;
+                }
             }
-            if !emit_estimate(None, target_p, &snap.estimate)? {
-                return Ok(());
+        }
+    } else {
+        // Bulk path: chunk the feed through `push_batch`, which is
+        // bit-identical to the per-item loop (same snapshots, same final
+        // state) but amortizes sketch and scheduler maintenance.
+        let mut source = source;
+        let mut chunk: Vec<f64> = Vec::with_capacity(FEED_CHUNK);
+        let mut feed_err: Option<String> = None;
+        let mut ended = false;
+        while !ended {
+            chunk.clear();
+            while chunk.len() < FEED_CHUNK {
+                match source.next() {
+                    Some(Ok(x)) => chunk.push(x),
+                    Some(Err(e)) => {
+                        feed_err = Some(e);
+                        ended = true;
+                        break;
+                    }
+                    None => {
+                        ended = true;
+                        break;
+                    }
+                }
             }
-            if stop_on_converged && snap.estimate.converged {
-                break;
+            let snaps = session
+                .push_batch(channel.clone(), &chunk)
+                .map_err(|e| e.to_string())?;
+            for snap in snaps {
+                snapshots += 1;
+                if snap.estimate.converged && converged_at.is_none() {
+                    converged_at = Some(snap.estimate.n);
+                }
+                if !emit_estimate(None, target_p, &snap.estimate)? {
+                    return Ok(());
+                }
+            }
+            if let Some(e) = feed_err {
+                // Measurements before the bad line are already analysed
+                // and their snapshots printed — same as the per-item loop.
+                return Err(e);
             }
         }
     }
@@ -878,61 +925,74 @@ fn run_session(
     }
 }
 
+/// How many measurements the CLI buffers per `push_batch` call. Large
+/// enough to amortize sketch compaction and scheduler scans, small enough
+/// to keep live tails responsive on slow feeds.
+const FEED_CHUNK: usize = 4096;
+
 /// Parse a tagged-line reader (`<channel> <time>`, blank lines and `#`
-/// comments skipped) into a feed.
+/// comments skipped) into a feed. Zero-copy: each line is parsed as a
+/// byte slice straight out of the reader's buffer ([`ByteLines`]), with
+/// no intermediate `String` per line.
 fn tagged_lines(reader: impl std::io::BufRead) -> impl Iterator<Item = Result<Tagged, String>> {
-    reader.lines().filter_map(|line| match line {
-        Err(e) => Some(Err(format!("tagged stream read failed: {e}"))),
-        Ok(line) => {
-            let trimmed = line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
+    let mut lines = ByteLines::new(reader);
+    std::iter::from_fn(move || loop {
+        match lines.next_line(|line_no, bytes| {
+            let trimmed = bytes.trim_ascii();
+            if trimmed.is_empty() || trimmed.first() == Some(&b'#') {
                 return None;
             }
-            Some(
-                trimmed
+            Some(match std::str::from_utf8(trimmed) {
+                Err(_) => Err(format!("bad tagged line {line_no}: not valid UTF-8")),
+                Ok(text) => text
                     .parse::<Tagged>()
-                    .map_err(|e| format!("bad tagged line `{trimmed}`: {e}")),
-            )
+                    .map_err(|e| format!("bad tagged line {line_no} `{text}`: {e}")),
+            })
+        }) {
+            Err(e) => return Some(Err(format!("tagged stream read failed: {e}"))),
+            Ok(None) => return None,
+            Ok(Some(None)) => continue,
+            Ok(Some(Some(parsed))) => return Some(parsed),
         }
     })
 }
 
-/// Ingest a tagged feed, print scheduled snapshots, write checkpoints at
-/// the configured cadence, merge, and print the per-channel verdicts
-/// plus the program-level envelope.
-fn drive_session<F: EngineFactory>(
-    mut session: AnalysisSession<F>,
-    feed: impl Iterator<Item = Result<Tagged, String>>,
+/// Bulk-ingest one same-channel run of measurements, emitting scheduled
+/// snapshots and honouring the checkpoint / crash-injection cadence
+/// exactly as the per-item loop does: no chunk ever crosses a checkpoint
+/// boundary or the crash point, so the checkpoint file sequence, the
+/// crash position and the printed snapshots are all byte-identical to an
+/// itemized feed. `Ok(false)` means stdout closed (downstream `| head`).
+fn feed_run<F: EngineFactory>(
+    session: &mut AnalysisSession<F>,
+    channel: &ChannelId,
+    xs: &[f64],
     params: &SessionParams,
     ckpt: Option<&(String, usize)>,
     crash_after: Option<usize>,
-) -> Result<(), String> {
-    let target_p = params.target_p;
-    let stop_on_converged = params.stop_on_converged;
-    for tagged in feed {
-        let snap = session.push(tagged?).map_err(|e| e.to_string())?;
-        if let Some(snap) = snap {
-            if !emit_estimate(Some(&snap.channel), target_p, &snap.estimate)? {
-                return Ok(());
-            }
-            if stop_on_converged && snap.estimate.converged && session.all_converged() {
-                // NOTE: "every channel" means every channel *seen so
-                // far* — a sequentially ordered file (all of channel A,
-                // then B) would stop after A. Make the early stop loud
-                // so an incomplete envelope is diagnosable.
-                eprintln!(
-                    "stopping early: all {} channel(s) seen so far converged \
-                     (total={} measurements; channels appearing later in the \
-                     feed are not analysed)",
-                    session.channel_count(),
-                    session.len(),
-                );
-                break;
+) -> Result<bool, String> {
+    let mut rest = xs;
+    while !rest.is_empty() {
+        let mut take = rest.len();
+        if let Some((_, every)) = ckpt {
+            take = take.min(every - session.len() % every);
+        }
+        if let Some(n) = crash_after {
+            take = take.min(n.saturating_sub(session.len()).max(1));
+        }
+        let (chunk, tail) = rest.split_at(take);
+        rest = tail;
+        let snaps = session
+            .push_batch(channel.clone(), chunk)
+            .map_err(|e| e.to_string())?;
+        for snap in snaps {
+            if !emit_estimate(Some(&snap.channel), params.target_p, &snap.estimate)? {
+                return Ok(false);
             }
         }
         if let Some((path, every)) = ckpt {
             if session.len() % every == 0 {
-                write_checkpoint(path, params, &session)?;
+                write_checkpoint(path, params, session)?;
             }
         }
         if crash_after.is_some_and(|n| session.len() >= n) {
@@ -945,6 +1005,99 @@ fn drive_session<F: EngineFactory>(
                 session.len()
             );
             std::process::abort();
+        }
+    }
+    Ok(true)
+}
+
+/// Ingest a tagged feed, print scheduled snapshots, write checkpoints at
+/// the configured cadence, merge, and print the per-channel verdicts
+/// plus the program-level envelope.
+///
+/// Consecutive same-channel measurements are buffered and bulk-ingested
+/// through [`AnalysisSession::push_batch`] (interleaved feeds degrade
+/// gracefully to per-item pushes, which keeps the ingest order — and so
+/// the report — exactly as fed). `--stop-on-converged` keeps the
+/// per-item path: it must stop at exactly the converging measurement.
+fn drive_session<F: EngineFactory>(
+    mut session: AnalysisSession<F>,
+    feed: impl Iterator<Item = Result<Tagged, String>>,
+    params: &SessionParams,
+    ckpt: Option<&(String, usize)>,
+    crash_after: Option<usize>,
+) -> Result<(), String> {
+    let target_p = params.target_p;
+    let stop_on_converged = params.stop_on_converged;
+    if stop_on_converged {
+        for tagged in feed {
+            let snap = session.push(tagged?).map_err(|e| e.to_string())?;
+            if let Some(snap) = snap {
+                if !emit_estimate(Some(&snap.channel), target_p, &snap.estimate)? {
+                    return Ok(());
+                }
+                if snap.estimate.converged && session.all_converged() {
+                    // NOTE: "every channel" means every channel *seen so
+                    // far* — a sequentially ordered file (all of channel A,
+                    // then B) would stop after A. Make the early stop loud
+                    // so an incomplete envelope is diagnosable.
+                    eprintln!(
+                        "stopping early: all {} channel(s) seen so far converged \
+                         (total={} measurements; channels appearing later in the \
+                         feed are not analysed)",
+                        session.channel_count(),
+                        session.len(),
+                    );
+                    break;
+                }
+            }
+            if let Some((path, every)) = ckpt {
+                if session.len() % every == 0 {
+                    write_checkpoint(path, params, &session)?;
+                }
+            }
+            if crash_after.is_some_and(|n| session.len() >= n) {
+                eprintln!(
+                    "crashing after {} measurements (--crash-after)",
+                    session.len()
+                );
+                std::process::abort();
+            }
+        }
+    } else {
+        let mut run_channel: Option<ChannelId> = None;
+        let mut run: Vec<f64> = Vec::with_capacity(FEED_CHUNK);
+        for tagged in feed {
+            match tagged {
+                Ok(Tagged { channel, time }) => {
+                    let switching = run_channel.as_ref().is_some_and(|c| *c != channel);
+                    if switching || run.len() >= FEED_CHUNK {
+                        if let Some(ch) = run_channel.take() {
+                            if !feed_run(&mut session, &ch, &run, params, ckpt, crash_after)? {
+                                return Ok(());
+                            }
+                            run.clear();
+                        }
+                    }
+                    run_channel = Some(channel);
+                    run.push(time);
+                }
+                Err(e) => {
+                    // Flush what came before the bad line first: those
+                    // measurements are already analysed in the per-item
+                    // loop too, snapshots and checkpoints included.
+                    if let Some(ch) = run_channel.take() {
+                        if !feed_run(&mut session, &ch, &run, params, ckpt, crash_after)? {
+                            return Ok(());
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if let Some(ch) = run_channel.take() {
+            if !feed_run(&mut session, &ch, &run, params, ckpt, crash_after)? {
+                return Ok(());
+            }
         }
     }
     if session.is_empty() {
