@@ -149,6 +149,7 @@ impl MbptaConfig {
 pub struct SessionBuilder {
     config: MbptaConfig,
     snapshot_every: usize,
+    checkpoint_every: usize,
     target_p: f64,
     jobs: usize,
     early_finish: bool,
@@ -159,6 +160,7 @@ impl Default for SessionBuilder {
         SessionBuilder {
             config: MbptaConfig::default(),
             snapshot_every: 250,
+            checkpoint_every: 0,
             target_p: 1e-12,
             jobs: 0,
             early_finish: false,
@@ -217,6 +219,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Auto-checkpoint cadence: have the session report a checkpoint as
+    /// due every `every` measurements (`0` disables, the default). The
+    /// session only counts — the feeder owns the IO: it polls
+    /// [`AnalysisSession::checkpoint_due`], persists
+    /// [`AnalysisSession::checkpoint`] and calls
+    /// [`AnalysisSession::mark_checkpointed`]. This keeps checkpoint
+    /// *policy* in the library while leaving checkpoint *placement*
+    /// (file, socket, object store) to the caller — the `mbpta` CLI and
+    /// the `proxima-serve` server both drive it this way.
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
     /// The exceedance cutoff intermediate estimates are tracked at.
     #[must_use]
     pub fn target_p(mut self, p: f64) -> Self {
@@ -252,6 +269,11 @@ impl SessionBuilder {
     /// The configured scheduler period.
     pub fn snapshot_period(&self) -> usize {
         self.snapshot_every
+    }
+
+    /// The configured auto-checkpoint cadence (`0` = disabled).
+    pub fn checkpoint_cadence(&self) -> usize {
+        self.checkpoint_every
     }
 
     /// The configured estimate cutoff.
@@ -293,6 +315,7 @@ impl SessionBuilder {
         Ok(AnalysisSession::new(
             factory,
             self.snapshot_every,
+            self.checkpoint_every,
             self.jobs,
             self.early_finish,
         ))

@@ -435,7 +435,7 @@ const BATCH_STABLE: usize = 3;
 /// analysis on the same vector — the session acceptance tests assert
 /// this.
 ///
-/// [`analyze`]: crate::pipeline::analyze
+/// [`analyze`]: crate::pipeline::Pipeline::analyze
 #[derive(Debug, Clone)]
 pub struct BatchEngine {
     pub(crate) config: MbptaConfig,

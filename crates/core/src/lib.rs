@@ -60,6 +60,7 @@
 
 pub mod baseline;
 pub mod campaign;
+pub mod compat;
 pub mod confidence;
 pub mod convergence;
 pub mod cv;
@@ -82,8 +83,10 @@ pub use campaign::{Campaign, CampaignRunner};
 pub use config::{BlockSpec, MbptaConfig, SessionBuilder};
 pub use engine::{BatchEngine, BatchFactory, Engine, EngineEstimate, EngineFactory, Verdict};
 pub use error::MbptaError;
-#[allow(deprecated)] // the shims stay reachable from their old paths
-pub use pipeline::{analyze, measure_and_analyze};
+// Every deprecated shim is defined (and tested) in [`compat`]; this is
+// the single re-export keeping the old import paths alive.
+#[allow(deprecated)]
+pub use compat::{analyze, measure_and_analyze};
 pub use pipeline::{MbptaReport, Pipeline};
 pub use pwcet::Pwcet;
 pub use report::{render_pwcet_csv, render_report, render_survival_csv};

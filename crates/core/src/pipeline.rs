@@ -42,7 +42,7 @@ impl MbptaReport {
 /// The classic batch pipeline over measured execution times:
 /// i.i.d. gate → block maxima → Gumbel fit → pWCET. Shared by
 /// [`Pipeline::analyze`], the session's `BatchEngine`, and the deprecated
-/// [`analyze`] shim.
+/// [`analyze`](crate::compat::analyze) shim.
 pub(crate) fn analyze_impl(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, MbptaError> {
     config.validate()?;
     if times.len() < config.min_runs {
@@ -69,87 +69,10 @@ pub(crate) fn analyze_impl(times: &[f64], config: &MbptaConfig) -> Result<MbptaR
     })
 }
 
-/// Run the MBPTA pipeline over measured execution times:
-/// i.i.d. gate → block maxima → Gumbel fit → pWCET.
-///
-/// Deprecated: this free function is now a thin shim routing through a
-/// single-channel [`AnalysisSession`](crate::session::AnalysisSession)
-/// with a batch engine — its result is bit-identical to the session's
-/// verdict. Prefer [`MbptaConfig::session`] (multi-channel, one result
-/// vocabulary) or [`Pipeline::analyze`] for the one-shot form.
-///
-/// # Errors
-///
-/// * [`MbptaError::CampaignTooSmall`] below `config.min_runs`;
-/// * [`MbptaError::IidRejected`] if the i.i.d. gate fails — MBPTA is not
-///   applicable (e.g. the platform is not randomized);
-/// * [`MbptaError::PoorFit`] if `config.strict_gof` and the Gumbel is
-///   rejected by the KS goodness-of-fit;
-/// * [`MbptaError::Stats`] for degenerate/insufficient data.
-///
-/// # Examples
-///
-/// ```
-/// use proxima_mbpta::{MbptaConfig, Pipeline};
-/// use rand::{Rng, SeedableRng};
-///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-/// let times: Vec<f64> = (0..1500)
-///     .map(|_| 2e5 + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 150.0)
-///     .collect();
-/// let report = Pipeline::new(MbptaConfig::default()).analyze(&times)?;
-/// assert!(report.budget_for(1e-9)? >= report.high_watermark());
-/// # Ok::<(), proxima_mbpta::MbptaError>(())
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `MbptaConfig::session()` (SessionBuilder) or `Pipeline::analyze`; \
-            this shim delegates to a single-channel batch session"
-)]
-pub fn analyze(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, MbptaError> {
-    config
-        .clone()
-        .session()
-        .analyze(times)?
-        .into_report()
-        .ok_or(MbptaError::InvalidConfig {
-            what: "batch session produced a non-batch verdict",
-        })
-}
-
-/// Measure and analyze in one call: run a sharded parallel campaign with
-/// `runner` and feed the merged measurement vector to the batch pipeline.
-///
-/// Deprecated: a thin shim over a single-channel session (see
-/// [`analyze`]); prefer [`Pipeline::measure_and_analyze`] or a session
-/// fed by `CampaignRunner::run`/`run_many`.
-///
-/// Because the runner's measurement vector is independent of its `jobs`
-/// setting, the resulting report — pWCET included — is bit-identical
-/// whether the campaign ran on one core or all of them.
-///
-/// # Errors
-///
-/// Anything [`CampaignRunner::run`] or the batch pipeline returns.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Pipeline::measure_and_analyze`, or feed a `CampaignRunner` campaign \
-            into a `SessionBuilder` session"
-)]
-pub fn measure_and_analyze(
-    runner: &CampaignRunner,
-    trace: &[Inst],
-    runs: usize,
-    master_seed: u64,
-    config: &MbptaConfig,
-) -> Result<MbptaReport, MbptaError> {
-    let campaign = runner.run(trace, runs, master_seed)?;
-    #[allow(deprecated)] // shims share one delegation path
-    analyze(campaign.times(), config)
-}
-
-/// A configured MBPTA pipeline — the object form of [`analyze`] /
-/// [`measure_and_analyze`], and the anchor the streaming crate hangs its
+/// A configured MBPTA pipeline — the object form of the deprecated
+/// [`analyze`](crate::compat::analyze) /
+/// [`measure_and_analyze`](crate::compat::measure_and_analyze) shims,
+/// and the anchor the streaming crate hangs its
 /// entry point on (`proxima_stream::PipelineStreamExt` adds
 /// `Pipeline::stream()`, returning an incremental analyzer that shares
 /// this pipeline's block size and significance level).
@@ -184,12 +107,17 @@ impl Pipeline {
         &self.config
     }
 
-    /// Run the batch analysis with this configuration.
+    /// Run the batch analysis with this configuration (the supported
+    /// one-shot form).
     ///
     /// # Errors
     ///
-    /// Same as the deprecated [`analyze`] free function (this is the
-    /// supported one-shot form).
+    /// * [`MbptaError::CampaignTooSmall`] below `config.min_runs`;
+    /// * [`MbptaError::IidRejected`] if the i.i.d. gate fails — MBPTA is
+    ///   not applicable (e.g. the platform is not randomized);
+    /// * [`MbptaError::PoorFit`] if `config.strict_gof` and the Gumbel
+    ///   is rejected by the KS goodness-of-fit;
+    /// * [`MbptaError::Stats`] for degenerate/insufficient data.
     pub fn analyze(&self, times: &[f64]) -> Result<MbptaReport, MbptaError> {
         analyze_impl(times, &self.config)
     }
@@ -218,11 +146,13 @@ impl Pipeline {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // deliberately exercises the deprecated shims: they
-                     // must stay behaviourally identical to the session path
 mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
+
+    fn analyze(times: &[f64], config: &MbptaConfig) -> Result<MbptaReport, MbptaError> {
+        Pipeline::new(config.clone()).analyze(times)
+    }
 
     fn rand_campaign(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -309,36 +239,6 @@ mod tests {
         } else {
             assert!(strict_result.is_err());
         }
-    }
-
-    #[test]
-    fn measure_and_analyze_independent_of_jobs() {
-        use crate::campaign::CampaignRunner;
-        use proxima_sim::{Inst, PlatformConfig};
-
-        let trace: Vec<Inst> = (0..200)
-            .map(|i| Inst::load(0x100 + 4 * (i % 16), 0x10_0000 + 4096 * (i % 40)))
-            .collect();
-        let config = MbptaConfig {
-            min_runs: 100,
-            ..MbptaConfig::default()
-        };
-        let runner = CampaignRunner::new(PlatformConfig::mbpta_compliant());
-        let serial =
-            measure_and_analyze(&runner.clone().with_jobs(1), &trace, 400, 0, &config).unwrap();
-        let parallel = measure_and_analyze(&runner.with_jobs(8), &trace, 400, 0, &config).unwrap();
-        // Same measurements ⇒ same report, down to the pWCET parameters.
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn pipeline_object_matches_free_functions() {
-        let times = rand_campaign(2000, 1);
-        let config = MbptaConfig::default();
-        let object = Pipeline::new(config.clone()).analyze(&times).unwrap();
-        let free = analyze(&times, &config).unwrap();
-        assert_eq!(object, free);
-        assert_eq!(Pipeline::default().config(), &MbptaConfig::default());
     }
 
     #[test]

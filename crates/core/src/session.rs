@@ -279,6 +279,14 @@ pub struct AnalysisSession<F: EngineFactory> {
     snapshot_every: usize,
     since_snapshot: usize,
     rr_cursor: usize,
+    /// Auto-checkpoint cadence in measurements (`0` = disabled). Like
+    /// `jobs` this is runtime policy, not analysis state: it is **not**
+    /// persisted in [`checkpoint`](Self::checkpoint) blobs (the blob
+    /// format predates it and results never depend on it).
+    checkpoint_every: usize,
+    /// `total` at the last [`mark_checkpointed`](Self::mark_checkpointed)
+    /// (or at construction/restore — both are checkpoint boundaries).
+    last_checkpoint_at: usize,
     jobs: usize,
     /// When true, a channel's engine is finished and dropped as soon as
     /// its estimate converges — freeing sketch/buffer memory in long
@@ -297,7 +305,13 @@ impl<F: EngineFactory> AnalysisSession<F> {
     /// announcements still fire); `jobs` bounds the worker threads
     /// [`merge`](Self::merge) uses (`0` = all cores); `early_finish`
     /// finishes each channel at its convergence announcement.
-    pub(crate) fn new(factory: F, snapshot_every: usize, jobs: usize, early_finish: bool) -> Self {
+    pub(crate) fn new(
+        factory: F,
+        snapshot_every: usize,
+        checkpoint_every: usize,
+        jobs: usize,
+        early_finish: bool,
+    ) -> Self {
         AnalysisSession {
             factory,
             channels: Vec::new(),
@@ -306,6 +320,8 @@ impl<F: EngineFactory> AnalysisSession<F> {
             snapshot_every,
             since_snapshot: 0,
             rr_cursor: 0,
+            checkpoint_every,
+            last_checkpoint_at: 0,
             jobs,
             early_finish,
             polling: true,
@@ -342,6 +358,108 @@ impl<F: EngineFactory> AnalysisSession<F> {
     /// The worker-thread bound [`merge`](Self::merge) will use.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The auto-checkpoint cadence in measurements (`0` = disabled).
+    ///
+    /// Configured with
+    /// [`SessionBuilder::checkpoint_every`](crate::config::SessionBuilder::checkpoint_every);
+    /// the session only *counts* — the caller owns the checkpoint
+    /// bytes/IO: poll [`checkpoint_due`](Self::checkpoint_due) after
+    /// ingesting, write [`checkpoint`](Self::checkpoint) somewhere
+    /// durable, then [`mark_checkpointed`](Self::mark_checkpointed).
+    pub fn checkpoint_every(&self) -> usize {
+        self.checkpoint_every
+    }
+
+    /// Change the auto-checkpoint cadence (`0` disables it). Cadence is
+    /// runtime policy, so a [`restore`](Self::restore)d session starts
+    /// with it disabled — set it again if checkpointing should continue.
+    pub fn set_checkpoint_every(&mut self, every: usize) {
+        self.checkpoint_every = every;
+    }
+
+    /// Measurements ingested since the last
+    /// [`mark_checkpointed`](Self::mark_checkpointed) (or since
+    /// construction/restore, which are both checkpoint boundaries).
+    pub fn since_checkpoint(&self) -> usize {
+        self.total - self.last_checkpoint_at
+    }
+
+    /// `true` when a cadence is set and at least that many measurements
+    /// arrived since the last checkpoint mark.
+    pub fn checkpoint_due(&self) -> bool {
+        self.checkpoint_every > 0 && self.since_checkpoint() >= self.checkpoint_every
+    }
+
+    /// Measurements until the next checkpoint falls due (`None` when the
+    /// cadence is disabled, `Some(0)` when one is already due). Feeders
+    /// that want checkpoint positions independent of their chunking cut
+    /// chunks to this bound.
+    pub fn until_checkpoint(&self) -> Option<usize> {
+        if self.checkpoint_every == 0 {
+            None
+        } else {
+            Some(
+                self.checkpoint_every
+                    .saturating_sub(self.since_checkpoint()),
+            )
+        }
+    }
+
+    /// Record that the caller just persisted a
+    /// [`checkpoint`](Self::checkpoint): the cadence counter restarts
+    /// from the current total.
+    pub fn mark_checkpointed(&mut self) {
+        self.last_checkpoint_at = self.total;
+    }
+
+    /// Install a channel from engine-state bytes ([`Engine::save_state`]
+    /// format), routed through [`EngineFactory::restore`] — so the blob's
+    /// engine kind and configuration fingerprint are verified exactly as
+    /// on a session restore. This is the federated ingestion surface: a
+    /// shard ships sealed analyzer state, the coordinator folds it into
+    /// engine-state bytes and adopts it as a live channel (which can keep
+    /// accepting measurements afterwards).
+    ///
+    /// The adopted engine's measurements count toward the session total
+    /// (and the checkpoint cadence), but do not retroactively trigger
+    /// scheduled snapshots.
+    ///
+    /// # Errors
+    ///
+    /// * [`MbptaError::InvalidConfig`] if the channel already exists —
+    ///   adopting must not silently clobber live analysis state;
+    /// * [`MbptaError::Checkpoint`] for corrupt, wrong-kind or
+    ///   configuration-mismatched state bytes.
+    pub fn adopt_channel(
+        &mut self,
+        id: impl Into<ChannelId>,
+        state: &[u8],
+    ) -> Result<(), MbptaError> {
+        let id = id.into();
+        if self.index.contains_key(&id) {
+            return Err(MbptaError::InvalidConfig {
+                what: "cannot adopt a channel that already exists in the session",
+            });
+        }
+        let engine = self.factory.restore(&id, state)?;
+        let n = engine.len();
+        let i = self.channels.len();
+        self.channels.push(ChannelState {
+            id: id.clone(),
+            engine: Some(engine),
+            early_verdict: None,
+            accepted: 0,
+            failed: None,
+            dropped: 0,
+            last_emitted_n: None,
+            last_polled_len: 0,
+            converged_emitted: false,
+        });
+        self.index.insert(id, i);
+        self.total += n;
+        Ok(())
     }
 
     /// `true` once every healthy channel's estimate has converged (and
@@ -866,6 +984,10 @@ impl<F: EngineFactory> AnalysisSession<F> {
             snapshot_every,
             since_snapshot,
             rr_cursor,
+            // Cadence is runtime policy (like `jobs`), not persisted
+            // state; a restore begins at a checkpoint boundary.
+            checkpoint_every: 0,
+            last_checkpoint_at: total,
             jobs,
             early_finish,
             polling,
@@ -934,6 +1056,8 @@ where
             snapshot_every: self.snapshot_every,
             since_snapshot: self.since_snapshot,
             rr_cursor: self.rr_cursor,
+            checkpoint_every: self.checkpoint_every,
+            last_checkpoint_at: self.last_checkpoint_at,
             jobs: self.jobs,
             early_finish: self.early_finish,
             polling: self.polling,
@@ -1569,5 +1693,74 @@ mod tests {
         assert_eq!(verdict.provenance.engine, EngineKind::Batch);
         assert_eq!(verdict.provenance.n, 800);
         assert!(format!("{merged:?}").contains("only"));
+    }
+
+    #[test]
+    fn checkpoint_cadence_counts_and_rearms() {
+        let mut session = MbptaConfig::default()
+            .session()
+            .checkpoint_every(100)
+            .build_batch()
+            .unwrap();
+        assert_eq!(session.checkpoint_every(), 100);
+        assert_eq!(session.until_checkpoint(), Some(100));
+        assert!(!session.checkpoint_due());
+        for x in campaign(1e5, 99, 5) {
+            session.push(Tagged::new("ch", x)).unwrap();
+        }
+        assert_eq!(session.until_checkpoint(), Some(1));
+        assert!(!session.checkpoint_due());
+        session.push(Tagged::new("ch", 1.0e5)).unwrap();
+        assert!(session.checkpoint_due());
+        assert_eq!(session.until_checkpoint(), Some(0));
+        assert_eq!(session.since_checkpoint(), 100);
+        session.mark_checkpointed();
+        assert!(!session.checkpoint_due());
+        assert_eq!(session.since_checkpoint(), 0);
+        assert_eq!(session.until_checkpoint(), Some(100));
+
+        // Cadence is runtime policy, not persisted state: a restored
+        // session starts with checkpointing disabled until re-armed.
+        let blob = session.checkpoint().unwrap();
+        let factory = BatchFactory::new(MbptaConfig::default(), 1e-12).unwrap();
+        let mut restored = AnalysisSession::restore(factory, &blob, 0).unwrap();
+        assert_eq!(restored.checkpoint_every(), 0);
+        assert!(restored.until_checkpoint().is_none());
+        assert!(!restored.checkpoint_due());
+        restored.set_checkpoint_every(40);
+        assert_eq!(restored.until_checkpoint(), Some(40));
+    }
+
+    #[test]
+    fn adopt_channel_installs_state_and_rejects_duplicates() {
+        // Donor engine state, saved outside any session.
+        let times = campaign(1.1e5, 800, 9);
+        let factory = BatchFactory::new(MbptaConfig::default(), 1e-12).unwrap();
+        let mut donor = factory.create(&ChannelId::new("fed")).unwrap();
+        donor.push_batch(&times).unwrap();
+        let state = donor.save_state().unwrap();
+
+        let mut session = MbptaConfig::default().session().build_batch().unwrap();
+        for x in campaign(1.0e5, 700, 4) {
+            session.push(Tagged::new("live", x)).unwrap();
+        }
+        session.adopt_channel("fed", &state).unwrap();
+        assert_eq!(session.len(), 700 + 800);
+        assert_eq!(session.channel_count(), 2);
+        // Adopting must never clobber a live channel.
+        assert!(session.adopt_channel("fed", &state).is_err());
+        assert!(session.adopt_channel("live", &state).is_err());
+        // Garbage state bytes are rejected by the factory fingerprint.
+        assert!(session.adopt_channel("other", b"not engine state").is_err());
+
+        // The adopted channel analyses exactly like a pushed one.
+        let merged = session.merge();
+        let adopted = merged.verdict("fed").unwrap().as_ref().unwrap();
+        let mut direct = MbptaConfig::default().session().build_batch().unwrap();
+        for &x in &times {
+            direct.push(Tagged::new("fed", x)).unwrap();
+        }
+        let direct = direct.merge();
+        assert_eq!(adopted, direct.verdict("fed").unwrap().as_ref().unwrap());
     }
 }

@@ -1,0 +1,237 @@
+//! Fingerprint-keyed query cache for snapshot/verdict responses.
+//!
+//! Finalizing a verdict clones the session and refits every channel —
+//! cheap once, wasteful when a dashboard polls the same question
+//! between ingests. The cache stores **encoded response payloads**
+//! keyed by a fingerprint of everything the answer depends on:
+//!
+//! * the analysis-configuration fingerprint (stream config + cadences),
+//! * the query kind and its parameters (channel, probability bits),
+//! * the ingest progress the answer was computed at (per-channel
+//!   count, or the session total for cross-channel queries).
+//!
+//! Folding the progress counters into the key makes invalidation
+//! automatic: any ingest or merge moves the counters, so stale entries
+//! simply stop being addressed and age out of the FIFO. Repeat queries
+//! between ingests are O(1) — frame decode, one hash, one map lookup.
+//!
+//! Keys follow the FERN fingerprinting discipline (arXiv 2405.04435):
+//! hash the *canonical encoding* of the inputs, never ad-hoc string
+//! concatenation, so two queries collide only when their answers must
+//! be bit-identical.
+
+use std::collections::{HashMap, VecDeque};
+
+use proxima_mbpta::persist::{self, Encode, Writer};
+
+/// FIFO-bounded map from query fingerprint to encoded response payload.
+#[derive(Debug)]
+pub struct VerdictCache {
+    capacity: usize,
+    map: HashMap<u64, Vec<u8>>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl VerdictCache {
+    /// Create a cache holding at most `capacity` responses.
+    ///
+    /// A capacity of 0 disables caching: every `get` misses and every
+    /// `insert` is dropped.
+    pub fn new(capacity: usize) -> Self {
+        VerdictCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up the encoded response for `key`, counting a hit or miss.
+    pub fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        match self.map.get(&key) {
+            Some(bytes) => {
+                self.hits += 1;
+                Some(bytes.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store the encoded response for `key`, evicting the oldest entry
+    /// once the cache is full.
+    pub fn insert(&mut self, key: u64, value: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+            self.insertions += 1;
+            while self.map.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Entries currently held (always ≤ [`Self::capacity`]).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to recompute.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Responses stored.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Entries dropped to respect the bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// Fingerprint an analysis configuration: FNV-1a over the canonical
+/// encoding of anything that changes what a query would answer.
+///
+/// Use one fingerprint per server/session lifetime and fold it into
+/// every [`query_key`].
+pub fn config_fingerprint(parts: &[&dyn Encode]) -> u64 {
+    let mut w = Writer::new();
+    for part in parts {
+        part.encode(&mut w);
+    }
+    persist::fnv1a(&w.into_bytes())
+}
+
+/// Build the cache key for one query.
+///
+/// `progress` is the ingest position the answer depends on: the
+/// channel's accepted count for per-channel queries, the session total
+/// for cross-channel ones. Any ingest moves it, which is what
+/// invalidates stale entries. `p_bits` carries the probability as raw
+/// bits (`f64::to_bits`) so distinct cutoffs never alias.
+pub fn query_key(
+    config_fingerprint: u64,
+    kind: u8,
+    channel: &str,
+    progress: u64,
+    p_bits: u64,
+) -> u64 {
+    let mut w = Writer::new();
+    w.u64(config_fingerprint);
+    w.u8(kind);
+    w.str(channel);
+    w.u64(progress);
+    w.u64(p_bits);
+    persist::fnv1a(&w.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut cache = VerdictCache::new(4);
+        let key = query_key(1, 2, "ch", 100, 0);
+        assert_eq!(cache.get(key), None);
+        cache.insert(key, vec![1, 2, 3]);
+        assert_eq!(cache.get(key), Some(vec![1, 2, 3]));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.insertions(), 1);
+    }
+
+    #[test]
+    fn progress_in_key_invalidates_on_ingest() {
+        let mut cache = VerdictCache::new(4);
+        let before = query_key(1, 2, "ch", 100, 0);
+        cache.insert(before, vec![9]);
+        // After more measurements arrive the progress counter moved, so
+        // the same logical query addresses a different key.
+        let after = query_key(1, 2, "ch", 150, 0);
+        assert_ne!(before, after);
+        assert_eq!(cache.get(after), None);
+    }
+
+    #[test]
+    fn distinct_probabilities_never_alias() {
+        let a = query_key(1, 3, "*", 100, 1e-12f64.to_bits());
+        let b = query_key(1, 3, "*", 100, 1e-9f64.to_bits());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let mut cache = VerdictCache::new(2);
+        let keys: Vec<u64> = (0..4).map(|i| query_key(7, 1, "ch", i, 0)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            cache.insert(k, vec![i as u8]);
+            assert!(cache.len() <= 2);
+        }
+        assert_eq!(cache.evictions(), 2);
+        // Oldest two gone, newest two present.
+        assert_eq!(cache.get(keys[0]), None);
+        assert_eq!(cache.get(keys[1]), None);
+        assert_eq!(cache.get(keys[2]), Some(vec![2]));
+        assert_eq!(cache.get(keys[3]), Some(vec![3]));
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order_entries() {
+        let mut cache = VerdictCache::new(2);
+        let key = query_key(7, 1, "ch", 1, 0);
+        cache.insert(key, vec![1]);
+        cache.insert(key, vec![2]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.insertions(), 1);
+        assert_eq!(cache.get(key), Some(vec![2]));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = VerdictCache::new(0);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![1]);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get(key), None);
+    }
+
+    #[test]
+    fn config_fingerprint_separates_configs() {
+        let a = config_fingerprint(&[&42u64, &true]);
+        let b = config_fingerprint(&[&43u64, &true]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,219 @@
+//! A blocking client for the analysis service.
+//!
+//! One [`ServeClient`] wraps one TCP connection and speaks the framed
+//! request/response protocol from [`crate::frame`]. Requests are
+//! strictly sequential per connection (send one frame, read one frame);
+//! open several clients for concurrency — the server multiplexes them.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{
+    read_frame, write_frame, FrameError, Request, Response, ServerStats, WireSnapshot,
+};
+
+/// A blocking connection to an `mbpta serve` instance.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Why a call failed: transport/protocol trouble, a server-reported
+/// error, or a response of the wrong shape.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The frame layer failed (transport, checksum, truncation, …).
+    Frame(FrameError),
+    /// The server answered [`Response::Error`].
+    Server(String),
+    /// The server closed the connection instead of answering.
+    Disconnected,
+    /// The server answered with an unexpected response variant.
+    /// Boxed to keep the error variant small next to `Ok` payloads.
+    Unexpected(Box<Response>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Unexpected(resp) => write!(f, "unexpected response: {resp:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+impl ServeClient {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from `TcpStream::connect`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and read its response.
+    ///
+    /// [`Response::Error`] is returned as a normal response here; the
+    /// typed convenience wrappers below turn it into
+    /// [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Frame`] on transport/protocol failure,
+    /// [`ClientError::Disconnected`] if the server hung up.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.encode()).map_err(FrameError::Io)?;
+        self.writer.flush().map_err(FrameError::Io)?;
+        match read_frame(&mut self.reader)? {
+            None => Err(ClientError::Disconnected),
+            Some(payload) => Ok(Response::decode(&payload)?),
+        }
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.call(request)? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            response => Ok(response),
+        }
+    }
+
+    /// Append `values` to `channel`. Returns the channel's accepted
+    /// count, the session total, and any estimates the scheduler
+    /// emitted while absorbing the batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`]; plus [`ClientError::Server`] when the server
+    /// rejects the batch.
+    pub fn ingest(
+        &mut self,
+        channel: &str,
+        values: &[f64],
+    ) -> Result<(u64, u64, Vec<WireSnapshot>), ClientError> {
+        let request = Request::Ingest {
+            channel: channel.to_string(),
+            values: values.to_vec(),
+        };
+        match self.expect(&request)? {
+            Response::Ingested {
+                channel_len,
+                total,
+                snapshots,
+            } => Ok((channel_len, total, snapshots)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// The latest scheduler-emitted estimate for `channel`, if any.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn snapshot(&mut self, channel: &str) -> Result<Option<WireSnapshot>, ClientError> {
+        match self.expect(&Request::Snapshot {
+            channel: channel.to_string(),
+        })? {
+            Response::Snapshot { latest } => Ok(latest),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Finalized per-channel verdicts plus the envelope at `p`
+    /// (restricted to one channel when `channel` is `Some`). Returns
+    /// the full [`Response::Verdicts`] for callers that want every
+    /// field.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`]; plus [`ClientError::Server`] for an unknown
+    /// channel.
+    pub fn verdict(&mut self, p: f64, channel: Option<&str>) -> Result<Response, ClientError> {
+        let request = Request::Verdict {
+            p,
+            channel: channel.map(str::to_string),
+        };
+        match self.expect(&request)? {
+            response @ Response::Verdicts { .. } => Ok(response),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Adopt a sealed federated shard blob as the new channel
+    /// `channel`. Returns `(channel_len, total)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`]; plus [`ClientError::Server`] when the blob
+    /// is corrupt, its configuration mismatches, or the channel exists.
+    pub fn merge(&mut self, channel: &str, blob: &[u8]) -> Result<(u64, u64), ClientError> {
+        let request = Request::Merge {
+            channel: channel.to_string(),
+            blob: blob.to_vec(),
+        };
+        match self.expect(&request)? {
+            Response::Merged { channel_len, total } => Ok((channel_len, total)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Force a checkpoint now. Returns the blob size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`]; plus [`ClientError::Server`] when no
+    /// checkpoint path is configured or the write fails.
+    pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
+        match self.expect(&Request::Checkpoint)? {
+            Response::Checkpointed { bytes } => Ok(bytes),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// The server's deterministic counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Ask the server to shut down (writing a final checkpoint when
+    /// one is configured).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+}

@@ -1,0 +1,802 @@
+//! The analysis service: a framed-TCP front end over one live
+//! [`AnalysisSession`].
+//!
+//! The server owns a multi-channel streaming session
+//! (`AnalysisSession<StreamFactory>`) and multiplexes any number of
+//! concurrent client connections into it — one OS thread per
+//! connection, one mutex-guarded session behind them. Ingest frames
+//! append to per-channel engines through the same `push_batch` hot
+//! path the CLI feeder uses; query frames answer from the scheduler's
+//! latest emitted estimates (SNAPSHOT) or by finalizing a **clone** of
+//! the session (VERDICT) so the live campaign keeps streaming; MERGE
+//! adopts sealed federated shard blobs, so remote shards ship folded
+//! analyzer state — never raw measurements — into the coordinator.
+//!
+//! Durability reuses the library checkpoint machinery: with a
+//! checkpoint path configured the server persists the session every
+//! `checkpoint_every` accepted measurements (the cadence the session
+//! itself tracks — [`AnalysisSession::checkpoint_due`]), atomically
+//! (write + fsync + rename), and [`Server::resume`] restarts from the
+//! last such file with verdicts bit-identical to an uninterrupted run
+//! over the same feed order.
+//!
+//! Everything is hand-rolled on `std::net` — no async runtime, no
+//! external dependencies, fully offline-safe.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use proxima_mbpta::engine::Engine;
+use proxima_mbpta::persist::{self, Decode, Encode, Reader, Writer};
+use proxima_mbpta::session::SessionSnapshot;
+use proxima_mbpta::{AnalysisSession, BlockSpec, MbptaConfig};
+use proxima_stream::{SessionStreamExt, StreamConfig, StreamEngine, StreamFactory};
+
+use crate::cache::{config_fingerprint, query_key, VerdictCache};
+use crate::frame::{read_frame, write_frame, Request, Response, ServerStats, WireSnapshot};
+
+/// Magic for the server's own checkpoint files: `PXSV`
+/// ("proxima server"). The payload wraps the serve parameters plus the
+/// sealed session blob, so `--resume` needs nothing but the file.
+pub const MAGIC_SERVE: [u8; 4] = *b"PXSV";
+
+/// Everything the service needs to run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Streaming-engine knobs shared by every channel (block size,
+    /// target cutoff, refit cadence, …).
+    pub stream: StreamConfig,
+    /// Emit a scheduler snapshot every this many session measurements
+    /// (`0` disables live estimates).
+    pub snapshot_every: usize,
+    /// Where checkpoints go; `None` disables durability.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Auto-checkpoint every this many accepted measurements (`0`
+    /// disables; must be paired with `checkpoint_path`).
+    pub checkpoint_every: usize,
+    /// Bound on cached query responses.
+    pub cache_capacity: usize,
+    /// Worker threads for snapshot/finalize fan-out inside the session
+    /// (`0` = sequential; results are identical either way).
+    pub jobs: usize,
+    /// Abort the process once the session holds at least this many
+    /// measurements — crash-injection for restart drills; never set it
+    /// in production.
+    pub crash_after: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            stream: StreamConfig::default(),
+            snapshot_every: 500,
+            checkpoint_path: None,
+            checkpoint_every: 0,
+            cache_capacity: 256,
+            jobs: 0,
+            crash_after: None,
+        }
+    }
+}
+
+/// Why the server could not start or persist.
+#[derive(Debug)]
+pub struct ServeError {
+    message: String,
+}
+
+impl ServeError {
+    fn new(message: impl Into<String>) -> Self {
+        ServeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::new(e.to_string())
+    }
+}
+
+impl From<proxima_mbpta::MbptaError> for ServeError {
+    fn from(e: proxima_mbpta::MbptaError) -> Self {
+        ServeError::new(e.to_string())
+    }
+}
+
+/// The mutable heart of the service, behind one mutex.
+struct Core {
+    session: AnalysisSession<StreamFactory>,
+    /// Latest scheduler-emitted estimate per channel.
+    latest: HashMap<String, WireSnapshot>,
+    config: ServeConfig,
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    core: Mutex<Core>,
+    cache: Mutex<VerdictCache>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    /// Analysis-configuration fingerprint folded into every cache key.
+    fingerprint: u64,
+    addr: SocketAddr,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames_ingest: AtomicU64,
+    frames_snapshot: AtomicU64,
+    frames_verdict: AtomicU64,
+    frames_merge: AtomicU64,
+    frames_admin: AtomicU64,
+    protocol_errors: AtomicU64,
+    checkpoints_written: AtomicU64,
+    last_checkpoint_bytes: AtomicU64,
+}
+
+/// The analysis service.
+///
+/// Bind it, then either [`run`](Self::run) the accept loop on the
+/// current thread or [`spawn`](Self::spawn) it. Clients speak the
+/// framed protocol from [`crate::frame`]; the blocking
+/// [`ServeClient`](crate::client::ServeClient) wraps it.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Ignore mutex poisoning: a handler that panicked mid-request only
+/// affected its own connection, and every session mutation is applied
+/// atomically enough (single `push_batch`/`adopt_channel` calls) that
+/// the shared state stays usable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Server {
+    /// Bind a fresh session on `addr` (use port 0 to let the OS pick;
+    /// read the port back from [`local_addr`](Self::local_addr)).
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration (bad streaming knobs, a checkpoint path
+    /// without a cadence or vice versa) or a bind failure.
+    pub fn bind(addr: &str, config: ServeConfig) -> Result<Server, ServeError> {
+        let session = MbptaConfig {
+            block: BlockSpec::Fixed(config.stream.block_size),
+            ..MbptaConfig::default()
+        }
+        .session()
+        .snapshot_every(config.snapshot_every)
+        .checkpoint_every(config.checkpoint_every)
+        .target_p(config.stream.target_p)
+        .jobs(config.jobs)
+        .build_stream_with(config.stream.clone())?;
+        Server::with_session(addr, config, session)
+    }
+
+    /// Restart from a checkpoint file previously written by a server
+    /// with a checkpoint path configured. The serve parameters (stream
+    /// config, cadences, cache bound) come from the file; only the
+    /// bind address, thread bound and crash injection are the caller's.
+    /// Checkpointing continues to the same file.
+    ///
+    /// # Errors
+    ///
+    /// An unreadable/corrupt/mismatched checkpoint file, or any
+    /// [`Server::bind`] failure.
+    pub fn resume(
+        addr: &str,
+        path: impl Into<PathBuf>,
+        jobs: usize,
+        crash_after: Option<usize>,
+    ) -> Result<Server, ServeError> {
+        let path = path.into();
+        let bytes = std::fs::read(&path)
+            .map_err(|e| ServeError::new(format!("cannot open {}: {e}", path.display())))?;
+        let payload = persist::unseal(&bytes, MAGIC_SERVE)?;
+        let mut r = Reader::new(payload);
+        let stream = StreamConfig::decode(&mut r)?;
+        let snapshot_every = r.usize()?;
+        let checkpoint_every = r.usize()?;
+        let cache_capacity = r.usize()?;
+        let blob = r.bytes()?.to_vec();
+        r.finish()?;
+        let factory = StreamFactory::new(stream.clone())?;
+        let mut session = AnalysisSession::restore(factory, &blob, jobs)?;
+        // Cadence is runtime policy (not part of the session blob);
+        // re-arm it so checkpointing continues across the restart.
+        session.set_checkpoint_every(checkpoint_every);
+        let config = ServeConfig {
+            stream,
+            snapshot_every,
+            checkpoint_path: Some(path),
+            checkpoint_every,
+            cache_capacity,
+            jobs,
+            crash_after,
+        };
+        Server::with_session(addr, config, session)
+    }
+
+    fn with_session(
+        addr: &str,
+        config: ServeConfig,
+        session: AnalysisSession<StreamFactory>,
+    ) -> Result<Server, ServeError> {
+        if config.checkpoint_path.is_some() != (config.checkpoint_every > 0) {
+            return Err(ServeError::new(
+                "checkpoint_path and checkpoint_every must be set together",
+            ));
+        }
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::new(format!("cannot bind {addr}: {e}")))?;
+        let addr = listener.local_addr()?;
+        // Anything that changes what a query would answer goes into the
+        // fingerprint; progress counters go into each key instead.
+        let fingerprint = config_fingerprint(&[&config.stream, &config.snapshot_every]);
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core {
+                session,
+                latest: HashMap::new(),
+                config: config.clone(),
+            }),
+            cache: Mutex::new(VerdictCache::new(config.cache_capacity)),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            fingerprint,
+            addr,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Run the accept loop until a client sends `Shutdown`. In-flight
+    /// connections drain before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for fatal
+    /// accept-loop failures.
+    pub fn run(self) -> Result<(), ServeError> {
+        let Server { listener, shared } = self;
+        let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
+        for conn in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            shared.counters.connections.fetch_add(1, Ordering::SeqCst);
+            let shared = Arc::clone(&shared);
+            handles.retain(|h| !h.is_finished());
+            handles.push(thread::spawn(move || serve_connection(stream, &shared)));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a fresh thread (for in-process tests and
+    /// embedding).
+    pub fn spawn(self) -> thread::JoinHandle<Result<(), ServeError>> {
+        thread::spawn(move || self.run())
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            // Peer hung up cleanly between frames.
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let (response, shutdown) = match Request::decode(&payload) {
+                    Ok(request) => handle(shared, request),
+                    Err(e) => {
+                        // The frame envelope was intact (checksum
+                        // passed), so the stream stays synchronized:
+                        // report and keep serving this client.
+                        shared
+                            .counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::SeqCst);
+                        (
+                            Response::Error {
+                                message: e.to_string(),
+                            }
+                            .encode(),
+                            false,
+                        )
+                    }
+                };
+                if write_frame(&mut writer, &response)
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                if shutdown {
+                    // Unblock the accept loop so `run` observes the
+                    // flag; the poke connection is never served.
+                    let _ = TcpStream::connect(shared.addr);
+                    break;
+                }
+            }
+            Err(e) => {
+                // Bad envelope: the byte stream is desynchronized, so
+                // this connection is done — but only this connection.
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::SeqCst);
+                let farewell = Response::Error {
+                    message: e.to_string(),
+                }
+                .encode();
+                let _ = write_frame(&mut writer, &farewell).and_then(|()| writer.flush());
+                break;
+            }
+        }
+    }
+}
+
+/// Serve one decoded request. Returns the encoded response payload and
+/// whether the server should shut down after sending it.
+fn handle(shared: &Shared, request: Request) -> (Vec<u8>, bool) {
+    let counters = &shared.counters;
+    match request {
+        Request::Ingest { channel, values } => {
+            counters.frames_ingest.fetch_add(1, Ordering::SeqCst);
+            (handle_ingest(shared, &channel, &values), false)
+        }
+        Request::Snapshot { channel } => {
+            counters.frames_snapshot.fetch_add(1, Ordering::SeqCst);
+            (handle_snapshot(shared, &channel), false)
+        }
+        Request::Verdict { p, channel } => {
+            counters.frames_verdict.fetch_add(1, Ordering::SeqCst);
+            (handle_verdict(shared, p, channel.as_deref()), false)
+        }
+        Request::Merge { channel, blob } => {
+            counters.frames_merge.fetch_add(1, Ordering::SeqCst);
+            (handle_merge(shared, &channel, &blob), false)
+        }
+        Request::Checkpoint => {
+            counters.frames_admin.fetch_add(1, Ordering::SeqCst);
+            let mut core = lock(&shared.core);
+            if core.config.checkpoint_path.is_none() {
+                return (error_response("no checkpoint path configured"), false);
+            }
+            match write_server_checkpoint(shared, &mut core) {
+                Ok(bytes) => (Response::Checkpointed { bytes }.encode(), false),
+                Err(e) => (error_response(format!("checkpoint failed: {e}")), false),
+            }
+        }
+        Request::Stats => {
+            counters.frames_admin.fetch_add(1, Ordering::SeqCst);
+            (Response::Stats(build_stats(shared)).encode(), false)
+        }
+        Request::Shutdown => {
+            counters.frames_admin.fetch_add(1, Ordering::SeqCst);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Persist the final state so a later `resume` continues
+            // exactly where the campaign stopped.
+            let mut core = lock(&shared.core);
+            if core.config.checkpoint_path.is_some() {
+                if let Err(e) = write_server_checkpoint(shared, &mut core) {
+                    return (
+                        error_response(format!("shutdown checkpoint failed: {e}")),
+                        true,
+                    );
+                }
+            }
+            (Response::ShuttingDown.encode(), true)
+        }
+    }
+}
+
+fn error_response(message: impl Into<String>) -> Vec<u8> {
+    Response::Error {
+        message: message.into(),
+    }
+    .encode()
+}
+
+fn wire_snapshot(snapshot: &SessionSnapshot) -> WireSnapshot {
+    WireSnapshot {
+        channel: snapshot.channel.as_str().to_string(),
+        total: snapshot.total as u64,
+        estimate: snapshot.estimate.clone(),
+    }
+}
+
+/// The channel's accepted measurement count, `None` for a channel the
+/// session has never seen. Progress counters like this one are what
+/// key (and therefore invalidate) cached query responses.
+fn channel_progress(core: &mut Core, channel: &str) -> Option<u64> {
+    if core.session.channel_ids().any(|id| id.as_str() == channel) {
+        core.session
+            .channel(channel)
+            .ok()
+            .map(|handle| handle.len() as u64)
+    } else {
+        None
+    }
+}
+
+fn handle_ingest(shared: &Shared, channel: &str, values: &[f64]) -> Vec<u8> {
+    let mut core = lock(&shared.core);
+    let snapshots = match core.session.push_batch(channel, values) {
+        Ok(snapshots) => snapshots,
+        Err(e) => return error_response(e.to_string()),
+    };
+    for snapshot in &snapshots {
+        core.latest.insert(
+            snapshot.channel.as_str().to_string(),
+            wire_snapshot(snapshot),
+        );
+    }
+    let channel_len = channel_progress(&mut core, channel).unwrap_or(0);
+    let total = core.session.len() as u64;
+    let snapshots = snapshots.iter().map(wire_snapshot).collect();
+    if let Err(e) = after_mutation(shared, &mut core) {
+        return error_response(format!("ingested, but checkpointing failed: {e}"));
+    }
+    Response::Ingested {
+        channel_len,
+        total,
+        snapshots,
+    }
+    .encode()
+}
+
+fn handle_merge(shared: &Shared, channel: &str, blob: &[u8]) -> Vec<u8> {
+    let mut core = lock(&shared.core);
+    let engine = match StreamEngine::from_federated_blob(blob, &core.config.stream) {
+        Ok(engine) => engine,
+        Err(e) => return error_response(e.to_string()),
+    };
+    let channel_len = engine.len() as u64;
+    let state = match engine.save_state() {
+        Ok(state) => state,
+        Err(e) => return error_response(e.to_string()),
+    };
+    if let Err(e) = core.session.adopt_channel(channel, &state) {
+        return error_response(e.to_string());
+    }
+    let total = core.session.len() as u64;
+    if let Err(e) = after_mutation(shared, &mut core) {
+        return error_response(format!("merged, but checkpointing failed: {e}"));
+    }
+    Response::Merged { channel_len, total }.encode()
+}
+
+fn handle_snapshot(shared: &Shared, channel: &str) -> Vec<u8> {
+    let mut core = lock(&shared.core);
+    let progress = channel_progress(&mut core, channel).unwrap_or(0);
+    let key = query_key(shared.fingerprint, 2, channel, progress, 0);
+    if let Some(hit) = lock(&shared.cache).get(key) {
+        return hit;
+    }
+    let response = Response::Snapshot {
+        latest: core.latest.get(channel).cloned(),
+    }
+    .encode();
+    drop(core);
+    lock(&shared.cache).insert(key, response.clone());
+    response
+}
+
+fn handle_verdict(shared: &Shared, p: f64, channel: Option<&str>) -> Vec<u8> {
+    let mut core = lock(&shared.core);
+    let progress = match channel {
+        Some(name) => channel_progress(&mut core, name).unwrap_or(0),
+        None => core.session.len() as u64,
+    };
+    let key = query_key(
+        shared.fingerprint,
+        3,
+        channel.unwrap_or("*"),
+        progress,
+        p.to_bits(),
+    );
+    if let Some(hit) = lock(&shared.cache).get(key) {
+        return hit;
+    }
+    // Finalize a clone: the live session keeps streaming, and repeat
+    // queries between ingests come straight from the cache.
+    let clone = core.session.clone();
+    drop(core);
+    let merged = clone.merge();
+    let channels: Vec<(String, Result<proxima_mbpta::Verdict, String>)> = match channel {
+        Some(name) => match merged.verdict(name) {
+            Some(outcome) => vec![(name.to_string(), outcome.clone().map_err(|e| e.to_string()))],
+            None => {
+                return error_response(format!("unknown channel `{name}`"));
+            }
+        },
+        None => merged
+            .channels()
+            .iter()
+            .map(|c| {
+                (
+                    c.channel.as_str().to_string(),
+                    c.outcome.clone().map_err(|e| e.to_string()),
+                )
+            })
+            .collect(),
+    };
+    let envelope = match channel {
+        Some(name) => channels[0]
+            .1
+            .as_ref()
+            .map_err(Clone::clone)
+            .and_then(|v| v.budget_for(p).map_err(|e| e.to_string()))
+            .map(|budget| (name.to_string(), budget)),
+        None => merged
+            .envelope_budget(p)
+            .map(|(winner, budget)| (winner.as_str().to_string(), budget))
+            .map_err(|e| e.to_string()),
+    };
+    let response = Response::Verdicts {
+        p,
+        channels,
+        envelope,
+    }
+    .encode();
+    lock(&shared.cache).insert(key, response.clone());
+    response
+}
+
+/// Post-mutation bookkeeping shared by ingest and merge: write an
+/// auto-checkpoint when one falls due, then fire crash injection.
+fn after_mutation(shared: &Shared, core: &mut Core) -> Result<(), ServeError> {
+    if core.config.checkpoint_path.is_some() && core.session.checkpoint_due() {
+        write_server_checkpoint(shared, core)?;
+    }
+    if let Some(limit) = core.config.crash_after {
+        if core.session.len() >= limit {
+            eprintln!(
+                "mbpta serve: injected crash at {} measurements (crash_after {limit})",
+                core.session.len()
+            );
+            let _ = io::stderr().flush();
+            std::process::abort();
+        }
+    }
+    Ok(())
+}
+
+/// Checkpoint the session (with the serve parameters alongside, so
+/// resume needs only the file) atomically: write a sibling temp file,
+/// fsync it, rename over the target, then best-effort fsync the
+/// directory — a crash at any point leaves either the old or the new
+/// checkpoint intact, never a torn one.
+fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, ServeError> {
+    let path = core
+        .config
+        .checkpoint_path
+        .clone()
+        .ok_or_else(|| ServeError::new("no checkpoint path configured"))?;
+    let blob = core.session.checkpoint()?;
+    let mut w = Writer::new();
+    core.config.stream.encode(&mut w);
+    w.usize(core.config.snapshot_every);
+    w.usize(core.config.checkpoint_every);
+    w.usize(core.config.cache_capacity);
+    w.bytes(&blob);
+    let bytes = persist::seal(MAGIC_SERVE, w.into_bytes());
+
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| ServeError::new(format!("cannot create {}: {e}", tmp.display())))?;
+    file.write_all(&bytes)
+        .map_err(|e| ServeError::new(format!("cannot write {}: {e}", tmp.display())))?;
+    file.sync_all()
+        .map_err(|e| ServeError::new(format!("cannot sync {}: {e}", tmp.display())))?;
+    drop(file);
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        ServeError::new(format!(
+            "cannot rename {} over {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })?;
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = std::fs::File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+
+    core.session.mark_checkpointed();
+    shared
+        .counters
+        .checkpoints_written
+        .fetch_add(1, Ordering::SeqCst);
+    shared
+        .counters
+        .last_checkpoint_bytes
+        .store(bytes.len() as u64, Ordering::SeqCst);
+    Ok(bytes.len() as u64)
+}
+
+fn build_stats(shared: &Shared) -> ServerStats {
+    let (total, channels, since_checkpoint) = {
+        let core = lock(&shared.core);
+        (
+            core.session.len() as u64,
+            core.session.channel_count() as u64,
+            core.session.since_checkpoint() as u64,
+        )
+    };
+    let (cache_hits, cache_misses, cache_insertions, cache_evictions, cache_len, cache_capacity) = {
+        let cache = lock(&shared.cache);
+        (
+            cache.hits(),
+            cache.misses(),
+            cache.insertions(),
+            cache.evictions(),
+            cache.len() as u64,
+            cache.capacity() as u64,
+        )
+    };
+    let c = &shared.counters;
+    ServerStats {
+        total,
+        channels,
+        connections: c.connections.load(Ordering::SeqCst),
+        frames_ingest: c.frames_ingest.load(Ordering::SeqCst),
+        frames_snapshot: c.frames_snapshot.load(Ordering::SeqCst),
+        frames_verdict: c.frames_verdict.load(Ordering::SeqCst),
+        frames_merge: c.frames_merge.load(Ordering::SeqCst),
+        frames_admin: c.frames_admin.load(Ordering::SeqCst),
+        protocol_errors: c.protocol_errors.load(Ordering::SeqCst),
+        cache_hits,
+        cache_misses,
+        cache_insertions,
+        cache_evictions,
+        cache_len,
+        cache_capacity,
+        checkpoints_written: c.checkpoints_written.load(Ordering::SeqCst),
+        last_checkpoint_bytes: c.last_checkpoint_bytes.load(Ordering::SeqCst),
+        since_checkpoint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServeClient;
+
+    fn start(config: ServeConfig) -> (SocketAddr, thread::JoinHandle<Result<(), ServeError>>) {
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+        (addr, server.spawn())
+    }
+
+    /// Deterministic per-channel feed (no clock, no OS randomness).
+    fn feed(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                // SplitMix64 step.
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                1000.0 + 200.0 * ((z >> 11) as f64 / (1u64 << 53) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_query_shutdown_round_trip() {
+        let (addr, handle) = start(ServeConfig {
+            snapshot_every: 100,
+            ..ServeConfig::default()
+        });
+        let mut client = ServeClient::connect(addr).unwrap();
+        let values = feed(7, 1500);
+        let (channel_len, total, _snaps) = client.ingest("nominal", &values).unwrap();
+        assert_eq!(channel_len, 1500);
+        assert_eq!(total, 1500);
+
+        let latest = client.snapshot("nominal").unwrap();
+        let latest = latest.expect("scheduler emitted at least one snapshot");
+        assert_eq!(latest.channel, "nominal");
+        assert!(latest.estimate.pwcet > latest.estimate.high_watermark);
+
+        let verdicts = client.verdict(1e-12, None).unwrap();
+        match verdicts {
+            Response::Verdicts {
+                channels, envelope, ..
+            } => {
+                assert_eq!(channels.len(), 1);
+                assert!(channels[0].1.is_ok(), "{:?}", channels[0].1);
+                let (winner, budget) = envelope.unwrap();
+                assert_eq!(winner, "nominal");
+                assert!(budget > latest.estimate.high_watermark);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // The same query again must come from the cache.
+        let _ = client.verdict(1e-12, None).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.total, 1500);
+        assert_eq!(stats.channels, 1);
+        assert_eq!(stats.protocol_errors, 0);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn ingest_invalidates_cached_verdicts() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut client = ServeClient::connect(addr).unwrap();
+        let values = feed(11, 1200);
+        client.ingest("ch", &values[..600]).unwrap();
+        let before = client.verdict(1e-12, Some("ch")).unwrap();
+        client.ingest("ch", &values[600..]).unwrap();
+        let after = client.verdict(1e-12, Some("ch")).unwrap();
+        assert_ne!(before, after, "new data must re-key the cached answer");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bind_rejects_orphan_checkpoint_settings() {
+        let config = ServeConfig {
+            checkpoint_path: Some(PathBuf::from("ck.bin")),
+            checkpoint_every: 0,
+            ..ServeConfig::default()
+        };
+        assert!(Server::bind("127.0.0.1:0", config).is_err());
+        let config = ServeConfig {
+            checkpoint_path: None,
+            checkpoint_every: 100,
+            ..ServeConfig::default()
+        };
+        assert!(Server::bind("127.0.0.1:0", config).is_err());
+    }
+}

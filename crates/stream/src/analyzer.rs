@@ -58,7 +58,7 @@
 
 use proxima_mbpta::confidence::{interval_from_maxima, BudgetInterval};
 use proxima_mbpta::convergence::ConvergenceConfig;
-use proxima_mbpta::{BlockSpec, MbptaConfig, MbptaError, Pipeline, Pwcet};
+use proxima_mbpta::{BlockSpec, MbptaConfig, MbptaError, Pwcet};
 use proxima_prng::SplitMix64;
 use proxima_stats::evt::fit_gumbel;
 use proxima_stats::StatsError;
@@ -701,49 +701,6 @@ impl StreamAnalyzer {
     }
 }
 
-/// Extension trait hanging the streaming entry point off the batch
-/// [`Pipeline`]: `Pipeline::new(config).stream()` is how callers moved
-/// from batch to incremental analysis before the session API.
-///
-/// Deprecated: use [`SessionStreamExt`](crate::engine::SessionStreamExt)
-/// on [`SessionBuilder`](proxima_mbpta::SessionBuilder) —
-/// `config.session().build_stream()` — which serves any number of
-/// channels behind the same vocabulary. These methods remain as thin
-/// shims over the same [`StreamAnalyzer`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SessionStreamExt::build_stream` on `SessionBuilder` \
-            (`config.session().build_stream()`)"
-)]
-pub trait PipelineStreamExt {
-    /// A streaming analyzer matching this pipeline's configuration (block
-    /// size and significance level carry over).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MbptaError::InvalidConfig`] if the derived configuration
-    /// is invalid.
-    fn stream(&self) -> Result<StreamAnalyzer, MbptaError>;
-
-    /// A streaming analyzer with explicit streaming knobs.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MbptaError::InvalidConfig`] if `config` is invalid.
-    fn stream_with(&self, config: StreamConfig) -> Result<StreamAnalyzer, MbptaError>;
-}
-
-#[allow(deprecated)] // the shim impl must survive until the trait is removed
-impl PipelineStreamExt for Pipeline {
-    fn stream(&self) -> Result<StreamAnalyzer, MbptaError> {
-        StreamAnalyzer::new(StreamConfig::from_mbpta(self.config()))
-    }
-
-    fn stream_with(&self, config: StreamConfig) -> Result<StreamAnalyzer, MbptaError> {
-        StreamAnalyzer::new(config)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1091,26 +1048,6 @@ mod tests {
         assert_eq!(a.blocks(), 20_000 / 50);
         assert!(a.sketch().tuples() < 4_000, "{}", a.sketch().tuples());
         assert!(a.monitor().len() <= a.config().monitor_window);
-    }
-
-    #[test]
-    #[allow(deprecated)] // regression coverage for the deprecated shim
-    fn pipeline_ext_derives_matching_block() {
-        let p = Pipeline::new(MbptaConfig {
-            block: BlockSpec::Fixed(25),
-            ..MbptaConfig::default()
-        });
-        let a = p.stream().unwrap();
-        assert_eq!(a.config().block_size, 25);
-        let auto = Pipeline::new(MbptaConfig::default());
-        assert_eq!(auto.stream().unwrap().config().block_size, 100);
-        let custom = auto
-            .stream_with(StreamConfig {
-                block_size: 30,
-                ..StreamConfig::default()
-            })
-            .unwrap();
-        assert_eq!(custom.config().block_size, 30);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! The crate's deprecation surface, maintained in one place (the
+//! streaming counterpart of `proxima_mbpta::compat`).
+//!
+//! Deprecated pre-session entry points live here with their single
+//! `#[allow(deprecated)]` wiring and the regression tests pinning them
+//! to the supported path; the crate root re-exports them so old import
+//! paths (`proxima_stream::PipelineStreamExt`) keep compiling. New
+//! deprecations go in this module, not next to the code they shadow.
+
+use proxima_mbpta::{MbptaError, Pipeline};
+
+use crate::analyzer::{StreamAnalyzer, StreamConfig};
+
+/// Extension trait hanging the streaming entry point off the batch
+/// [`Pipeline`]: `Pipeline::new(config).stream()` is how callers moved
+/// from batch to incremental analysis before the session API.
+///
+/// Deprecated: use [`SessionStreamExt`](crate::engine::SessionStreamExt)
+/// on [`SessionBuilder`](proxima_mbpta::SessionBuilder) —
+/// `config.session().build_stream()` — which serves any number of
+/// channels behind the same vocabulary. These methods remain as thin
+/// shims over the same [`StreamAnalyzer`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SessionStreamExt::build_stream` on `SessionBuilder` \
+            (`config.session().build_stream()`)"
+)]
+pub trait PipelineStreamExt {
+    /// A streaming analyzer matching this pipeline's configuration (block
+    /// size and significance level carry over).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] if the derived configuration
+    /// is invalid.
+    fn stream(&self) -> Result<StreamAnalyzer, MbptaError>;
+
+    /// A streaming analyzer with explicit streaming knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::InvalidConfig`] if `config` is invalid.
+    fn stream_with(&self, config: StreamConfig) -> Result<StreamAnalyzer, MbptaError>;
+}
+
+#[allow(deprecated)] // the shim impl must survive until the trait is removed
+impl PipelineStreamExt for Pipeline {
+    fn stream(&self) -> Result<StreamAnalyzer, MbptaError> {
+        StreamAnalyzer::new(StreamConfig::from_mbpta(self.config()))
+    }
+
+    fn stream_with(&self, config: StreamConfig) -> Result<StreamAnalyzer, MbptaError> {
+        StreamAnalyzer::new(config)
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)] // regression coverage for the deprecated shim
+mod tests {
+    use super::*;
+    use proxima_mbpta::{BlockSpec, MbptaConfig};
+
+    #[test]
+    fn pipeline_ext_derives_matching_block() {
+        let p = Pipeline::new(MbptaConfig {
+            block: BlockSpec::Fixed(25),
+            ..MbptaConfig::default()
+        });
+        let a = p.stream().unwrap();
+        assert_eq!(a.config().block_size, 25);
+        let auto = Pipeline::new(MbptaConfig::default());
+        assert_eq!(auto.stream().unwrap().config().block_size, 100);
+        let custom = auto
+            .stream_with(StreamConfig {
+                block_size: 30,
+                ..StreamConfig::default()
+            })
+            .unwrap();
+        assert_eq!(custom.config().block_size, 30);
+    }
+}

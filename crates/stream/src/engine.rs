@@ -113,6 +113,40 @@ impl StreamEngine {
     pub fn analyzer(&self) -> &StreamAnalyzer {
         &self.analyzer
     }
+
+    /// Fold a **sealed federated checkpoint blob**
+    /// ([`save_federated`](crate::persist::save_federated) format) into a
+    /// live stream engine — the coordinator-side ingestion surface of
+    /// the data-never-leaves-the-shard model: remote shards ship sealed
+    /// analyzer state, never raw measurements.
+    ///
+    /// The blob's checksum/version are verified by
+    /// [`load_federated`](crate::persist::load_federated), its stream
+    /// configuration is checked against `expected` (a blob analysed
+    /// under different settings must not fold silently), and the shards
+    /// are folded with [`FederatedAnalyzer::merged`] — so the result is
+    /// bit-identical at **any** shard count. The returned engine keeps
+    /// accepting measurements; [`Engine::save_state`] on it yields
+    /// engine-state bytes a session can
+    /// [adopt](proxima_mbpta::session::AnalysisSession::adopt_channel).
+    ///
+    /// [`FederatedAnalyzer::merged`]: crate::federated::FederatedAnalyzer::merged
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MbptaError::Checkpoint`] for truncated, corrupted,
+    /// wrong-magic/version or configuration-mismatched blobs.
+    pub fn from_federated_blob(bytes: &[u8], expected: &StreamConfig) -> Result<Self, MbptaError> {
+        let fed = crate::persist::load_federated(bytes)?;
+        if fed.config().stream != *expected {
+            return Err(MbptaError::checkpoint(
+                "federated blob's stream configuration does not match the coordinator's",
+            ));
+        }
+        Ok(StreamEngine {
+            analyzer: fed.merged()?,
+        })
+    }
 }
 
 impl Engine for StreamEngine {

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod compat;
 pub mod engine;
 pub mod federated;
 pub mod monitor;
@@ -74,9 +75,11 @@ pub mod persist;
 pub mod replay;
 pub mod sketch;
 
-#[allow(deprecated)] // the deprecated shim stays reachable from its old path
-pub use analyzer::PipelineStreamExt;
 pub use analyzer::{BootstrapSpec, PwcetSnapshot, StreamAnalyzer, StreamConfig};
+// Every deprecated shim is defined (and tested) in [`compat`]; this is
+// the single re-export keeping the old import path alive.
+#[allow(deprecated)]
+pub use compat::PipelineStreamExt;
 pub use engine::{SessionStreamExt, StreamEngine, StreamFactory};
 pub use federated::{
     FederatedAnalyzer, FederatedConfig, FederatedEngine, FederatedFactory, SessionFederatedExt,

@@ -11,6 +11,9 @@
 //!   mbpta stream [<file>] [--target-p 1e-12] [--block 50] [--every 5] [--simulate] [...]
 //!   mbpta session [<file>] [--target-p 1e-12] [--batch] [--every 250] [--jobs N]
 //!                 [--simulate] [...]
+//!   mbpta serve [--addr 127.0.0.1:0] [--checkpoint ck.bin --checkpoint-every 1000] [...]
+//!   mbpta call <addr> <ingest|snapshot|verdict|merge|checkpoint|stats|shutdown> [...]
+//!   mbpta shard [<file>] --out <blob> [--shards N] [--simulate] [...]
 //!   mbpta --help
 //! ```
 //!
@@ -20,7 +23,11 @@
 //! feed (`<channel> <time>` per line) to one analysis engine per channel
 //! — per path, per core, per tenant — and merges the per-channel verdicts
 //! into a program-level envelope. `stream` and `session` both run on the
-//! multi-channel `AnalysisSession` core.
+//! multi-channel `AnalysisSession` core. `serve` exposes that same core
+//! as a long-running framed-TCP service (`proxima-serve`); `call` is its
+//! command-line client; `shard` folds a measurement campaign into a
+//! sealed federated state blob that `call merge` ships to a server —
+//! state travels, raw measurements do not.
 
 use std::process::ExitCode;
 
@@ -28,6 +35,8 @@ use proxima::mbpta::cv::analyze_cv;
 use proxima::mbpta::engine::{BatchFactory, EngineFactory, EngineKind};
 use proxima::mbpta::persist;
 use proxima::prelude::*;
+use proxima::serve::cache::query_key;
+use proxima::serve::{Response, ServeClient, ServeConfig, Server, VerdictCache, WireSnapshot};
 use proxima::stream::replay::{ByteLines, LineSource, TraceReplay};
 use proxima::stream::{FederatedFactory, StreamConfig, StreamFactory};
 
@@ -46,6 +55,17 @@ USAGE:
                 [--checkpoint <path> --checkpoint-every <k>]
   mbpta session --resume <path> [<file>] [--jobs <j>]
                 [--checkpoint <path> --checkpoint-every <k>]
+  mbpta serve [--addr <host:port>] [--target-p <p>] [--block <n>] [--every <k>]
+              [--jobs <j>] [--cache-capacity <n>]
+              [--checkpoint <path> --checkpoint-every <k>]
+  mbpta serve --resume <path> [--addr <host:port>] [--jobs <j>]
+  mbpta call <addr> ingest <channel> [<file>] [--skip <n>] [--chunk <n>]
+  mbpta call <addr> snapshot <channel>
+  mbpta call <addr> verdict [--p <p>] [--channel <name>]
+  mbpta call <addr> merge <channel> <blob-file>
+  mbpta call <addr> checkpoint | stats | shutdown
+  mbpta shard [<file>] --out <blob> [--shards <n>] [--target-p <p>] [--block <n>]
+              [--simulate] [--runs <n>] [--seed <s>] [--path <name>]
   mbpta --help
 
 COMMANDS:
@@ -62,6 +82,18 @@ COMMANDS:
             simulator (--simulate: the four TVCA paths measured in one
             thread pool); one engine per channel, merged envelope at the
             end
+  serve     long-running framed-TCP analysis service over the same
+            session core: concurrent clients ingest tagged batches,
+            query snapshots/verdicts (cached), merge sealed federated
+            shard blobs, and trigger checkpoints; prints
+            `listening on <addr>` once ready
+  call      client for a running server: ingest a measurement file (one
+            value per line) into a channel, query a snapshot or verdict,
+            merge a shard blob, force a checkpoint, dump stats, or shut
+            the server down
+  shard     fold a measurement campaign into a sealed federated state
+            blob (`save_federated` format) for `call merge`; the
+            stream/block configuration must match the server's
 
 OPTIONS (analyze):
   --cutoff <p>   exceedance probability for the headline budget [1e-12]
@@ -108,6 +140,38 @@ OPTIONS (session):
   --stop-on-converged  stop once every channel's estimate is stable;
                        converged channels finish early and free
                        their engine state immediately
+  --cache-stats        print verdict-cache hit/miss counters for the
+                       final summary to stderr
+
+OPTIONS (serve):
+  --addr <host:port>     bind address (port 0 = OS-assigned)  [127.0.0.1:0]
+  --target-p <p>         exceedance cutoff                    [1e-12]
+  --block <n>            block size for block maxima          [50]
+  --every <k>            scheduler snapshot cadence           [250]
+  --jobs <j>             session worker threads (0 = all)     [0]
+  --cache-capacity <n>   bound on cached query responses      [256]
+  --checkpoint <path>    auto-checkpoint target (atomic write-rename)
+  --checkpoint-every <k> checkpoint cadence, in measurements
+  --resume <path>        restart from a server checkpoint; the analysis
+                         configuration comes from the file, and
+                         checkpointing continues to the same path
+  --crash-after <n>      abort once the session holds <n> measurements
+                         (crash injection for the restart CI job)
+
+OPTIONS (call):
+  --skip <n>     ingest: skip the first <n> measurements of the file
+                 (resend-after-restart: skip what the server already
+                 holds, per `call stats`)                        [0]
+  --chunk <n>    ingest: measurements per INGEST frame           [512]
+  --p <p>        verdict: exceedance cutoff                      [1e-12]
+  --channel <c>  verdict: restrict to one channel (default: all)
+
+OPTIONS (shard):
+  --out <blob>   output file for the sealed federated blob (required)
+  --shards <n>   shard count; the folded state is bit-identical
+                 for every value                                 [1]
+  --target-p, --block, --simulate, --runs, --seed, --path: as above;
+                 the stream configuration must match the server's
 
 CHECKPOINT / RESUME (session):
   --checkpoint <path>      write a checkpoint of the full session state
@@ -149,6 +213,9 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("measure") => measure_cmd(&args[1..]),
         Some("stream") => stream_cmd(&args[1..]),
         Some("session") => session_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("call") => call_cmd(&args[1..]),
+        Some("shard") => shard_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -181,7 +248,16 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "--simulate",
     "--stop-on-converged",
     "--batch",
+    "--cache-stats",
 ];
+
+/// Every positional (non-flag) argument, in order (`call` takes several).
+fn positionals(args: &[String]) -> Vec<&str> {
+    args.iter()
+        .filter(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .map(String::as_str)
+        .collect()
+}
 
 /// `true` if `candidate` is the value of some value-taking `--flag` (so it
 /// is not the positional file argument).
@@ -613,7 +689,7 @@ impl SessionParams {
 fn write_checkpoint<F: EngineFactory>(
     path: &str,
     params: &SessionParams,
-    session: &AnalysisSession<F>,
+    session: &mut AnalysisSession<F>,
 ) -> Result<(), String> {
     use std::io::Write;
     let blob = session
@@ -647,6 +723,10 @@ fn write_checkpoint<F: EngineFactory>(
             let _ = d.sync_all();
         }
     }
+    // Reset the session's cadence counter ([`AnalysisSession::
+    // checkpoint_due`]) so the next checkpoint falls due a full period
+    // from here.
+    session.mark_checkpointed();
     Ok(())
 }
 
@@ -683,6 +763,7 @@ fn checkpoint_spec(args: &[String]) -> Result<Option<(String, usize)>, String> {
 
 fn session_cmd(args: &[String]) -> Result<(), String> {
     let jobs: usize = parse_flag(args, "--jobs", 0)?;
+    let cache_stats = args.iter().any(|a| a == "--cache-stats");
     let ckpt = checkpoint_spec(args)?;
     let crash_after: Option<usize> = flag_value(args, "--crash-after")?
         .map(|raw| {
@@ -724,6 +805,7 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
             Some(&blob),
             ckpt.as_ref(),
             crash_after,
+            cache_stats,
         );
     }
 
@@ -793,7 +875,16 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
             None
         },
     };
-    run_session(args, &params, jobs, 0, None, ckpt.as_ref(), crash_after)
+    run_session(
+        args,
+        &params,
+        jobs,
+        0,
+        None,
+        ckpt.as_ref(),
+        crash_after,
+        cache_stats,
+    )
 }
 
 /// Build the tagged feed a session analyses — the simulated four-path
@@ -846,8 +937,26 @@ fn session_feed(
     }
 }
 
+/// Restore a checkpointed session and re-arm its checkpoint cadence:
+/// the cadence is runtime policy (`--checkpoint-every` on this
+/// invocation), not part of the persisted state, so a restore always
+/// re-applies it. Restores land exactly on a cadence boundary (chunks
+/// never cross one), so the next checkpoint falls a full period later —
+/// the file sequence is identical to an uninterrupted run.
+fn restore_session<F: EngineFactory>(
+    factory: F,
+    blob: &[u8],
+    jobs: usize,
+    cadence: usize,
+) -> Result<AnalysisSession<F>, String> {
+    let mut session = AnalysisSession::restore(factory, blob, jobs).map_err(|e| e.to_string())?;
+    session.set_checkpoint_every(cadence);
+    Ok(session)
+}
+
 /// Build (or restore, when `resume_blob` is set) the session described
 /// by `params` and drive the feed through it.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     args: &[String],
     params: &SessionParams,
@@ -856,14 +965,20 @@ fn run_session(
     resume_blob: Option<&[u8]>,
     ckpt: Option<&(String, usize)>,
     crash_after: Option<usize>,
+    cache_stats: bool,
 ) -> Result<(), String> {
     let feed = session_feed(args, params, jobs, consumed)?;
+    // The checkpoint cadence lives on the session itself (satellite of
+    // PR 7): `until_checkpoint`/`checkpoint_due` drive both this CLI and
+    // the `serve` subsystem from the same counter.
+    let cadence = ckpt.map_or(0, |(_, every)| *every);
     let builder = MbptaConfig {
         block: BlockSpec::Fixed(params.block),
         ..MbptaConfig::default()
     }
     .session()
     .snapshot_every(params.every)
+    .checkpoint_every(cadence)
     .target_p(params.target_p)
     .jobs(jobs)
     // Converged channels free their engine state immediately; the feed
@@ -883,12 +998,10 @@ fn run_session(
             };
             let factory = BatchFactory::new(config, params.target_p).map_err(|e| e.to_string())?;
             let session = match resume_blob {
-                Some(blob) => {
-                    AnalysisSession::restore(factory, blob, jobs).map_err(|e| e.to_string())?
-                }
+                Some(blob) => restore_session(factory, blob, jobs, cadence)?,
                 None => builder.build_with(factory).map_err(|e| e.to_string())?,
             };
-            drive_session(session, feed, params, ckpt, crash_after)
+            drive_session(session, feed, params, ckpt, crash_after, cache_stats)
         }
         EngineKind::Federated => {
             // Federated: each channel routed to per-shard analyzers
@@ -902,22 +1015,18 @@ fn run_session(
             }
             let factory = FederatedFactory::new(config).map_err(|e| e.to_string())?;
             let session = match resume_blob {
-                Some(blob) => {
-                    AnalysisSession::restore(factory, blob, jobs).map_err(|e| e.to_string())?
-                }
+                Some(blob) => restore_session(factory, blob, jobs, cadence)?,
                 None => builder.build_with(factory).map_err(|e| e.to_string())?,
             };
-            drive_session(session, feed, params, ckpt, crash_after)
+            drive_session(session, feed, params, ckpt, crash_after, cache_stats)
         }
         EngineKind::Stream => {
             let factory = StreamFactory::new(stream_config).map_err(|e| e.to_string())?;
             let session = match resume_blob {
-                Some(blob) => {
-                    AnalysisSession::restore(factory, blob, jobs).map_err(|e| e.to_string())?
-                }
+                Some(blob) => restore_session(factory, blob, jobs, cadence)?,
                 None => builder.build_with(factory).map_err(|e| e.to_string())?,
             };
-            drive_session(session, feed, params, ckpt, crash_after)
+            drive_session(session, feed, params, ckpt, crash_after, cache_stats)
         }
         // `EngineKind` is #[non_exhaustive]: a kind added by a future
         // library version has no CLI wiring here yet.
@@ -974,8 +1083,11 @@ fn feed_run<F: EngineFactory>(
     let mut rest = xs;
     while !rest.is_empty() {
         let mut take = rest.len();
-        if let Some((_, every)) = ckpt {
-            take = take.min(every - session.len() % every);
+        // The session tracks its own cadence (`checkpoint_every` is set
+        // from --checkpoint-every at build/restore time): cut the chunk
+        // so checkpoint positions are independent of the chunking.
+        if let Some(until) = session.until_checkpoint() {
+            take = take.min(until.max(1));
         }
         if let Some(n) = crash_after {
             take = take.min(n.saturating_sub(session.len()).max(1));
@@ -990,8 +1102,8 @@ fn feed_run<F: EngineFactory>(
                 return Ok(false);
             }
         }
-        if let Some((path, every)) = ckpt {
-            if session.len() % every == 0 {
+        if let Some((path, _)) = ckpt {
+            if session.checkpoint_due() {
                 write_checkpoint(path, params, session)?;
             }
         }
@@ -1025,6 +1137,7 @@ fn drive_session<F: EngineFactory>(
     params: &SessionParams,
     ckpt: Option<&(String, usize)>,
     crash_after: Option<usize>,
+    cache_stats: bool,
 ) -> Result<(), String> {
     let target_p = params.target_p;
     let stop_on_converged = params.stop_on_converged;
@@ -1050,9 +1163,9 @@ fn drive_session<F: EngineFactory>(
                     break;
                 }
             }
-            if let Some((path, every)) = ckpt {
-                if session.len() % every == 0 {
-                    write_checkpoint(path, params, &session)?;
+            if let Some((path, _)) = ckpt {
+                if session.checkpoint_due() {
+                    write_checkpoint(path, params, &mut session)?;
                 }
             }
             if crash_after.is_some_and(|n| session.len() >= n) {
@@ -1106,56 +1219,131 @@ fn drive_session<F: EngineFactory>(
     let total = session.len();
     let merged = session.merge();
 
-    use std::io::Write;
-    let mut out = std::io::stdout().lock();
-    let mut print_summary = || -> std::io::Result<()> {
-        writeln!(
-            out,
-            "session total={total} channels={}",
-            merged.channels().len()
-        )?;
-        for cv in merged.channels() {
-            match &cv.outcome {
-                Ok(v) => writeln!(
-                    out,
-                    "channel {} n={} engine={} pwcet@{target_p:e}={:.0} hwm={:.0} iid={}{}",
-                    cv.channel,
-                    v.provenance.n,
-                    v.provenance.engine,
-                    v.budget_for(target_p).unwrap_or(f64::NAN),
-                    v.high_watermark(),
-                    v.iid.label(),
-                    match v.provenance.converged {
-                        Some(true) => " CONVERGED",
-                        Some(false) => " settling",
-                        None => "",
-                    },
-                )?,
-                Err(e) => writeln!(
-                    out,
-                    "channel {} FAILED: {e}{}",
-                    cv.channel,
-                    if cv.dropped > 0 {
-                        format!(" ({} measurements dropped)", cv.dropped)
-                    } else {
-                        String::new()
-                    },
-                )?,
+    // Satellite of PR 7: the summary answers every budget question
+    // through the same fingerprint-keyed cache discipline the `serve`
+    // subsystem uses ([`proxima::serve::cache`]). Keys fold in the
+    // session configuration (the encoded `SessionParams`), the channel,
+    // its analysed count and the probability — so the envelope pass
+    // below re-reads the per-channel budgets as O(1) hits instead of
+    // re-walking each fitted tail. Output is byte-identical to the
+    // uncached path; `--cache-stats` reports the accounting on stderr.
+    let fingerprint = {
+        let mut w = persist::Writer::new();
+        params.encode(&mut w);
+        persist::fnv1a(&w.into_bytes())
+    };
+    let mut cache = VerdictCache::new(64);
+    let budget_at = |cache: &mut VerdictCache, channel: &ChannelId, v: &Verdict| -> Option<f64> {
+        let key = query_key(
+            fingerprint,
+            3,
+            channel.as_str(),
+            v.provenance.n as u64,
+            target_p.to_bits(),
+        );
+        if let Some(bytes) = cache.get(key) {
+            if let Ok(raw) = <[u8; 8]>::try_from(bytes.as_slice()) {
+                return Some(f64::from_le_bytes(raw));
             }
         }
-        match merged.envelope_budget(target_p) {
-            Ok((worst, budget)) => writeln!(
-                out,
-                "envelope pwcet@{target_p:e}={budget:.0} (worst channel: {worst}) hwm={:.0}",
-                merged.high_watermark(),
-            ),
-            Err(e) => writeln!(out, "envelope UNAVAILABLE: {e}"),
-        }
+        let budget = v.budget_for(target_p).ok()?;
+        cache.insert(key, budget.to_le_bytes().to_vec());
+        Some(budget)
     };
-    match print_summary() {
+
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    // The summary closure mutably borrows `cache`; scoping it releases
+    // the borrow before the stderr counter dump below.
+    let summary_result = {
+        let mut print_summary = || -> std::io::Result<()> {
+            writeln!(
+                out,
+                "session total={total} channels={}",
+                merged.channels().len()
+            )?;
+            for cv in merged.channels() {
+                match &cv.outcome {
+                    Ok(v) => writeln!(
+                        out,
+                        "channel {} n={} engine={} pwcet@{target_p:e}={:.0} hwm={:.0} iid={}{}",
+                        cv.channel,
+                        v.provenance.n,
+                        v.provenance.engine,
+                        budget_at(&mut cache, &cv.channel, v).unwrap_or(f64::NAN),
+                        v.high_watermark(),
+                        v.iid.label(),
+                        match v.provenance.converged {
+                            Some(true) => " CONVERGED",
+                            Some(false) => " settling",
+                            None => "",
+                        },
+                    )?,
+                    Err(e) => writeln!(
+                        out,
+                        "channel {} FAILED: {e}{}",
+                        cv.channel,
+                        if cv.dropped > 0 {
+                            format!(" ({} measurements dropped)", cv.dropped)
+                        } else {
+                            String::new()
+                        },
+                    )?,
+                }
+            }
+            // The envelope is the worst cached budget — every lookup below
+            // was primed by the per-channel lines above, so this pass is all
+            // cache hits. Semantics mirror `SessionVerdict::envelope_budget`
+            // exactly (first strict maximum wins; any budget error defers to
+            // the library call so the message construction is identical).
+            let envelope = {
+                let mut best: Option<(&ChannelId, f64)> = None;
+                let mut complete = true;
+                for (id, v) in merged.ok_channels() {
+                    match budget_at(&mut cache, id, v) {
+                        Some(budget) => {
+                            if best.is_none_or(|(_, cur)| budget > cur) {
+                                best = Some((id, budget));
+                            }
+                        }
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                match best {
+                    Some(found) if complete => Ok(found),
+                    _ => merged.envelope_budget(target_p),
+                }
+            };
+            match envelope {
+                Ok((worst, budget)) => writeln!(
+                    out,
+                    "envelope pwcet@{target_p:e}={budget:.0} (worst channel: {worst}) hwm={:.0}",
+                    merged.high_watermark(),
+                ),
+                Err(e) => writeln!(out, "envelope UNAVAILABLE: {e}"),
+            }
+        };
+        print_summary()
+    };
+    match summary_result {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => return Ok(()),
         Err(e) => return Err(e.to_string()),
+    }
+    if cache_stats {
+        // Stderr only: the determinism batteries diff stdout.
+        eprintln!(
+            "cache stats: hits={} misses={} insertions={} evictions={} len={} capacity={}",
+            cache.hits(),
+            cache.misses(),
+            cache.insertions(),
+            cache.evictions(),
+            cache.len(),
+            cache.capacity(),
+        );
     }
     if !merged.all_ok() {
         return Err(format!(
@@ -1164,5 +1352,354 @@ fn drive_session<F: EngineFactory>(
             merged.channels().len()
         ));
     }
+    Ok(())
+}
+
+/// `mbpta serve`: bind (or resume) the framed-TCP analysis service and
+/// run its accept loop until a SHUTDOWN frame arrives.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr")?.unwrap_or("127.0.0.1:0");
+    let jobs: usize = parse_flag(args, "--jobs", 0)?;
+    let crash_after: Option<usize> = flag_value(args, "--crash-after")?
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("invalid value for --crash-after: `{raw}`"))
+        })
+        .transpose()?;
+
+    let server = if let Some(resume_path) = flag_value(args, "--resume")? {
+        // The checkpoint records the serve configuration; re-specifying
+        // analysis or cache flags would silently conflict with it.
+        for flag in [
+            "--target-p",
+            "--block",
+            "--every",
+            "--cache-capacity",
+            "--checkpoint",
+            "--checkpoint-every",
+        ] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!(
+                    "{flag} conflicts with --resume (the checkpoint already records \
+                     the serve configuration)"
+                ));
+            }
+        }
+        eprintln!("resuming from {resume_path}");
+        Server::resume(addr, resume_path, jobs, crash_after).map_err(|e| e.to_string())?
+    } else {
+        let target_p: f64 = parse_flag(args, "--target-p", 1e-12)?;
+        let block: usize = parse_flag(args, "--block", 50)?;
+        let every: usize = parse_flag(args, "--every", 250)?;
+        let cache_capacity: usize = parse_flag(args, "--cache-capacity", 256)?;
+        let (checkpoint_path, checkpoint_every) = match checkpoint_spec(args)? {
+            Some((path, every)) => (Some(std::path::PathBuf::from(path)), every),
+            None => (None, 0),
+        };
+        let config = ServeConfig {
+            stream: StreamConfig {
+                block_size: block,
+                target_p,
+                ..StreamConfig::default()
+            },
+            snapshot_every: every,
+            checkpoint_path,
+            checkpoint_every,
+            cache_capacity,
+            jobs,
+            crash_after,
+        };
+        Server::bind(addr, config).map_err(|e| e.to_string())?
+    };
+    {
+        // Parseable readiness line on stdout (the CI smoke job and the
+        // subprocess tests read the OS-assigned port back from it).
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        writeln!(out, "listening on {}", server.local_addr()).map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    server.run().map_err(|e| e.to_string())
+}
+
+/// One printed line per server-emitted estimate (`call ingest` /
+/// `call snapshot`). The client does not know the server's target
+/// cutoff, so the line carries the estimate's own pWCET rather than a
+/// `pwcet@p` label.
+fn print_wire_snapshot(snap: &WireSnapshot) {
+    let est = &snap.estimate;
+    println!(
+        "snapshot channel={} n={} blocks={} pwcet={:.0} hwm={:.0} iid={} {}",
+        snap.channel,
+        est.n,
+        est.blocks.unwrap_or(0),
+        est.pwcet,
+        est.high_watermark,
+        est.iid.map_or("-", |evidence| evidence.label()),
+        if est.converged {
+            "CONVERGED"
+        } else {
+            "settling"
+        },
+    );
+}
+
+/// `mbpta call`: one request/response exchange with a running server
+/// (`ingest` streams many frames over the one connection).
+fn call_cmd(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let (addr, verb, rest) = match pos.as_slice() {
+        [addr, verb, rest @ ..] => (*addr, *verb, rest),
+        _ => {
+            return Err("call needs <addr> and a verb \
+                 (ingest|snapshot|verdict|merge|checkpoint|stats|shutdown)"
+                .into())
+        }
+    };
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match verb {
+        "ingest" => {
+            let (channel, file) = match rest {
+                [channel] => (*channel, None),
+                [channel, file] => (*channel, Some(*file)),
+                _ => return Err("call ingest needs <channel> [<file>]".into()),
+            };
+            let skip: usize = parse_flag(args, "--skip", 0)?;
+            let chunk: usize = parse_flag(args, "--chunk", 512)?;
+            if chunk == 0 {
+                return Err("--chunk must be positive".into());
+            }
+            let source: Box<dyn Iterator<Item = Result<f64, String>>> = match file {
+                Some(file) => {
+                    let f = std::fs::File::open(file)
+                        .map_err(|e| format!("cannot open {file}: {e}"))?;
+                    Box::new(
+                        LineSource::new(std::io::BufReader::new(f))
+                            .map(|r| r.map_err(|e| e.to_string())),
+                    )
+                }
+                None => Box::new(
+                    LineSource::new(std::io::BufReader::new(std::io::stdin()))
+                        .map(|r| r.map_err(|e| e.to_string())),
+                ),
+            };
+            // The --skip prefix is what a restarted server already
+            // holds (`call stats` → total): resending from there makes
+            // the resumed feed order identical to an uninterrupted one.
+            let mut sent = 0u64;
+            let mut last: Option<(u64, u64)> = None;
+            let mut values: Vec<f64> = Vec::with_capacity(chunk);
+            let mut send = |values: &mut Vec<f64>, sent: &mut u64| -> Result<(u64, u64), String> {
+                let (channel_len, total, snapshots) =
+                    client.ingest(channel, values).map_err(|e| e.to_string())?;
+                *sent += values.len() as u64;
+                values.clear();
+                for snap in &snapshots {
+                    print_wire_snapshot(snap);
+                }
+                Ok((channel_len, total))
+            };
+            for x in source.skip(skip) {
+                values.push(x?);
+                if values.len() == chunk {
+                    last = Some(send(&mut values, &mut sent)?);
+                }
+            }
+            if !values.is_empty() {
+                last = Some(send(&mut values, &mut sent)?);
+            }
+            match last {
+                Some((channel_len, total)) => println!(
+                    "ingested {sent} measurements into channel {channel} \
+                     (channel n={channel_len}, session total={total})"
+                ),
+                None => println!("ingested 0 measurements into channel {channel}"),
+            }
+            Ok(())
+        }
+        "snapshot" => {
+            let [channel] = rest else {
+                return Err("call snapshot needs <channel>".into());
+            };
+            match client.snapshot(channel).map_err(|e| e.to_string())? {
+                Some(snap) => print_wire_snapshot(&snap),
+                None => println!("no snapshot yet for channel {channel}"),
+            }
+            Ok(())
+        }
+        "verdict" => {
+            if !rest.is_empty() {
+                return Err("call verdict takes flags only (--p, --channel)".into());
+            }
+            let p: f64 = parse_flag(args, "--p", 1e-12)?;
+            let channel = flag_value(args, "--channel")?;
+            let response = client.verdict(p, channel).map_err(|e| e.to_string())?;
+            let Response::Verdicts {
+                p,
+                channels,
+                envelope,
+            } = response
+            else {
+                return Err("unexpected response shape".into());
+            };
+            for (name, outcome) in &channels {
+                match outcome {
+                    Ok(v) => {
+                        // The raw budget bits ride along so the CI
+                        // drills can diff for *bit* identity, not just
+                        // identical rounding.
+                        let budget = v.budget_for(p).unwrap_or(f64::NAN);
+                        println!(
+                            "channel {name} n={} pwcet@{p:e}={budget:.0} \
+                             bits=0x{:016x} hwm={:.0} iid={}",
+                            v.provenance.n,
+                            budget.to_bits(),
+                            v.high_watermark(),
+                            v.iid.label(),
+                        );
+                    }
+                    Err(e) => println!("channel {name} FAILED: {e}"),
+                }
+            }
+            match envelope {
+                Ok((worst, budget)) => println!(
+                    "envelope pwcet@{p:e}={budget:.0} bits=0x{:016x} (worst channel: {worst})",
+                    budget.to_bits(),
+                ),
+                Err(e) => println!("envelope UNAVAILABLE: {e}"),
+            }
+            Ok(())
+        }
+        "merge" => {
+            let [channel, blob_file] = rest else {
+                return Err("call merge needs <channel> <blob-file>".into());
+            };
+            let blob =
+                std::fs::read(blob_file).map_err(|e| format!("cannot open {blob_file}: {e}"))?;
+            let (channel_len, total) = client.merge(channel, &blob).map_err(|e| e.to_string())?;
+            println!(
+                "merged {blob_file} into channel {channel} \
+                 (channel n={channel_len}, session total={total})"
+            );
+            Ok(())
+        }
+        "checkpoint" => {
+            let bytes = client.checkpoint().map_err(|e| e.to_string())?;
+            println!("checkpoint written ({bytes} bytes)");
+            Ok(())
+        }
+        "stats" => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            // One `name=value` per line: the CI smoke job greps these
+            // (`grep '^total=' | cut -d= -f2`).
+            println!("total={}", s.total);
+            println!("channels={}", s.channels);
+            println!("connections={}", s.connections);
+            println!("frames_ingest={}", s.frames_ingest);
+            println!("frames_snapshot={}", s.frames_snapshot);
+            println!("frames_verdict={}", s.frames_verdict);
+            println!("frames_merge={}", s.frames_merge);
+            println!("frames_admin={}", s.frames_admin);
+            println!("protocol_errors={}", s.protocol_errors);
+            println!("cache_hits={}", s.cache_hits);
+            println!("cache_misses={}", s.cache_misses);
+            println!("cache_insertions={}", s.cache_insertions);
+            println!("cache_evictions={}", s.cache_evictions);
+            println!("cache_len={}", s.cache_len);
+            println!("cache_capacity={}", s.cache_capacity);
+            println!("checkpoints_written={}", s.checkpoints_written);
+            println!("last_checkpoint_bytes={}", s.last_checkpoint_bytes);
+            println!("since_checkpoint={}", s.since_checkpoint);
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server shutting down");
+            Ok(())
+        }
+        other => Err(format!("unknown call verb `{other}`")),
+    }
+}
+
+/// `mbpta shard`: fold a measurement campaign into a sealed federated
+/// state blob for `call merge` — the shard ships folded analyzer state,
+/// never raw measurements.
+fn shard_cmd(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out")?.ok_or("shard needs --out <blob>")?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    let target_p: f64 = parse_flag(args, "--target-p", 1e-12)?;
+    let block: usize = parse_flag(args, "--block", 50)?;
+    let simulate = args.iter().any(|a| a == "--simulate");
+    if !simulate {
+        for flag in ["--runs", "--seed", "--path"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!("{flag} requires --simulate"));
+            }
+        }
+    }
+    let stream = StreamConfig {
+        block_size: block,
+        target_p,
+        ..StreamConfig::default()
+    };
+    let mut config = FederatedConfig::new(stream, shards);
+    let fed = if simulate {
+        let sim = SimSource::from_args(args, 3000)?;
+        // A known campaign volume balances the shards; the folded state
+        // is bit-identical at every shard count regardless.
+        config = config.balanced_for(sim.runs);
+        let mut fed = FederatedAnalyzer::new(config).map_err(|e| e.to_string())?;
+        eprintln!(
+            "sharding {} simulated runs of TVCA path `{}` over {shards} shard(s) (seed {})",
+            sim.runs, sim.mode, sim.seed
+        );
+        fed.ingest_trace(
+            PlatformConfig::mbpta_compliant(),
+            &sim.trace,
+            sim.runs,
+            sim.seed,
+        )
+        .map_err(|e| e.to_string())?;
+        fed
+    } else {
+        let mut fed = FederatedAnalyzer::new(config).map_err(|e| e.to_string())?;
+        let source: Box<dyn Iterator<Item = Result<f64, String>>> = match positional(args) {
+            Some(file) => {
+                let f =
+                    std::fs::File::open(file).map_err(|e| format!("cannot open {file}: {e}"))?;
+                Box::new(
+                    LineSource::new(std::io::BufReader::new(f))
+                        .map(|r| r.map_err(|e| e.to_string())),
+                )
+            }
+            None => Box::new(
+                LineSource::new(std::io::BufReader::new(std::io::stdin()))
+                    .map(|r| r.map_err(|e| e.to_string())),
+            ),
+        };
+        let mut chunk: Vec<f64> = Vec::with_capacity(FEED_CHUNK);
+        for x in source {
+            chunk.push(x?);
+            if chunk.len() == FEED_CHUNK {
+                fed.push_batch(&chunk).map_err(|e| e.to_string())?;
+                chunk.clear();
+            }
+        }
+        if !chunk.is_empty() {
+            fed.push_batch(&chunk).map_err(|e| e.to_string())?;
+        }
+        fed
+    };
+    if fed.is_empty() {
+        return Err("shard feed contained no measurements".into());
+    }
+    let blob = save_federated(&fed);
+    std::fs::write(out, &blob).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote sealed federated blob: {} measurements over {shards} shard(s), {} bytes -> {out}",
+        fed.len(),
+        blob.len(),
+    );
     Ok(())
 }

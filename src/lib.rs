@@ -19,6 +19,7 @@
 //! | [`workload`] | `proxima-workload` | TVCA + control kernels |
 //! | [`mbpta`] | `proxima-mbpta` | the MBPTA pipeline and pWCET type |
 //! | [`stream`] | `proxima-stream` | streaming MBPTA: online ingestion + incremental refit |
+//! | [`serve`] | `proxima-serve` | framed-TCP analysis service over the session core |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@
 
 pub use proxima_mbpta as mbpta;
 pub use proxima_prng as prng;
+pub use proxima_serve as serve;
 pub use proxima_sim as sim;
 pub use proxima_stats as stats;
 pub use proxima_stream as stream;
@@ -61,10 +63,14 @@ pub use proxima_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
+    // The deprecated shims stay importable from the prelude; they are
+    // all defined in the `compat` module of their crate
+    // (`proxima_mbpta::compat`, `proxima_stream::compat`), which is the
+    // single place the deprecation surface is maintained.
+    #[allow(deprecated)]
+    pub use deprecated_shims::*;
     pub use proxima_mbpta::persist::{Decode, Encode};
     pub use proxima_mbpta::session::SessionVerdict;
-    #[allow(deprecated)] // the deprecated shims stay importable from the prelude
-    pub use proxima_mbpta::{analyze, measure_and_analyze};
     pub use proxima_mbpta::{
         baseline::MbtaEstimate, confidence::budget_interval, cv::analyze_cv, render_report,
         AnalysisSession, BlockSpec, Campaign, CampaignRunner, ChannelHandle, ChannelId,
@@ -77,8 +83,6 @@ pub mod prelude {
     pub use proxima_stream::persist::{
         load_analyzer, load_federated, save_analyzer, save_federated,
     };
-    #[allow(deprecated)]
-    pub use proxima_stream::PipelineStreamExt;
     pub use proxima_stream::{
         FederatedAnalyzer, FederatedConfig, FederatedEngine, LineSource, PwcetSnapshot,
         SessionFederatedExt, SessionStreamExt, StreamAnalyzer, StreamConfig, StreamEngine,
@@ -86,6 +90,14 @@ pub mod prelude {
     };
     pub use proxima_workload::bench_suite::Benchmark;
     pub use proxima_workload::tvca::{ControlMode, Scale, Tvca, TvcaConfig};
+
+    /// The deprecated entry points, grouped so the prelude needs exactly
+    /// one `#[allow(deprecated)]` no matter how many shims exist.
+    #[allow(deprecated)]
+    mod deprecated_shims {
+        pub use proxima_mbpta::compat::{analyze, measure_and_analyze};
+        pub use proxima_stream::compat::PipelineStreamExt;
+    }
 }
 
 #[cfg(test)]
