@@ -142,7 +142,7 @@ pub fn interval_from_maxima(
             proxima_stats::StatsError::DegenerateSample,
         ));
     }
-    budgets.sort_by(|a, b| a.partial_cmp(b).expect("finite budgets"));
+    budgets.sort_by(|a, b| a.total_cmp(b));
     let alpha = 1.0 - level;
     let lower = proxima_stats::descriptive::quantile_sorted(&budgets, alpha / 2.0);
     let upper = proxima_stats::descriptive::quantile_sorted(&budgets, 1.0 - alpha / 2.0);

@@ -345,6 +345,8 @@ impl SessionBuilder {
             .merge()
             .into_channels()
             .pop()
+            // proxima-lint: allow(no-lib-panic) -- the session was built a
+            // few lines up with exactly one channel, so pop() is Some.
             .expect("single-channel session")
             .outcome
             .map_err(crate::MbptaError::into_unscoped)

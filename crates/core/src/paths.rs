@@ -118,6 +118,8 @@ impl PerPathAnalysis {
                 best = Some((path.label.as_str(), b));
             }
         }
+        // proxima-lint: allow(no-lib-panic) -- PathSet construction rejects
+        // an empty path list, so the loop above ran at least once.
         Ok(best.expect("at least one path by construction"))
     }
 

@@ -113,7 +113,7 @@ impl SchedAnalysis {
 /// Optimal among fixed-priority assignments for implicit deadlines
 /// (Liu & Layland 1973).
 pub fn rate_monotonic_order(tasks: &mut [TaskSpec]) {
-    tasks.sort_by(|a, b| a.period.partial_cmp(&b.period).expect("finite periods"));
+    tasks.sort_by(|a, b| a.period.total_cmp(&b.period));
 }
 
 /// Response-time analysis of `tasks`, which must already be in priority

@@ -70,7 +70,7 @@
 //! # Ok::<(), proxima_mbpta::MbptaError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use crate::campaign::run_sharded;
@@ -274,7 +274,10 @@ impl<E: Engine> ChannelState<E> {
 pub struct AnalysisSession<F: EngineFactory> {
     factory: F,
     channels: Vec<ChannelState<F::Engine>>,
-    index: HashMap<ChannelId, usize>,
+    /// Channel-id → slot lookup. A `BTreeMap` on purpose: nothing
+    /// iterates it today, but if something ever does, the order is the
+    /// channel ids' — deterministic — not a hasher's.
+    index: BTreeMap<ChannelId, usize>,
     total: usize,
     snapshot_every: usize,
     since_snapshot: usize,
@@ -315,7 +318,7 @@ impl<F: EngineFactory> AnalysisSession<F> {
         AnalysisSession {
             factory,
             channels: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             total: 0,
             snapshot_every,
             since_snapshot: 0,
@@ -924,7 +927,7 @@ impl<F: EngineFactory> AnalysisSession<F> {
             ));
         }
         let mut channels = Vec::with_capacity(n_channels);
-        let mut index = HashMap::with_capacity(n_channels);
+        let mut index = BTreeMap::new();
         for _ in 0..n_channels {
             let id = ChannelId::decode(&mut r)?;
             let engine = if r.bool()? {
@@ -1012,8 +1015,15 @@ impl<F: EngineFactory> AnalysisSession<F> {
                 .map(|i| {
                     let mut state = slots[i]
                         .lock()
-                        .expect("channel slot poisoned")
+                        // Each index goes to exactly one worker, so a
+                        // poisoned slot can only mean a panic mid-take in a
+                        // prior unwinding run; the stored state is intact
+                        // and safe to recover.
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .take()
+                        // proxima-lint: allow(no-lib-panic) -- run_sharded
+                        // hands each index to exactly one worker, so the
+                        // slot is still occupied on first (only) take.
                         .expect("each channel finished exactly once");
                     let outcome = match (state.failed.take(), state.early_verdict.take()) {
                         (Some(e), _) => Err(MbptaError::channel_scoped(state.id.clone(), e)),
@@ -1023,6 +1033,9 @@ impl<F: EngineFactory> AnalysisSession<F> {
                         (None, None) => state
                             .engine
                             .take()
+                            // proxima-lint: allow(no-lib-panic) -- invariant:
+                            // a channel that is neither failed nor
+                            // early-finished still owns its engine.
                             .expect("running channel holds an engine")
                             .finish()
                             .map(|mut verdict| {

@@ -1,0 +1,113 @@
+//! `mbpta-lint` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! mbpta-lint [--deny] [--root PATH] [--diff-base REF] [--list-rules]
+//! ```
+//!
+//! Without flags it reports findings and exits 0 (warn mode). With
+//! `--deny` any finding makes the exit code 1, which is how the CI
+//! `lint` job gates merges. `--diff-base <ref>` additionally checks
+//! that a diff touching `FORMAT_VERSION` regenerates the golden
+//! fixtures.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use proxima_lint::{find_root, lint_workspace, rules, workspace};
+
+struct Args {
+    deny: bool,
+    root: Option<PathBuf>,
+    diff_base: Option<String>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        root: None,
+        diff_base: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--diff-base" => {
+                let v = it.next().ok_or("--diff-base needs a git ref")?;
+                args.diff_base = Some(v);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mbpta-lint [--deny] [--root PATH] [--diff-base REF] [--list-rules]\n\
+                     Workspace determinism & wire-invariant static analysis; \
+                     see docs/LINTS.md."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("mbpta-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in rules::all_rules() {
+            println!("{:<18} {}", rule.name(), rule.explain());
+        }
+        println!(
+            "{:<18} allows must name a real rule, carry a justification, and match a \
+             finding (not itself suppressible)",
+            rules::SUPPRESSION_HYGIENE,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match find_root(args.root.as_deref()) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("mbpta-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root, args.diff_base.as_deref()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("mbpta-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let scope = workspace::SCOPED_CRATES.join(", ");
+    println!(
+        "mbpta-lint: {} finding(s) across {} file(s) in [{scope}]; \
+         {} suppression(s) honored",
+        report.findings.len(),
+        report.files_scanned,
+        report.suppressions_honored,
+    );
+
+    if args.deny && !report.findings.is_empty() {
+        eprintln!("mbpta-lint: failing (--deny with findings present)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

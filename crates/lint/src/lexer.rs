@@ -1,0 +1,445 @@
+//! A minimal, comment/string/char-literal-aware scanner for Rust
+//! source.
+//!
+//! This is **not** a Rust parser. It produces, per source line:
+//!
+//! * `code` — the line with every comment and every string/char-literal
+//!   *body* blanked out to spaces (delimiters kept, columns preserved),
+//!   so rules can match tokens without tripping over `"panic!"` inside
+//!   a string or an example in a comment;
+//! * `comment` — the concatenated comment text of the line, which is
+//!   where suppression directives live;
+//! * `in_test` — whether the line sits inside `#[cfg(test)]` code, an
+//!   inline `mod tests { … }` block, or a `#[test]` function;
+//! * `in_doc_fence` — whether the line's comment is inside a fenced
+//!   code block of a doc comment (doctest examples are not real code
+//!   *or* real suppressions).
+//!
+//! The scanner understands line comments (`//`, `///`, `//!`), nested
+//! block comments (`/* /* */ */`, `/** */`), plain/byte strings with
+//! escapes, raw strings `r#"…"#` with any number of `#`s, and the
+//! char-literal vs. lifetime ambiguity (`'a'` vs. `'a`).
+//!
+//! Known limitation (documented in `docs/LINTS.md`): `#[cfg(test)]`
+//! attributes are recognized only when the attribute fits on one line,
+//! which `rustfmt` guarantees for every attribute this workspace uses.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Source text with comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// Inside `#[cfg(test)]` / `mod tests { … }` / `#[test]` code.
+    pub in_test: bool,
+    /// The comment on this line sits inside a doc-comment code fence.
+    pub in_doc_fence: bool,
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum State {
+    Normal,
+    /// Nested block comments; `depth >= 1`. `doc` marks `/** … */`.
+    Block {
+        depth: u32,
+    },
+    Str,
+    RawStr {
+        hashes: u32,
+    },
+}
+
+/// Scan `source` into per-line code/comment views.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Normal;
+    // Fence state persists across the consecutive lines of one doc
+    // comment; any non-comment line closes a dangling fence.
+    let mut doc_fence_open = false;
+
+    for raw in source.split('\n') {
+        let (line, next_state) = scan_line(raw, state);
+        state = next_state;
+        lines.push(line);
+    }
+
+    // Second pass: doc-comment fence tracking over the comment stream.
+    let mut prev_was_doc = false;
+    for line in &mut lines {
+        let c = line.comment.trim_start();
+        let is_doc = c.starts_with("///") || c.starts_with("//!");
+        if is_doc {
+            // Entering fences toggles on ``` occurrences.
+            line.in_doc_fence = doc_fence_open;
+            let mut rest = c;
+            while let Some(i) = rest.find("```") {
+                doc_fence_open = !doc_fence_open;
+                rest = &rest[i + 3..];
+            }
+            // A line that *opens* a fence is itself outside the example.
+            if doc_fence_open && !line.in_doc_fence {
+                line.in_doc_fence = false;
+            }
+        } else {
+            if prev_was_doc {
+                doc_fence_open = false;
+            }
+            line.in_doc_fence = false;
+        }
+        prev_was_doc = is_doc;
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Scan one physical line, starting in `state`.
+fn scan_line(raw: &str, mut state: State) -> (Line, State) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        match state {
+            State::Block { depth } => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str("*/");
+                    code.push_str("  ");
+                    i += 2;
+                    state = if depth > 1 {
+                        State::Block { depth: depth - 1 }
+                    } else {
+                        State::Normal
+                    };
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    code.push_str("  ");
+                    i += 2;
+                    state = State::Block { depth: depth + 1 };
+                } else {
+                    comment.push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    code.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Normal => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment: the rest of the line is comment.
+                    comment.push_str(&chars[i..].iter().collect::<String>());
+                    break;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    code.push_str("  ");
+                    i += 2;
+                    state = State::Block { depth: 1 };
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Str;
+                    continue;
+                }
+                // Raw / byte string starts: r", r#", br", b".
+                if let Some((skip, hashes, is_raw)) = string_prefix(&chars, i) {
+                    for k in 0..skip {
+                        code.push(chars[i + k]);
+                    }
+                    i += skip;
+                    state = if is_raw {
+                        State::RawStr { hashes }
+                    } else {
+                        State::Str
+                    };
+                    continue;
+                }
+                if c == '\'' {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        code.push('\'');
+                        for _ in i + 1..end {
+                            code.push(' ');
+                        }
+                        code.push('\'');
+                        i = end + 1;
+                    } else {
+                        // A lifetime: keep it verbatim.
+                        code.push('\'');
+                        i += 1;
+                    }
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    (
+        Line {
+            code,
+            comment,
+            in_test: false,
+            in_doc_fence: false,
+        },
+        state,
+    )
+}
+
+/// Detect `r"`, `r#"`, `br#"`, `b"` starting at `i`; returns
+/// (chars to skip, hash count, is_raw).
+fn string_prefix(chars: &[char], i: usize) -> Option<(usize, u32, bool)> {
+    // Must not be the tail of an identifier (e.g. `attr"` never occurs,
+    // but `har"` inside an ident would; guard on the previous char).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    if !raw && hashes > 0 {
+        return None;
+    }
+    if j == i {
+        // Just a bare `"` — handled by the caller.
+        return None;
+    }
+    Some((j - i + 1, hashes, raw))
+}
+
+fn closes_raw(chars: &[char], mut i: usize, hashes: u32) -> bool {
+    for _ in 0..hashes {
+        if chars.get(i) != Some(&'#') {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// If a char literal starts at `i` (which holds `'`), return the index
+/// of its closing quote; `None` means `'` opens a lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the next unescaped quote.
+            let mut j = i + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\'' => return Some(j),
+                    '\\' => j += 2,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
+        _ => None,
+    }
+}
+
+/// Mark lines inside test-only regions: `#[cfg(test)]` items,
+/// `#[test]` functions and inline `mod tests { … }` blocks.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    // Depth *outside* the brace that opened the test region.
+    let mut test_until: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let squished: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if test_until.is_none() {
+            if has_cfg_test_attr(&squished) || squished.contains("#[test]") {
+                pending_test_attr = true;
+                line.in_test = true;
+            }
+            if is_inline_test_mod(&line.code) {
+                pending_test_attr = true;
+                line.in_test = true;
+            }
+        }
+
+        let mut line_in_test = test_until.is_some();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_test_attr && test_until.is_none() {
+                        test_until = Some(depth);
+                        pending_test_attr = false;
+                        line_in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(outer) = test_until {
+                        if depth <= outer {
+                            test_until = None;
+                            line_in_test = true;
+                        }
+                    }
+                }
+                // `#[cfg(test)] use …;` — the attribute binds to a
+                // braceless item that ends here.
+                ';' if pending_test_attr && test_until.is_none() => {
+                    pending_test_attr = false;
+                    line_in_test = true;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = line.in_test || line_in_test || test_until.is_some();
+    }
+}
+
+/// `#[cfg(test)]`, `#[cfg(all(test,…))]`, `#[cfg(any(…,test))]` on a
+/// whitespace-squished line.
+fn has_cfg_test_attr(squished: &str) -> bool {
+    let Some(start) = squished.find("#[cfg(") else {
+        return false;
+    };
+    let rest = &squished[start..];
+    let end = rest.find(")]").map_or(rest.len(), |e| e + 2);
+    let attr = &rest[..end];
+    // "test" as a standalone word inside the cfg predicate.
+    attr.match_indices("test").any(|(i, _)| {
+        let before = attr[..i].chars().next_back();
+        let after = attr[i + 4..].chars().next();
+        let boundary =
+            |c: Option<char>| c.is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '-'));
+        boundary(before) && boundary(after)
+    })
+}
+
+/// An inline `mod tests {` / `mod test {` item (not a `mod tests;`
+/// file-module declaration — `crates/stats/src/tests/` is *library*
+/// code).
+fn is_inline_test_mod(code: &str) -> bool {
+    let t = code.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let Some(rest) = t.strip_prefix("mod ") else {
+        return false;
+    };
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (name == "tests" || name == "test") && rest[name.len()..].trim_start().starts_with('{')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let lines = scan("let x = \"panic!()\"; // panic!() in comment\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].comment.contains("panic!() in comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lines = scan("let s = r#\"unwrap() \" still \"#; s.unwrap();");
+        let code = &lines[0].code;
+        assert_eq!(code.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lines = scan("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\''; }");
+        // The literal '{' must not unbalance brace tracking.
+        assert_eq!(lines[0].code.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = scan("/* outer /* inner */ still comment */ code();\nmore();");
+        assert!(lines[0].code.contains("code()"));
+        assert!(!lines[0].code.contains("still"));
+        assert!(lines[1].code.contains("more()"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn file_module_declaration_is_not_test() {
+        let lines = scan("pub mod tests;\n");
+        assert!(!lines[0].in_test);
+    }
+
+    #[test]
+    fn inline_tests_mod_without_cfg_is_test() {
+        let lines = scan("mod tests {\n    fn t() {}\n}\n");
+        assert!(lines[1].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let lines = scan("#[cfg(target_os = \"linux\")]\nfn f() {}\n");
+        assert!(!lines[1].in_test);
+        // "testing" does not contain a standalone "test" token either:
+        let lines = scan("#[cfg(feature = \"testing\")]\nfn f() {}\n");
+        assert!(!lines[1].in_test);
+    }
+
+    #[test]
+    fn doc_fences_are_tracked() {
+        let src = "/// Example:\n/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        let lines = scan(src);
+        assert!(!lines[1].in_doc_fence);
+        assert!(lines[2].in_doc_fence);
+        assert!(lines[2].code.trim().is_empty());
+    }
+}

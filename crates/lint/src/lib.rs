@@ -1,0 +1,47 @@
+//! `proxima-lint` — workspace-local determinism & wire-invariant
+//! static analysis.
+//!
+//! Every guarantee this repo makes — pWCET bit-identity across
+//! `--jobs`, `--shards`, batch splits, crash-resume and the `PXNF`
+//! wire — rests on source-level invariants that a compiler does not
+//! enforce: no wall-clock reads in analysis paths, no order-dependent
+//! iteration over unordered maps, no panics in library code, no raw
+//! float equality, sealed-blob codec discipline, and no process exits
+//! from library crates. This crate machine-checks those invariants
+//! with a hand-rolled, offline-safe scanner (no `syn`, no
+//! dependencies) and a rule engine with per-line justified
+//! suppressions. See `docs/LINTS.md` for the rule catalogue.
+//!
+//! Run it as `cargo run -p proxima-lint -- --deny` (the CI `lint` job
+//! does exactly that), or use the library API:
+//!
+//! ```
+//! use proxima_lint::{lint_source, rules::LintContext};
+//!
+//! let findings = lint_source(
+//!     "crates/core/src/example.rs",
+//!     "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+//!     &LintContext::default(),
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "no-lib-panic");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+pub mod tokens;
+pub mod workspace;
+
+pub use source::{Finding, SourceFile};
+pub use workspace::{find_root, lint_workspace, Report};
+
+/// Lint a single source text as if it lived at `path` (test/fixture
+/// entry point; workspace runs go through [`lint_workspace`]).
+pub fn lint_source(path: &str, text: &str, ctx: &rules::LintContext) -> Vec<Finding> {
+    let files = vec![SourceFile::parse(path, text)];
+    rules::run(&files, ctx)
+}

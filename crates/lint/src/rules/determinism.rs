@@ -1,0 +1,274 @@
+//! Rules protecting bit-identity: no wall clock, no unordered-map
+//! iteration, no raw float equality.
+
+use super::{LintContext, Rule};
+use crate::source::{Finding, SourceFile};
+use crate::tokens::{tokenize, Tok};
+
+/// `no-wall-clock`: `Instant` / `SystemTime` must never reach analysis
+/// code. Results must be a pure function of the measurement feed, or
+/// `--jobs` / `--shards` / crash-resume bit-identity is fiction.
+pub struct NoWallClock;
+
+impl Rule for NoWallClock {
+    fn name(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn explain(&self) -> &'static str {
+        "library code must not read Instant/SystemTime; analysis state \
+         fed by the wall clock breaks --jobs/--shards/resume bit-identity"
+    }
+
+    fn check(&self, files: &[SourceFile], _ctx: &LintContext, out: &mut Vec<Finding>) {
+        for file in files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.in_test || line.code.trim().is_empty() {
+                    continue;
+                }
+                // Cheap pre-filter before tokenizing.
+                if !line.code.contains("Instant") && !line.code.contains("SystemTime") {
+                    continue;
+                }
+                for tok in tokenize(&line.code) {
+                    if let Tok::Ident(name) = &tok {
+                        if name == "Instant" || name == "SystemTime" {
+                            out.push(Finding {
+                                rule: self.name(),
+                                path: file.path.clone(),
+                                line: idx + 1,
+                                message: format!(
+                                    "`{name}` in library code; analysis paths must be \
+                                     clock-free (derive timing from the feed itself)"
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Methods whose visit order on `HashMap`/`HashSet` is unspecified.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// `no-unordered-iter`: iterating a `HashMap`/`HashSet` where order
+/// can reach results. Lookup-only use (`get`, `insert`,
+/// `contains_key`, `remove`, `entry`, `len`) is allowed.
+pub struct NoUnorderedIter;
+
+impl Rule for NoUnorderedIter {
+    fn name(&self) -> &'static str {
+        "no-unordered-iter"
+    }
+
+    fn explain(&self) -> &'static str {
+        "iteration over HashMap/HashSet is order-unspecified; use \
+         BTreeMap or sort before iterating (lookups are fine)"
+    }
+
+    fn check(&self, files: &[SourceFile], _ctx: &LintContext, out: &mut Vec<Finding>) {
+        for file in files {
+            let unordered = collect_unordered_names(file);
+            if unordered.is_empty() {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.in_test || line.code.trim().is_empty() {
+                    continue;
+                }
+                let toks = tokenize(&line.code);
+                for k in 0..toks.len() {
+                    if let Some(name) = iterated_receiver(&toks, k) {
+                        if unordered.contains(&name) {
+                            out.push(Finding {
+                                rule: self.name(),
+                                path: file.path.clone(),
+                                line: idx + 1,
+                                message: format!(
+                                    "iteration over unordered `{name}` \
+                                     (declared HashMap/HashSet in this file); visit order \
+                                     is unspecified and can reach results"
+                                ),
+                            });
+                        }
+                    }
+                }
+                // `for x in &name` / `for x in name` loops.
+                if let Some(name) = for_loop_receiver(&toks) {
+                    if unordered.contains(&name) {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: file.path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "`for … in {name}` iterates an unordered map/set; \
+                                 visit order is unspecified and can reach results"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names declared as `HashMap`/`HashSet` anywhere in the file
+/// (fields, lets, params, struct-literal inits). File-local and
+/// name-based — a deliberate over-approximation; false positives take
+/// a justified allow.
+fn collect_unordered_names(file: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &file.lines {
+        if !line.code.contains("HashMap") && !line.code.contains("HashSet") {
+            continue;
+        }
+        let toks = tokenize(&line.code);
+        for k in 0..toks.len() {
+            let Tok::Ident(ident) = &toks[k] else {
+                continue;
+            };
+            if ident != "HashMap" && ident != "HashSet" {
+                continue;
+            }
+            // `use std::collections::HashMap;` declares nothing.
+            if matches!(&toks.first(), Some(Tok::Ident(first)) if first == "use") {
+                continue;
+            }
+            // `name: HashMap<…>` or `name = HashMap::new()` (with the
+            // preceding `::` path segments skipped).
+            if k >= 2 {
+                let sep = matches!(&toks[k - 1], Tok::Op(op) if op == ":" || op == "=");
+                if sep {
+                    if let Tok::Ident(name) = &toks[k - 2] {
+                        if !names.contains(name) {
+                            names.push(name.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// If `toks[k]` is an order-unspecified iteration method being called
+/// (`recv.method(…)`), return the receiver's final path segment.
+fn iterated_receiver(toks: &[Tok], k: usize) -> Option<String> {
+    let Tok::Ident(method) = &toks[k] else {
+        return None;
+    };
+    if !ITER_METHODS.contains(&method.as_str()) {
+        return None;
+    }
+    if k < 2 || !matches!(&toks[k - 1], Tok::Op(op) if op == ".") {
+        return None;
+    }
+    if !matches!(toks.get(k + 1), Some(Tok::Op(op)) if op == "(") {
+        return None;
+    }
+    match &toks[k - 2] {
+        Tok::Ident(recv) => Some(recv.clone()),
+        _ => None,
+    }
+}
+
+/// `for pat in [&[mut]] name`-style loop over a bare binding (not a
+/// method-call chain — those are caught by [`iterated_receiver`]).
+fn for_loop_receiver(toks: &[Tok]) -> Option<String> {
+    let has_for = toks
+        .iter()
+        .any(|t| matches!(t, Tok::Ident(i) if i == "for"));
+    if !has_for {
+        return None;
+    }
+    let in_pos = toks
+        .iter()
+        .position(|t| matches!(t, Tok::Ident(i) if i == "in"))?;
+    let mut j = in_pos + 1;
+    while matches!(toks.get(j), Some(Tok::Op(op)) if op == "&")
+        || matches!(toks.get(j), Some(Tok::Ident(i)) if i == "mut")
+    {
+        j += 1;
+    }
+    let Some(Tok::Ident(name)) = toks.get(j) else {
+        return None;
+    };
+    // A following `.` means a method chain decides what is iterated.
+    if matches!(toks.get(j + 1), Some(Tok::Op(op)) if op == ".") {
+        return None;
+    }
+    Some(name.clone())
+}
+
+/// `no-float-eq`: raw `==` / `!=` against float expressions. Exact
+/// comparisons belong in the approved helpers
+/// (`proxima_stats::float`), which make intent explicit and searchable.
+pub struct NoFloatEq;
+
+impl Rule for NoFloatEq {
+    fn name(&self) -> &'static str {
+        "no-float-eq"
+    }
+
+    fn explain(&self) -> &'static str {
+        "raw ==/!= on float expressions; use proxima_stats::float \
+         helpers (exactly_zero/exact_eq) or compare to_bits()"
+    }
+
+    fn check(&self, files: &[SourceFile], _ctx: &LintContext, out: &mut Vec<Finding>) {
+        for file in files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.in_test || line.code.trim().is_empty() {
+                    continue;
+                }
+                if !line.code.contains("==") && !line.code.contains("!=") {
+                    continue;
+                }
+                let toks = tokenize(&line.code);
+                for k in 0..toks.len() {
+                    if !matches!(&toks[k], Tok::Op(op) if op == "==" || op == "!=") {
+                        continue;
+                    }
+                    let left_float = k > 0 && is_floatish(&toks[k - 1]);
+                    let mut j = k + 1;
+                    if matches!(toks.get(j), Some(Tok::Op(op)) if op == "-") {
+                        j += 1;
+                    }
+                    let right_float = toks.get(j).is_some_and(is_floatish);
+                    if left_float || right_float {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: file.path.clone(),
+                            line: idx + 1,
+                            message: "raw float equality; route exact comparisons through \
+                                      proxima_stats::float so the intent is explicit"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn is_floatish(tok: &Tok) -> bool {
+    match tok {
+        Tok::Float => true,
+        Tok::Ident(name) => matches!(name.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY"),
+        _ => false,
+    }
+}

@@ -1,0 +1,143 @@
+//! The rule registry and the engine that applies rules, honors
+//! suppressions, and enforces suppression hygiene.
+
+mod codec;
+mod determinism;
+mod panics;
+
+use crate::source::{Finding, SourceFile};
+
+/// Cross-file inputs the rules need.
+#[derive(Debug, Default)]
+pub struct LintContext {
+    /// Golden-fixture coverage list (normalized type names) extracted
+    /// from `tests/checkpoint.rs`; `None` when the list is missing,
+    /// which is itself a `codec-discipline` finding on workspace runs.
+    pub codec_coverage: Option<Vec<String>>,
+    /// `true` when the coverage list should be enforced (workspace
+    /// runs); single-file runs in tests leave it off unless they
+    /// provide a list.
+    pub enforce_coverage: bool,
+    /// Crate directories whose `src/lib.rs` must carry
+    /// `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`.
+    pub unsafe_gated_crates: Vec<String>,
+}
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable kebab-case rule name (used in `allow(…)` directives).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn explain(&self) -> &'static str;
+    /// Check every file, appending findings.
+    fn check(&self, files: &[SourceFile], ctx: &LintContext, out: &mut Vec<Finding>);
+}
+
+/// Hygiene findings use this pseudo-rule name; it cannot be allowed.
+pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+
+/// Every registered rule name, in report order.
+pub const RULES: [&str; 7] = [
+    "no-wall-clock",
+    "no-unordered-iter",
+    "no-lib-panic",
+    "no-float-eq",
+    "codec-discipline",
+    "no-exit-in-lib",
+    "deny-unsafe",
+];
+
+/// Instantiate the full rule set.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::NoWallClock),
+        Box::new(determinism::NoUnorderedIter),
+        Box::new(panics::NoLibPanic),
+        Box::new(determinism::NoFloatEq),
+        Box::new(codec::CodecDiscipline),
+        Box::new(panics::NoExitInLib),
+        Box::new(panics::DenyUnsafe),
+    ]
+}
+
+/// Run every rule over `files`, apply suppressions, and append
+/// suppression-hygiene findings. Output is sorted by (path, line,
+/// rule) so reports are deterministic.
+pub fn run(files: &[SourceFile], ctx: &LintContext) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    for rule in all_rules() {
+        rule.check(files, ctx, &mut raw);
+    }
+
+    let mut findings = Vec::new();
+    // Tracks which suppressions actually silenced something.
+    let mut used = vec![Vec::new(); files.len()];
+    for (fi, file) in files.iter().enumerate() {
+        used[fi] = vec![false; file.suppressions.len()];
+    }
+
+    'finding: for finding in raw {
+        if let Some(fi) = files.iter().position(|f| f.path == finding.path) {
+            let file = &files[fi];
+            for (si, sup) in file.suppressions.iter().enumerate() {
+                if sup.malformed.is_none()
+                    && sup.target_line == finding.line
+                    && sup.rules.iter().any(|r| r == finding.rule)
+                {
+                    used[fi][si] = true;
+                    continue 'finding;
+                }
+            }
+        }
+        findings.push(finding);
+    }
+
+    // Hygiene: malformed directives, empty justifications, unknown
+    // rules, and stale (unused) suppressions.
+    for (fi, file) in files.iter().enumerate() {
+        for (si, sup) in file.suppressions.iter().enumerate() {
+            let at = |line, message: String| Finding {
+                rule: SUPPRESSION_HYGIENE,
+                path: file.path.clone(),
+                line,
+                message,
+            };
+            if let Some(why) = &sup.malformed {
+                findings.push(at(sup.comment_line, format!("malformed directive: {why}")));
+                continue;
+            }
+            if sup.justification.len() < 10 {
+                findings.push(at(
+                    sup.comment_line,
+                    "justification missing or too thin; write a sentence that would \
+                     convince a reviewer"
+                        .to_string(),
+                ));
+            }
+            for rule in &sup.rules {
+                if !RULES.contains(&rule.as_str()) {
+                    findings.push(at(
+                        sup.comment_line,
+                        format!("unknown rule `{rule}` (see --list-rules)"),
+                    ));
+                }
+            }
+            if !used[fi][si] && sup.rules.iter().all(|r| RULES.contains(&r.as_str())) {
+                findings.push(at(
+                    sup.comment_line,
+                    format!(
+                        "stale suppression: {} did not fire on line {}; delete the allow",
+                        sup.rules.join(", "),
+                        sup.target_line
+                    ),
+                ));
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    findings.dedup();
+    findings
+}

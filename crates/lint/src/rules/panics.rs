@@ -1,0 +1,148 @@
+//! Rules keeping library code panic-free and process-exit-free, and
+//! keeping every library crate `unsafe`-gated.
+
+use super::{LintContext, Rule};
+use crate::source::{Finding, SourceFile};
+
+/// Panic-family tokens forbidden in non-test library code. Each entry
+/// is (needle, what to say about it).
+const PANIC_TOKENS: [(&str, &str); 8] = [
+    (".unwrap()", "`unwrap` panics on the failure path"),
+    (".unwrap_err()", "`unwrap_err` panics on the success path"),
+    (".expect(", "`expect` panics on the failure path"),
+    (".expect_err(", "`expect_err` panics on the success path"),
+    ("panic!", "explicit panic"),
+    ("unreachable!", "`unreachable!` is a panic in disguise"),
+    ("todo!", "`todo!` must not ship"),
+    ("unimplemented!", "`unimplemented!` must not ship"),
+];
+
+/// `no-lib-panic`: `unwrap`/`expect`/`panic!`/`unreachable!` (and
+/// friends) outside tests. Library failures must flow through the
+/// typed error enums so one bad channel/connection cannot take down a
+/// campaign or the serve loop.
+pub struct NoLibPanic;
+
+impl Rule for NoLibPanic {
+    fn name(&self) -> &'static str {
+        "no-lib-panic"
+    }
+
+    fn explain(&self) -> &'static str {
+        "unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside \
+         tests; return typed errors instead"
+    }
+
+    fn check(&self, files: &[SourceFile], _ctx: &LintContext, out: &mut Vec<Finding>) {
+        for file in files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.in_test || line.code.trim().is_empty() {
+                    continue;
+                }
+                for (needle, why) in PANIC_TOKENS {
+                    if line.code.contains(needle) {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: file.path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "{why}; return a typed error (or justify with an allow \
+                                 explaining why this cannot fire)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `no-exit-in-lib`: `std::process::exit` / `abort` confined to
+/// `src/bin`. A library that exits the process steals the caller's
+/// chance to flush, checkpoint, or report.
+pub struct NoExitInLib;
+
+impl Rule for NoExitInLib {
+    fn name(&self) -> &'static str {
+        "no-exit-in-lib"
+    }
+
+    fn explain(&self) -> &'static str {
+        "std::process::exit/abort outside src/bin; libraries return, \
+         binaries decide the exit code"
+    }
+
+    fn check(&self, files: &[SourceFile], _ctx: &LintContext, out: &mut Vec<Finding>) {
+        for file in files {
+            if file.is_bin {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for needle in ["process::exit", "process::abort"] {
+                    if line.code.contains(needle) {
+                        out.push(Finding {
+                            rule: self.name(),
+                            path: file.path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{needle}` in library code; only binaries may end the \
+                                 process"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `deny-unsafe`: every scoped library crate's `lib.rs` must carry
+/// `#![forbid(unsafe_code)]` (or at least `#![deny(unsafe_code)]`), so
+/// the no-unsafe guarantee survives refactors mechanically.
+pub struct DenyUnsafe;
+
+impl Rule for DenyUnsafe {
+    fn name(&self) -> &'static str {
+        "deny-unsafe"
+    }
+
+    fn explain(&self) -> &'static str {
+        "every library crate root must carry #![forbid(unsafe_code)] \
+         or #![deny(unsafe_code)]"
+    }
+
+    fn check(&self, files: &[SourceFile], ctx: &LintContext, out: &mut Vec<Finding>) {
+        for crate_dir in &ctx.unsafe_gated_crates {
+            let lib_path = format!("{crate_dir}/src/lib.rs");
+            let Some(file) = files.iter().find(|f| f.path == lib_path) else {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: lib_path,
+                    line: 1,
+                    message: "crate root not found while checking for \
+                              #![forbid(unsafe_code)]"
+                        .to_string(),
+                });
+                continue;
+            };
+            let gated = file.lines.iter().any(|l| {
+                let squished: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+                squished.contains("#![forbid(unsafe_code)]")
+                    || squished.contains("#![deny(unsafe_code)]")
+            });
+            if !gated {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: 1,
+                    message: "missing #![forbid(unsafe_code)] (or #![deny(unsafe_code)]) \
+                              at the crate root"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

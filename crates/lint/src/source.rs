@@ -1,0 +1,64 @@
+//! Scanned source files and the findings rules emit about them.
+
+use crate::lexer::{self, Line};
+use crate::suppress::{self, Suppression};
+
+/// One source file, scanned and ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms so output ordering and CI diffs are deterministic).
+    pub path: String,
+    /// `true` for binary targets (`src/bin/**`, `main.rs`), where
+    /// process-exit rules do not apply.
+    pub is_bin: bool,
+    /// Scanned lines (see [`crate::lexer`]).
+    pub lines: Vec<Line>,
+    /// Suppression directives found in the file.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Scan `text` as the contents of `path`.
+    pub fn parse(path: impl Into<String>, text: &str) -> SourceFile {
+        let path = path.into();
+        let lines = lexer::scan(text);
+        let suppressions = suppress::collect(&lines);
+        let is_bin = path.contains("/bin/") || path.ends_with("/main.rs");
+        SourceFile {
+            path,
+            is_bin,
+            lines,
+            suppressions,
+        }
+    }
+
+    /// The file name component of the path.
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// One rule violation (or hygiene problem) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (a name from [`crate::rules::RULES`], or
+    /// `suppression-hygiene`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of what fired and why it matters.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,147 @@
+//! `// proxima-lint: allow(<rule>) -- <justification>` directives.
+//!
+//! A suppression silences one or more named rules on exactly one code
+//! line: the line the comment trails, or — for a comment that stands
+//! alone — the next line that carries code. Every suppression **must**
+//! carry a written justification after ` -- `; the engine reports
+//! missing justifications, unknown rule names, and suppressions that
+//! matched no finding (stale allows rot into lies) as
+//! `suppression-hygiene` findings, which are themselves never
+//! suppressible.
+
+use crate::lexer::Line;
+
+/// The directive marker inside a comment.
+pub const MARKER: &str = "proxima-lint:";
+
+/// One parsed suppression directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules this directive silences.
+    pub rules: Vec<String>,
+    /// 1-based line the directive applies to (the trailing-comment
+    /// line, or the next code-bearing line for standalone comments).
+    pub target_line: usize,
+    /// 1-based line the directive itself sits on.
+    pub comment_line: usize,
+    /// Justification text after ` -- ` (trimmed; empty = missing).
+    pub justification: String,
+    /// Parse trouble: directive present but malformed.
+    pub malformed: Option<String>,
+}
+
+/// Extract every suppression directive from a scanned file.
+pub fn collect(lines: &[Line]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        // Directives quoted inside doc-comment examples are prose, not
+        // suppressions (docs/LINTS.md shows the syntax in fences).
+        if line.in_doc_fence {
+            continue;
+        }
+        let comment_line = idx + 1;
+        let body = line.comment[pos + MARKER.len()..].trim();
+        let target_line = if line.code.trim().is_empty() {
+            // Standalone comment: applies to the next code-bearing line.
+            lines[idx + 1..]
+                .iter()
+                .position(|l| !l.code.trim().is_empty())
+                .map(|off| idx + 1 + off + 1)
+                .unwrap_or(comment_line)
+        } else {
+            comment_line
+        };
+        out.push(parse_body(body, comment_line, target_line));
+    }
+    out
+}
+
+fn parse_body(body: &str, comment_line: usize, target_line: usize) -> Suppression {
+    let mut s = Suppression {
+        rules: Vec::new(),
+        target_line,
+        comment_line,
+        justification: String::new(),
+        malformed: None,
+    };
+    let Some(rest) = body.strip_prefix("allow(") else {
+        s.malformed = Some("expected `allow(<rule>) -- <justification>`".to_string());
+        return s;
+    };
+    let Some(close) = rest.find(')') else {
+        s.malformed = Some("unclosed `allow(`".to_string());
+        return s;
+    };
+    s.rules = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if s.rules.is_empty() {
+        s.malformed = Some("`allow()` names no rule".to_string());
+        return s;
+    }
+    let tail = rest[close + 1..].trim();
+    match tail.strip_prefix("--") {
+        Some(j) => s.justification = j.trim().to_string(),
+        None => {
+            s.malformed =
+                Some("missing ` -- <justification>` (every allow must say why)".to_string())
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let lines =
+            scan("x.unwrap(); // proxima-lint: allow(no-lib-panic) -- checked two lines up\n");
+        let sup = collect(&lines);
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].target_line, 1);
+        assert_eq!(sup[0].rules, vec!["no-lib-panic"]);
+        assert_eq!(sup[0].justification, "checked two lines up");
+        assert!(sup[0].malformed.is_none());
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let src =
+            "// proxima-lint: allow(no-float-eq) -- sentinel comparison\n\nlet eq = a == 0.0;\n";
+        let sup = collect(&scan(src));
+        assert_eq!(sup[0].target_line, 3);
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        let sup = collect(&scan("x.unwrap(); // proxima-lint: allow(no-lib-panic)\n"));
+        assert!(sup[0].malformed.is_some());
+        let sup = collect(&scan(
+            "x.unwrap(); // proxima-lint: allow(no-lib-panic) --   \n",
+        ));
+        assert!(sup[0].malformed.is_none());
+        assert!(sup[0].justification.is_empty());
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let sup = collect(&scan(
+            "y(); // proxima-lint: allow(no-lib-panic, no-float-eq) -- both intended\n",
+        ));
+        assert_eq!(sup[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn doc_fence_examples_are_ignored() {
+        let src = "/// ```text\n/// x(); // proxima-lint: allow(no-lib-panic) -- example\n/// ```\nfn f() {}\n";
+        assert!(collect(&scan(src)).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! A tiny expression-level tokenizer for sanitized code lines.
+//!
+//! Works on the blanked `code` view produced by [`crate::lexer`], so
+//! strings and comments are already gone. Good enough to answer "what
+//! token sits on each side of this `==`?" — not a real lexer.
+
+/// Token classes rules care about.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer-looking numeric literal.
+    Int,
+    /// Float-looking numeric literal (`1.5`, `1.`, `1e-12`, `2f64`).
+    Float,
+    /// A punctuation/operator run such as `==`, `!=`, `::`, `.`, `(`.
+    Op(String),
+}
+
+/// Tokenize one sanitized line.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            i = number(&chars, i, &mut out);
+        } else {
+            // Multi-char operators that matter for adjacency decisions.
+            const MULTI: [&str; 10] = ["==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||"];
+            let pair: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            if MULTI.contains(&pair.as_str()) {
+                out.push(Tok::Op(pair));
+                i += 2;
+            } else {
+                out.push(Tok::Op(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume a numeric literal starting at `i`; push its token class.
+fn number(chars: &[char], mut i: usize, out: &mut Vec<Tok>) -> usize {
+    let mut float = false;
+    if chars[i] == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b')) {
+        // Radix literal: always integral.
+        i += 2;
+        while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        out.push(Tok::Int);
+        return i;
+    }
+    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+        i += 1;
+    }
+    // Fractional part — but `1..n` is a range and `1.max(…)` a method.
+    if chars.get(i) == Some(&'.') {
+        let next = chars.get(i + 1);
+        let is_range = next == Some(&'.');
+        let is_method = next.is_some_and(|c| c.is_alphabetic() || *c == '_');
+        if !is_range && !is_method {
+            float = true;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(chars.get(i), Some('e' | 'E')) {
+        let mut j = i + 1;
+        if matches!(chars.get(j), Some('+' | '-')) {
+            j += 1;
+        }
+        if chars.get(j).is_some_and(char::is_ascii_digit) {
+            float = true;
+            i = j;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix.
+    let start = i;
+    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    let suffix: String = chars[start..i].iter().collect();
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    } else if !suffix.is_empty() {
+        float = false;
+    }
+    out.push(if float { Tok::Float } else { Tok::Int });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(code: &str) -> Vec<Tok> {
+        tokenize(code)
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_method() {
+        assert!(kinds("1.5").contains(&Tok::Float));
+        assert!(kinds("1e-12").contains(&Tok::Float));
+        assert!(kinds("2f64").contains(&Tok::Float));
+        assert!(kinds("1.").contains(&Tok::Float));
+        assert!(!kinds("0..n").contains(&Tok::Float));
+        assert!(!kinds("1.max(2)").contains(&Tok::Float));
+        assert!(!kinds("42u64").contains(&Tok::Float));
+        assert!(!kinds("0xff").contains(&Tok::Float));
+        // Tuple-field access is ident-dot-int, not a float.
+        assert!(!kinds("pair.0 == x").contains(&Tok::Float));
+    }
+
+    #[test]
+    fn operators_split_correctly() {
+        let toks = kinds("a==b");
+        assert_eq!(toks[1], Tok::Op("==".to_string()));
+        let toks = kinds("a<=b");
+        assert_eq!(toks[1], Tok::Op("<=".to_string()));
+    }
+}

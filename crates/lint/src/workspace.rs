@@ -1,0 +1,216 @@
+//! Workspace discovery: which files get linted, where the coverage
+//! list lives, and the optional diff-aware `FORMAT_VERSION` check.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use crate::rules::{self, LintContext};
+use crate::source::{Finding, SourceFile};
+
+/// Crates whose `src/**` the determinism/wire invariants apply to.
+/// `sim`/`workload`/`bench` generate and exercise measurements but
+/// never compute shipped verdicts; widen this list as subsystems grow
+/// result-bearing code.
+pub const SCOPED_CRATES: [&str; 5] = [
+    "crates/core",
+    "crates/prng",
+    "crates/serve",
+    "crates/stats",
+    "crates/stream",
+];
+
+/// Where the golden-fixture coverage list lives.
+pub const COVERAGE_FILE: &str = "tests/checkpoint.rs";
+
+/// A full workspace lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Suppressions honored (finding silenced by a justified allow).
+    pub suppressions_honored: usize,
+}
+
+/// Locate the workspace root: `explicit` if given, else walk up from
+/// the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`, else the compile-time manifest's grandparent.
+pub fn find_root(explicit: Option<&Path>) -> Result<PathBuf, String> {
+    if let Some(root) = explicit {
+        return if root.join("Cargo.toml").is_file() {
+            Ok(root.to_path_buf())
+        } else {
+            Err(format!("--root {}: no Cargo.toml there", root.display()))
+        };
+    }
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if manifest.is_file() {
+                if let Ok(text) = fs::read_to_string(&manifest) {
+                    if text.contains("[workspace]") {
+                        return Ok(dir);
+                    }
+                }
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    // Fallback: crates/lint/../.. at compile time (works under
+    // `cargo run -p proxima-lint` from anywhere inside the repo).
+    let compiled = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .map_err(|e| format!("cannot locate workspace root: {e}"))?;
+    Ok(compiled)
+}
+
+/// Lint the workspace rooted at `root`. `diff_base` enables the
+/// diff-aware FORMAT_VERSION check against that git ref.
+pub fn lint_workspace(root: &Path, diff_base: Option<&str>) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for crate_dir in SCOPED_CRATES {
+        let src = root.join(crate_dir).join("src");
+        if !src.is_dir() {
+            return Err(format!("scoped crate missing: {}", src.display()));
+        }
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile::parse(rel, &text));
+        }
+    }
+
+    let ctx = LintContext {
+        codec_coverage: read_coverage(&root.join(COVERAGE_FILE)),
+        enforce_coverage: true,
+        unsafe_gated_crates: SCOPED_CRATES.iter().map(|s| s.to_string()).collect(),
+    };
+
+    let total_suppressions: usize = files.iter().map(|f| f.suppressions.len()).sum();
+    let mut findings = rules::run(&files, &ctx);
+    // Suppressions honored = directives that are neither flagged as
+    // hygiene problems nor still visible as findings.
+    let hygiene_flagged = findings
+        .iter()
+        .filter(|f| f.rule == rules::SUPPRESSION_HYGIENE)
+        .count();
+
+    if let Some(base) = diff_base {
+        findings.extend(check_format_version_diff(root, base));
+        findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+        suppressions_honored: total_suppressions.saturating_sub(hygiene_flagged),
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Extract the `CODEC_COVERAGE` string list from `tests/checkpoint.rs`
+/// (normalized: whitespace removed, matching how the codec rule
+/// normalizes impl targets).
+pub fn read_coverage(path: &Path) -> Option<Vec<String>> {
+    let text = fs::read_to_string(path).ok()?;
+    let start = text.find("CODEC_COVERAGE")?;
+    // Skip to the initializer first: `: &[&str] =` puts brackets in the
+    // type annotation before the array literal.
+    let eq = text[start..].find('=')? + start;
+    let open = text[eq..].find('[')? + eq;
+    let close = text[open..].find(']')? + open;
+    let body = &text[open + 1..close];
+    let mut names = Vec::new();
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let end = after.find('"')?;
+        let name: String = after[..end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if !name.is_empty() {
+            names.push(name);
+        }
+        rest = &after[end + 1..];
+    }
+    if names.is_empty() {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+/// Diff-aware FORMAT_VERSION discipline: if the diff against `base`
+/// touches a `FORMAT_VERSION` line in any persist.rs, the same diff
+/// must touch `tests/fixtures/` (regenerated goldens) or carry a
+/// `fixture-regen` marker. Soft-fails (no findings) when git is
+/// unavailable — CI always has it.
+fn check_format_version_diff(root: &Path, base: &str) -> Vec<Finding> {
+    let run = |args: &[&str]| -> Option<String> {
+        let out = Command::new("git")
+            .args(args)
+            .current_dir(root)
+            .output()
+            .ok()?;
+        out.status
+            .success()
+            .then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let Some(diff) = run(&["diff", "--unified=0", base, "--", "*persist.rs"]) else {
+        eprintln!("mbpta-lint: note: `git diff {base}` failed; skipping diff-aware check");
+        return Vec::new();
+    };
+    let touches_version = diff
+        .lines()
+        .any(|l| (l.starts_with('+') || l.starts_with('-')) && l.contains("FORMAT_VERSION"));
+    if !touches_version {
+        return Vec::new();
+    }
+    let names = run(&["diff", "--name-only", base]).unwrap_or_default();
+    let fixtures_touched = names.lines().any(|l| l.starts_with("tests/fixtures/"));
+    let marker = run(&["diff", base])
+        .unwrap_or_default()
+        .contains("fixture-regen");
+    if fixtures_touched || marker {
+        return Vec::new();
+    }
+    vec![Finding {
+        rule: "codec-discipline",
+        path: "tests/fixtures".to_string(),
+        line: 1,
+        message: format!(
+            "this diff (vs {base}) edits FORMAT_VERSION but regenerates no golden \
+             fixture; run PROXIMA_REGEN_FIXTURES=1 cargo test --test checkpoint and \
+             commit the fixtures (or include a `fixture-regen` note)"
+        ),
+    }]
+}

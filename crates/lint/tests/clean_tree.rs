@@ -1,0 +1,32 @@
+//! Clean-tree smoke test: the committed workspace must lint clean at
+//! `--deny`. This is the same check the CI `lint` job runs via
+//! `cargo run -p proxima-lint -- --deny`; having it as a test too means
+//! plain `cargo test` catches a violation before CI does.
+
+use proxima_lint::{find_root, lint_workspace};
+
+#[test]
+fn workspace_lints_clean_at_deny() {
+    let root = find_root(None).expect("workspace root");
+    let report = lint_workspace(&root, None).expect("lintable tree");
+    assert!(
+        report.findings.is_empty(),
+        "the tree must stay --deny clean; fix or justify:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 40,
+        "suspiciously few files scanned ({}); did the walker break?",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressions_honored >= 10,
+        "the tree carries justified allows; honoring {} is suspicious",
+        report.suppressions_honored
+    );
+}

@@ -1,0 +1,4 @@
+//! Fixture: terminates the process from library code.
+pub fn bail(code: i32) {
+    std::process::exit(code);
+}

@@ -1,0 +1,8 @@
+//! Fixture: raw float equality against literals.
+pub fn degenerate(denominator: f64) -> bool {
+    denominator == 0.0
+}
+
+pub fn converged(delta: f64) -> bool {
+    delta != 1e-9
+}

@@ -1,0 +1,10 @@
+//! Fixture: panics in library code instead of returning errors.
+pub fn head(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("flag must be set");
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a write-only codec and an unmarked format-version bump.
+//! Linted under the path `crates/fake/src/persist.rs`.
+
+pub const FORMAT_VERSION: u8 = 3;
+
+pub struct Half {
+    pub x: u64,
+}
+
+impl Encode for Half {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.x);
+    }
+}

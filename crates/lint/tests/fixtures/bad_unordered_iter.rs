@@ -1,0 +1,14 @@
+//! Fixture: iterates a HashMap, letting hasher order reach the output.
+use std::collections::HashMap;
+
+pub fn render(counts: &str) -> Vec<String> {
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    for word in counts.split_whitespace() {
+        *totals.entry(word.to_string()).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (word, n) in totals.iter() {
+        out.push(format!("{word}: {n}"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root that forgot to gate `unsafe_code`.
+//! Linted under the path `crates/fake/src/lib.rs` with the crate listed
+//! in `unsafe_gated_crates`.
+
+pub fn fine() -> u32 {
+    7
+}

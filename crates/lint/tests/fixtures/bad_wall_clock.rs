@@ -1,0 +1,7 @@
+//! Fixture: reads the wall clock from library analysis code.
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,10 @@
+//! Fixture: suppression directives with parse and hygiene problems.
+pub fn head(xs: &[f64]) -> f64 {
+    // proxima-lint: allow(no-lib-panic)
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[f64]) -> f64 {
+    // proxima-lint: allow() -- names no rule at all
+    *xs.last().unwrap()
+}

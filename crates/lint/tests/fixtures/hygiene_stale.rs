@@ -1,0 +1,6 @@
+//! Fixture: an allow on a line where the rule never fires.
+pub fn double(x: u64) -> u64 {
+    // proxima-lint: allow(no-lib-panic) -- left behind after a refactor
+    // removed the unwrap this once silenced.
+    x * 2
+}

@@ -1,0 +1,5 @@
+//! Fixture: a justification too thin to convince anyone.
+pub fn head(xs: &[f64]) -> f64 {
+    // proxima-lint: allow(no-lib-panic) -- ok
+    *xs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: an allow naming a rule that does not exist.
+pub fn head(xs: &[f64]) -> f64 {
+    // proxima-lint: allow(no-such-rule) -- typo for no-lib-panic
+    *xs.first().unwrap()
+}

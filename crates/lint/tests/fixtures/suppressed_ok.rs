@@ -1,0 +1,39 @@
+//! Fixture: one violation per code rule, every one silenced by a
+//! justified allow. Linting this file must produce zero findings —
+//! including zero `suppression-hygiene` findings, since each allow is
+//! well-formed, justified, and actually fires.
+use std::collections::HashMap;
+
+pub fn probe_nanos() -> u64 {
+    // proxima-lint: allow(no-wall-clock) -- fixture: diagnostics-only
+    // timestamp that never reaches an analysis result.
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+pub fn total_count(words: &[&str]) -> u64 {
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    for word in words {
+        *totals.entry((*word).to_string()).or_insert(0) += 1;
+    }
+    // proxima-lint: allow(no-unordered-iter) -- fixture: summing is
+    // order-free, so hasher order cannot reach the output.
+    totals.drain().map(|(_, n)| n).sum()
+}
+
+pub fn head(xs: &[f64]) -> f64 {
+    // proxima-lint: allow(no-lib-panic) -- fixture: caller checked
+    // non-emptiness on the line above in the real pattern.
+    *xs.first().unwrap()
+}
+
+pub fn degenerate(denominator: f64) -> bool {
+    // proxima-lint: allow(no-float-eq) -- fixture: exact sentinel guard
+    // before dividing; epsilon would change the mathematics.
+    denominator == 0.0
+}
+
+pub fn bail(code: i32) {
+    // proxima-lint: allow(no-exit-in-lib) -- fixture: deliberate crash
+    // injection behind an operator-only flag.
+    std::process::exit(code);
+}

@@ -1,0 +1,19 @@
+//! Fixture: the codec violations from `bad_persist.rs`, each silenced
+//! by a justified allow. Linted under `crates/fake/src/persist.rs`.
+
+// proxima-lint: allow(codec-discipline) -- fixture: stand-in for the
+// real fixture-regen marker comment, which cannot be quoted here
+// because the rule would read the quote itself as the marker.
+pub const FORMAT_VERSION: u8 = 3;
+
+pub struct Half {
+    pub x: u64,
+}
+
+// proxima-lint: allow(codec-discipline) -- fixture: the decoder lives
+// in a sibling module in this hypothetical layout.
+impl Encode for Half {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.x);
+    }
+}

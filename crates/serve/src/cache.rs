@@ -12,24 +12,37 @@
 //!
 //! Folding the progress counters into the key makes invalidation
 //! automatic: any ingest or merge moves the counters, so stale entries
-//! simply stop being addressed and age out of the FIFO. Repeat queries
-//! between ingests are O(1) — frame decode, one hash, one map lookup.
+//! simply stop being addressed and age out of the LRU. Repeat queries
+//! between ingests are O(log n) — frame decode, one hash, one map
+//! lookup, one recency refresh.
 //!
 //! Keys follow the FERN fingerprinting discipline (arXiv 2405.04435):
 //! hash the *canonical encoding* of the inputs, never ad-hoc string
 //! concatenation, so two queries collide only when their answers must
 //! be bit-identical.
+//!
+//! Eviction is least-recently-*used* (a hit refreshes recency), not
+//! FIFO: a dashboard that re-asks the same two questions between
+//! ingests keeps them resident no matter how many one-off queries pass
+//! through. Recency is a monotonic tick in a `BTreeMap`, so eviction
+//! order is a pure function of the request sequence — the
+//! `no-unordered-iter` lint rule can vouch for it, and so can a replay.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 
 use proxima_mbpta::persist::{self, Encode, Writer};
 
-/// FIFO-bounded map from query fingerprint to encoded response payload.
+/// LRU-bounded map from query fingerprint to encoded response payload.
 #[derive(Debug)]
 pub struct VerdictCache {
     capacity: usize,
-    map: HashMap<u64, Vec<u8>>,
-    order: VecDeque<u64>,
+    /// Key → (payload, recency tick of its last touch).
+    map: HashMap<u64, (Vec<u8>, u64)>,
+    /// Recency tick → key, oldest first. Mirrors `map` exactly: every
+    /// entry holds the tick stored alongside its payload.
+    recency: BTreeMap<u64, u64>,
+    /// Monotonic logical clock; bumps on every get-hit and insert.
+    tick: u64,
     hits: u64,
     misses: u64,
     insertions: u64,
@@ -45,7 +58,8 @@ impl VerdictCache {
         VerdictCache {
             capacity,
             map: HashMap::new(),
-            order: VecDeque::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
             hits: 0,
             misses: 0,
             insertions: 0,
@@ -54,11 +68,17 @@ impl VerdictCache {
     }
 
     /// Look up the encoded response for `key`, counting a hit or miss.
+    /// A hit refreshes the entry's recency.
     pub fn get(&mut self, key: u64) -> Option<Vec<u8>> {
-        match self.map.get(&key) {
-            Some(bytes) => {
+        match self.map.get_mut(&key) {
+            Some((bytes, touched)) => {
                 self.hits += 1;
-                Some(bytes.clone())
+                let bytes = bytes.clone();
+                self.tick += 1;
+                self.recency.remove(touched);
+                *touched = self.tick;
+                self.recency.insert(self.tick, key);
+                Some(bytes)
             }
             None => {
                 self.misses += 1;
@@ -67,20 +87,29 @@ impl VerdictCache {
         }
     }
 
-    /// Store the encoded response for `key`, evicting the oldest entry
-    /// once the cache is full.
+    /// Store the encoded response for `key`, evicting the
+    /// least-recently-used entry once the cache is full. Re-inserting
+    /// an existing key replaces its payload and refreshes its recency.
     pub fn insert(&mut self, key: u64, value: Vec<u8>) {
         if self.capacity == 0 {
             return;
         }
-        if self.map.insert(key, value).is_none() {
-            self.order.push_back(key);
-            self.insertions += 1;
-            while self.map.len() > self.capacity {
-                if let Some(oldest) = self.order.pop_front() {
-                    self.map.remove(&oldest);
-                    self.evictions += 1;
-                }
+        self.tick += 1;
+        match self.map.insert(key, (value, self.tick)) {
+            Some((_, old_tick)) => {
+                self.recency.remove(&old_tick);
+            }
+            None => {
+                self.insertions += 1;
+            }
+        }
+        self.recency.insert(self.tick, key);
+        while self.map.len() > self.capacity {
+            // pop_first is the coldest tick; the mirror invariant
+            // guarantees its key is present in the map.
+            if let Some((_, coldest)) = self.recency.pop_first() {
+                self.map.remove(&coldest);
+                self.evictions += 1;
             }
         }
     }
@@ -193,7 +222,7 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_respects_capacity() {
+    fn eviction_respects_capacity() {
         let mut cache = VerdictCache::new(2);
         let keys: Vec<u64> = (0..4).map(|i| query_key(7, 1, "ch", i, 0)).collect();
         for (i, &k) in keys.iter().enumerate() {
@@ -201,11 +230,45 @@ mod tests {
             assert!(cache.len() <= 2);
         }
         assert_eq!(cache.evictions(), 2);
-        // Oldest two gone, newest two present.
+        // With no touches between inserts, LRU degenerates to FIFO:
+        // oldest two gone, newest two present.
         assert_eq!(cache.get(keys[0]), None);
         assert_eq!(cache.get(keys[1]), None);
         assert_eq!(cache.get(keys[2]), Some(vec![2]));
         assert_eq!(cache.get(keys[3]), Some(vec![3]));
+    }
+
+    #[test]
+    fn hit_refreshes_recency_and_redirects_eviction() {
+        let mut cache = VerdictCache::new(2);
+        let keys: Vec<u64> = (0..3).map(|i| query_key(7, 1, "ch", i, 0)).collect();
+        cache.insert(keys[0], vec![0]);
+        cache.insert(keys[1], vec![1]);
+        // Touch the older entry: now keys[1] is the LRU victim.
+        assert_eq!(cache.get(keys[0]), Some(vec![0]));
+        cache.insert(keys[2], vec![2]);
+        assert_eq!(cache.get(keys[1]), None, "untouched entry evicts first");
+        assert_eq!(cache.get(keys[0]), Some(vec![0]), "touched entry survives");
+        assert_eq!(cache.get(keys[2]), Some(vec![2]));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn repeat_hits_keep_working_set_resident_through_churn() {
+        let mut cache = VerdictCache::new(2);
+        let hot = query_key(7, 1, "hot", 1, 0);
+        cache.insert(hot, vec![42]);
+        for i in 0..50 {
+            let one_off = query_key(7, 1, "cold", i, 0);
+            cache.insert(one_off, vec![i as u8]);
+            // The dashboard re-asks its question between one-offs.
+            assert_eq!(cache.get(hot), Some(vec![42]), "iteration {i}");
+        }
+        assert_eq!(
+            cache.evictions(),
+            49,
+            "every one-off evicted the prior one-off"
+        );
     }
 
     #[test]
@@ -217,6 +280,28 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.insertions(), 1);
         assert_eq!(cache.get(key), Some(vec![2]));
+    }
+
+    #[test]
+    fn recency_mirror_stays_consistent() {
+        // Interleave inserts, hits, and re-inserts, then check the
+        // map/recency mirror invariant the evictor relies on.
+        let mut cache = VerdictCache::new(3);
+        let keys: Vec<u64> = (0..6).map(|i| query_key(9, 1, "ch", i, 0)).collect();
+        for round in 0..4 {
+            for (i, &k) in keys.iter().enumerate() {
+                if (i + round) % 2 == 0 {
+                    cache.insert(k, vec![i as u8, round as u8]);
+                } else {
+                    let _ = cache.get(k);
+                }
+            }
+        }
+        assert!(cache.len() <= 3);
+        assert_eq!(cache.map.len(), cache.recency.len());
+        for (tick, key) in &cache.recency {
+            assert_eq!(cache.map.get(key).map(|(_, t)| t), Some(tick));
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl ServeClient {
         }
     }
 
-    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+    fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
         match self.call(request)? {
             Response::Error { message } => Err(ClientError::Server(message)),
             response => Ok(response),
@@ -117,7 +117,7 @@ impl ServeClient {
             channel: channel.to_string(),
             values: values.to_vec(),
         };
-        match self.expect(&request)? {
+        match self.exchange(&request)? {
             Response::Ingested {
                 channel_len,
                 total,
@@ -133,7 +133,7 @@ impl ServeClient {
     ///
     /// See [`Self::call`].
     pub fn snapshot(&mut self, channel: &str) -> Result<Option<WireSnapshot>, ClientError> {
-        match self.expect(&Request::Snapshot {
+        match self.exchange(&Request::Snapshot {
             channel: channel.to_string(),
         })? {
             Response::Snapshot { latest } => Ok(latest),
@@ -155,7 +155,7 @@ impl ServeClient {
             p,
             channel: channel.map(str::to_string),
         };
-        match self.expect(&request)? {
+        match self.exchange(&request)? {
             response @ Response::Verdicts { .. } => Ok(response),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
@@ -173,7 +173,7 @@ impl ServeClient {
             channel: channel.to_string(),
             blob: blob.to_vec(),
         };
-        match self.expect(&request)? {
+        match self.exchange(&request)? {
             Response::Merged { channel_len, total } => Ok((channel_len, total)),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
@@ -186,7 +186,7 @@ impl ServeClient {
     /// See [`Self::call`]; plus [`ClientError::Server`] when no
     /// checkpoint path is configured or the write fails.
     pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
-        match self.expect(&Request::Checkpoint)? {
+        match self.exchange(&Request::Checkpoint)? {
             Response::Checkpointed { bytes } => Ok(bytes),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
@@ -198,7 +198,7 @@ impl ServeClient {
     ///
     /// See [`Self::call`].
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
-        match self.expect(&Request::Stats)? {
+        match self.exchange(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
@@ -211,7 +211,7 @@ impl ServeClient {
     ///
     /// See [`Self::call`].
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        match self.expect(&Request::Shutdown)? {
+        match self.exchange(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }

@@ -28,7 +28,7 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
 use proxima_mbpta::engine::Engine;
@@ -84,23 +84,31 @@ impl Default for ServeConfig {
     }
 }
 
-/// Why the server could not start or persist.
+/// Why the server could not start, serve a request, or persist.
 #[derive(Debug)]
-pub struct ServeError {
-    message: String,
-}
-
-impl ServeError {
-    fn new(message: impl Into<String>) -> Self {
-        ServeError {
-            message: message.into(),
-        }
-    }
+pub enum ServeError {
+    /// Invalid or inconsistent serve configuration.
+    Config(String),
+    /// Socket or checkpoint-file I/O failed.
+    Io(String),
+    /// The analysis core rejected a request, blob, or checkpoint.
+    Analysis(String),
+    /// A shared-state mutex was poisoned: a connection thread panicked
+    /// while holding it, so the protected state cannot be trusted. The
+    /// poisoned request is answered with an error frame and the server
+    /// keeps accepting; it never unwraps the poison into a panic of its
+    /// own.
+    Poisoned(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.message)
+        match self {
+            ServeError::Config(m) | ServeError::Io(m) | ServeError::Analysis(m) => f.write_str(m),
+            ServeError::Poisoned(what) => {
+                write!(f, "{what} poisoned by a panicked connection thread")
+            }
+        }
     }
 }
 
@@ -108,13 +116,13 @@ impl std::error::Error for ServeError {}
 
 impl From<io::Error> for ServeError {
     fn from(e: io::Error) -> Self {
-        ServeError::new(e.to_string())
+        ServeError::Io(e.to_string())
     }
 }
 
 impl From<proxima_mbpta::MbptaError> for ServeError {
     fn from(e: proxima_mbpta::MbptaError) -> Self {
-        ServeError::new(e.to_string())
+        ServeError::Analysis(e.to_string())
     }
 }
 
@@ -161,12 +169,14 @@ pub struct Server {
     shared: Arc<Shared>,
 }
 
-/// Ignore mutex poisoning: a handler that panicked mid-request only
-/// affected its own connection, and every session mutation is applied
-/// atomically enough (single `push_batch`/`adopt_channel` calls) that
-/// the shared state stays usable.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Acquire a shared-state mutex, surfacing poison as a typed
+/// [`ServeError::Poisoned`] instead of unwrapping it into a panic. A
+/// handler that panicked mid-mutation may have left the guarded state
+/// half-applied, so later requests get an honest error frame rather
+/// than answers computed from state nobody can vouch for — and the
+/// panic stays confined to the one connection that caused it.
+fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> Result<MutexGuard<'a, T>, ServeError> {
+    m.lock().map_err(|_| ServeError::Poisoned(what))
 }
 
 impl Server {
@@ -209,7 +219,7 @@ impl Server {
     ) -> Result<Server, ServeError> {
         let path = path.into();
         let bytes = std::fs::read(&path)
-            .map_err(|e| ServeError::new(format!("cannot open {}: {e}", path.display())))?;
+            .map_err(|e| ServeError::Io(format!("cannot open {}: {e}", path.display())))?;
         let payload = persist::unseal(&bytes, MAGIC_SERVE)?;
         let mut r = Reader::new(payload);
         let stream = StreamConfig::decode(&mut r)?;
@@ -241,12 +251,12 @@ impl Server {
         session: AnalysisSession<StreamFactory>,
     ) -> Result<Server, ServeError> {
         if config.checkpoint_path.is_some() != (config.checkpoint_every > 0) {
-            return Err(ServeError::new(
-                "checkpoint_path and checkpoint_every must be set together",
+            return Err(ServeError::Config(
+                "checkpoint_path and checkpoint_every must be set together".to_string(),
             ));
         }
         let listener = TcpListener::bind(addr)
-            .map_err(|e| ServeError::new(format!("cannot bind {addr}: {e}")))?;
+            .map_err(|e| ServeError::Io(format!("cannot bind {addr}: {e}")))?;
         let addr = listener.local_addr()?;
         // Anything that changes what a query would answer goes into the
         // fingerprint; progress counters go into each key instead.
@@ -392,7 +402,10 @@ fn handle(shared: &Shared, request: Request) -> (Vec<u8>, bool) {
         }
         Request::Checkpoint => {
             counters.frames_admin.fetch_add(1, Ordering::SeqCst);
-            let mut core = lock(&shared.core);
+            let mut core = match lock(&shared.core, "analysis core") {
+                Ok(core) => core,
+                Err(e) => return (error_response(e.to_string()), false),
+            };
             if core.config.checkpoint_path.is_none() {
                 return (error_response("no checkpoint path configured"), false);
             }
@@ -403,14 +416,22 @@ fn handle(shared: &Shared, request: Request) -> (Vec<u8>, bool) {
         }
         Request::Stats => {
             counters.frames_admin.fetch_add(1, Ordering::SeqCst);
-            (Response::Stats(build_stats(shared)).encode(), false)
+            match build_stats(shared) {
+                Ok(stats) => (Response::Stats(stats).encode(), false),
+                Err(e) => (error_response(e.to_string()), false),
+            }
         }
         Request::Shutdown => {
             counters.frames_admin.fetch_add(1, Ordering::SeqCst);
             shared.shutdown.store(true, Ordering::SeqCst);
             // Persist the final state so a later `resume` continues
             // exactly where the campaign stopped.
-            let mut core = lock(&shared.core);
+            let mut core = match lock(&shared.core, "analysis core") {
+                Ok(core) => core,
+                // Still shut down; there is no trustworthy state left
+                // to checkpoint anyway.
+                Err(e) => return (error_response(e.to_string()), true),
+            };
             if core.config.checkpoint_path.is_some() {
                 if let Err(e) = write_server_checkpoint(shared, &mut core) {
                     return (
@@ -454,7 +475,10 @@ fn channel_progress(core: &mut Core, channel: &str) -> Option<u64> {
 }
 
 fn handle_ingest(shared: &Shared, channel: &str, values: &[f64]) -> Vec<u8> {
-    let mut core = lock(&shared.core);
+    let mut core = match lock(&shared.core, "analysis core") {
+        Ok(core) => core,
+        Err(e) => return error_response(e.to_string()),
+    };
     let snapshots = match core.session.push_batch(channel, values) {
         Ok(snapshots) => snapshots,
         Err(e) => return error_response(e.to_string()),
@@ -480,7 +504,10 @@ fn handle_ingest(shared: &Shared, channel: &str, values: &[f64]) -> Vec<u8> {
 }
 
 fn handle_merge(shared: &Shared, channel: &str, blob: &[u8]) -> Vec<u8> {
-    let mut core = lock(&shared.core);
+    let mut core = match lock(&shared.core, "analysis core") {
+        Ok(core) => core,
+        Err(e) => return error_response(e.to_string()),
+    };
     let engine = match StreamEngine::from_federated_blob(blob, &core.config.stream) {
         Ok(engine) => engine,
         Err(e) => return error_response(e.to_string()),
@@ -501,10 +528,15 @@ fn handle_merge(shared: &Shared, channel: &str, blob: &[u8]) -> Vec<u8> {
 }
 
 fn handle_snapshot(shared: &Shared, channel: &str) -> Vec<u8> {
-    let mut core = lock(&shared.core);
+    let mut core = match lock(&shared.core, "analysis core") {
+        Ok(core) => core,
+        Err(e) => return error_response(e.to_string()),
+    };
     let progress = channel_progress(&mut core, channel).unwrap_or(0);
     let key = query_key(shared.fingerprint, 2, channel, progress, 0);
-    if let Some(hit) = lock(&shared.cache).get(key) {
+    // A poisoned cache only loses memoization, never correctness:
+    // treat it as a miss and recompute.
+    if let Some(hit) = cache_get(shared, key) {
         return hit;
     }
     let response = Response::Snapshot {
@@ -512,12 +544,15 @@ fn handle_snapshot(shared: &Shared, channel: &str) -> Vec<u8> {
     }
     .encode();
     drop(core);
-    lock(&shared.cache).insert(key, response.clone());
+    cache_put(shared, key, &response);
     response
 }
 
 fn handle_verdict(shared: &Shared, p: f64, channel: Option<&str>) -> Vec<u8> {
-    let mut core = lock(&shared.core);
+    let mut core = match lock(&shared.core, "analysis core") {
+        Ok(core) => core,
+        Err(e) => return error_response(e.to_string()),
+    };
     let progress = match channel {
         Some(name) => channel_progress(&mut core, name).unwrap_or(0),
         None => core.session.len() as u64,
@@ -529,7 +564,7 @@ fn handle_verdict(shared: &Shared, p: f64, channel: Option<&str>) -> Vec<u8> {
         progress,
         p.to_bits(),
     );
-    if let Some(hit) = lock(&shared.cache).get(key) {
+    if let Some(hit) = cache_get(shared, key) {
         return hit;
     }
     // Finalize a clone: the live session keeps streaming, and repeat
@@ -573,8 +608,24 @@ fn handle_verdict(shared: &Shared, p: f64, channel: Option<&str>) -> Vec<u8> {
         envelope,
     }
     .encode();
-    lock(&shared.cache).insert(key, response.clone());
+    cache_put(shared, key, &response);
     response
+}
+
+/// Cache lookup that degrades to a miss when the cache mutex is
+/// poisoned — memoization is optional, correctness is not.
+fn cache_get(shared: &Shared, key: u64) -> Option<Vec<u8>> {
+    lock(&shared.cache, "verdict cache")
+        .ok()
+        .and_then(|mut cache| cache.get(key))
+}
+
+/// Cache store with the same degradation: a poisoned cache simply
+/// stops memoizing.
+fn cache_put(shared: &Shared, key: u64, response: &[u8]) {
+    if let Ok(mut cache) = lock(&shared.cache, "verdict cache") {
+        cache.insert(key, response.to_vec());
+    }
 }
 
 /// Post-mutation bookkeeping shared by ingest and merge: write an
@@ -590,6 +641,9 @@ fn after_mutation(shared: &Shared, core: &mut Core) -> Result<(), ServeError> {
                 core.session.len()
             );
             let _ = io::stderr().flush();
+            // proxima-lint: allow(no-exit-in-lib) -- deliberate crash
+            // injection for the restart-determinism battery, reachable
+            // only when the operator sets --crash-after.
             std::process::abort();
         }
     }
@@ -606,7 +660,7 @@ fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, Serv
         .config
         .checkpoint_path
         .clone()
-        .ok_or_else(|| ServeError::new("no checkpoint path configured"))?;
+        .ok_or_else(|| ServeError::Config("no checkpoint path configured".to_string()))?;
     let blob = core.session.checkpoint()?;
     let mut w = Writer::new();
     core.config.stream.encode(&mut w);
@@ -618,14 +672,14 @@ fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, Serv
 
     let tmp = path.with_extension("tmp");
     let mut file = std::fs::File::create(&tmp)
-        .map_err(|e| ServeError::new(format!("cannot create {}: {e}", tmp.display())))?;
+        .map_err(|e| ServeError::Io(format!("cannot create {}: {e}", tmp.display())))?;
     file.write_all(&bytes)
-        .map_err(|e| ServeError::new(format!("cannot write {}: {e}", tmp.display())))?;
+        .map_err(|e| ServeError::Io(format!("cannot write {}: {e}", tmp.display())))?;
     file.sync_all()
-        .map_err(|e| ServeError::new(format!("cannot sync {}: {e}", tmp.display())))?;
+        .map_err(|e| ServeError::Io(format!("cannot sync {}: {e}", tmp.display())))?;
     drop(file);
     std::fs::rename(&tmp, &path).map_err(|e| {
-        ServeError::new(format!(
+        ServeError::Io(format!(
             "cannot rename {} over {}: {e}",
             tmp.display(),
             path.display()
@@ -654,9 +708,9 @@ fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, Serv
     Ok(bytes.len() as u64)
 }
 
-fn build_stats(shared: &Shared) -> ServerStats {
+fn build_stats(shared: &Shared) -> Result<ServerStats, ServeError> {
     let (total, channels, since_checkpoint) = {
-        let core = lock(&shared.core);
+        let core = lock(&shared.core, "analysis core")?;
         (
             core.session.len() as u64,
             core.session.channel_count() as u64,
@@ -664,7 +718,7 @@ fn build_stats(shared: &Shared) -> ServerStats {
         )
     };
     let (cache_hits, cache_misses, cache_insertions, cache_evictions, cache_len, cache_capacity) = {
-        let cache = lock(&shared.cache);
+        let cache = lock(&shared.cache, "verdict cache")?;
         (
             cache.hits(),
             cache.misses(),
@@ -675,7 +729,7 @@ fn build_stats(shared: &Shared) -> ServerStats {
         )
     };
     let c = &shared.counters;
-    ServerStats {
+    Ok(ServerStats {
         total,
         channels,
         connections: c.connections.load(Ordering::SeqCst),
@@ -694,7 +748,7 @@ fn build_stats(shared: &Shared) -> ServerStats {
         checkpoints_written: c.checkpoints_written.load(Ordering::SeqCst),
         last_checkpoint_bytes: c.last_checkpoint_bytes.load(Ordering::SeqCst),
         since_checkpoint,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -782,6 +836,27 @@ mod tests {
         assert_eq!(stats.cache_misses, 2);
         client.shutdown().unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn poisoned_mutex_surfaces_as_typed_error_not_panic() {
+        let m = Arc::new(Mutex::new(17u32));
+        let m2 = Arc::clone(&m);
+        thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the guard");
+        })
+        .join()
+        .unwrap_err();
+        match lock(&m, "test state") {
+            Err(ServeError::Poisoned(what)) => assert_eq!(what, "test state"),
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        let message = lock(&m, "test state").unwrap_err().to_string();
+        assert!(
+            message.contains("poisoned"),
+            "the error frame should say why the request failed: {message}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Sample autocorrelation, the ingredient of the Ljung-Box test.
 
 use crate::error::check_len;
+use crate::float::exactly_zero;
 use crate::StatsError;
 
 /// Sample autocorrelation `ρ̂_k` at lags `1..=max_lag`.
@@ -40,7 +41,7 @@ pub fn autocorrelation(sample: &[f64], max_lag: usize) -> Result<Vec<f64>, Stats
     let mean = sample.iter().sum::<f64>() / n as f64;
     let centered: Vec<f64> = sample.iter().map(|x| x - mean).collect();
     let denom: f64 = centered.iter().map(|c| c * c).sum();
-    if denom == 0.0 {
+    if exactly_zero(denom) {
         return Err(StatsError::DegenerateSample);
     }
     let mut rho = Vec::with_capacity(max_lag);

@@ -1,6 +1,7 @@
 //! Descriptive statistics: moments, quantiles and summaries.
 
 use crate::error::{check_finite, check_len};
+use crate::float::exactly_zero;
 use crate::StatsError;
 
 /// Arithmetic mean of a sample.
@@ -51,7 +52,7 @@ pub fn std_dev(sample: &[f64]) -> Result<f64, StatsError> {
 /// Returns [`StatsError::DegenerateSample`] if the mean is zero.
 pub fn coefficient_of_variation(sample: &[f64]) -> Result<f64, StatsError> {
     let m = mean(sample)?;
-    if m == 0.0 {
+    if exactly_zero(m) {
         return Err(StatsError::DegenerateSample);
     }
     Ok(std_dev(sample)? / m)
@@ -92,7 +93,7 @@ pub fn quantile(sample: &[f64], p: f64) -> Result<f64, StatsError> {
         });
     }
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Ok(quantile_sorted(&sorted, p))
 }
 
@@ -120,7 +121,7 @@ pub fn skewness(sample: &[f64]) -> Result<f64, StatsError> {
     let n = sample.len() as f64;
     let m = mean(sample)?;
     let sd = std_dev(sample)?;
-    if sd == 0.0 {
+    if exactly_zero(sd) {
         return Err(StatsError::DegenerateSample);
     }
     let m3: f64 = sample.iter().map(|x| ((x - m) / sd).powi(3)).sum::<f64>();
@@ -133,7 +134,7 @@ pub fn excess_kurtosis(sample: &[f64]) -> Result<f64, StatsError> {
     let n = sample.len() as f64;
     let m = mean(sample)?;
     let sd = std_dev(sample)?;
-    if sd == 0.0 {
+    if exactly_zero(sd) {
         return Err(StatsError::DegenerateSample);
     }
     let m4: f64 = sample.iter().map(|x| ((x - m) / sd).powi(4)).sum::<f64>();

@@ -21,6 +21,7 @@
 //! # Ok::<(), proxima_stats::StatsError>(())
 //! ```
 
+use crate::float::exactly_zero;
 use crate::special::{gamma_p, gamma_q, ln_gamma, std_normal_cdf, std_normal_quantile};
 use crate::StatsError;
 
@@ -214,7 +215,7 @@ impl Gev {
     /// stable uniformly in ξ down to the Gumbel limit.
     fn outer_arg(&self, x: f64) -> Option<f64> {
         let z = (x - self.mu) / self.sigma;
-        if self.xi == 0.0 {
+        if exactly_zero(self.xi) {
             return Some((-z).exp());
         }
         let t = 1.0 + self.xi * z;
@@ -244,7 +245,7 @@ impl ContinuousDistribution for Gev {
 
     fn pdf(&self, x: f64) -> f64 {
         let z = (x - self.mu) / self.sigma;
-        if self.xi == 0.0 {
+        if exactly_zero(self.xi) {
             return (-z - (-z).exp()).exp() / self.sigma;
         }
         let t = 1.0 + self.xi * z;
@@ -258,7 +259,7 @@ impl ContinuousDistribution for Gev {
     fn quantile(&self, p: f64) -> Result<f64, StatsError> {
         check_probability(p)?;
         let l = -p.ln(); // −ln p > 0
-        if self.xi == 0.0 {
+        if exactly_zero(self.xi) {
             Ok(self.mu - self.sigma * l.ln())
         } else {
             // ((−ln p)^{−ξ} − 1)/ξ via expm1, stable as ξ → 0.
@@ -334,7 +335,7 @@ impl Gpd {
     /// `−ln S(x)` for `x` inside the support, `None` above the upper
     /// endpoint (ξ < 0 only).
     fn neg_ln_survival(&self, y: f64) -> Option<f64> {
-        if self.xi == 0.0 {
+        if exactly_zero(self.xi) {
             return Some(y);
         }
         let t = 1.0 + self.xi * y;
@@ -363,7 +364,7 @@ impl ContinuousDistribution for Gpd {
         if y < 0.0 {
             return 0.0;
         }
-        if self.xi == 0.0 {
+        if exactly_zero(self.xi) {
             return (-y).exp() / self.sigma;
         }
         let t = 1.0 + self.xi * y;
@@ -376,7 +377,7 @@ impl ContinuousDistribution for Gpd {
     fn quantile(&self, p: f64) -> Result<f64, StatsError> {
         check_probability(p)?;
         let l = -(-p).ln_1p(); // −ln(1 − p) > 0
-        if self.xi == 0.0 {
+        if exactly_zero(self.xi) {
             Ok(self.mu + self.sigma * l)
         } else {
             // ((1 − p)^{−ξ} − 1)/ξ via expm1, stable as ξ → 0.
@@ -398,7 +399,7 @@ impl ContinuousDistribution for Gpd {
     fn exceedance_quantile(&self, p: f64) -> Result<f64, StatsError> {
         check_probability(p)?;
         // S(x) = p  ⇔  y = (p^{−ξ} − 1)/ξ, via expm1 for the ξ → 0 limit.
-        let y = if self.xi == 0.0 {
+        let y = if exactly_zero(self.xi) {
             -p.ln()
         } else {
             (-self.xi * p.ln()).exp_m1() / self.xi

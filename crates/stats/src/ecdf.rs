@@ -35,7 +35,7 @@ impl Ecdf {
     pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
         crate::error::check_len(sample, 1)?;
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ok(Ecdf { sorted })
     }
 

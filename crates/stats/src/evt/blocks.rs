@@ -108,7 +108,7 @@ pub fn select_block_size(
     let best = evaluated
         .iter()
         .copied()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite AD statistics"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .ok_or(StatsError::InsufficientData { needed: 30, got: 0 })?;
     Ok(BlockSizeChoice {
         block_size: best.0,

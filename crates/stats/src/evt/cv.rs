@@ -66,7 +66,7 @@ pub fn cv_plot(
     }
     crate::error::check_len(sample, min_tail + 1)?;
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     let max_tail = max_tail.min(n - 1);
     let mut points = Vec::new();

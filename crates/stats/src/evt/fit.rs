@@ -3,13 +3,14 @@
 use crate::descriptive::pwm_sorted;
 use crate::dist::{ContinuousDistribution, Gev, Gpd, Gumbel};
 use crate::error::check_len;
+use crate::float::exactly_zero;
 use crate::special::{gamma, EULER_GAMMA};
 use crate::tests::{anderson_darling, ks_one_sample};
 use crate::StatsError;
 
 fn sorted_copy(sample: &[f64]) -> Vec<f64> {
     let mut xs = sample.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs
 }
 
@@ -130,7 +131,7 @@ pub fn fit_gev(maxima: &[f64]) -> Result<Gev, StatsError> {
     let b1 = pwm_sorted(&sorted, 1);
     let b2 = pwm_sorted(&sorted, 2);
     let denom = 3.0 * b2 - b0;
-    if denom == 0.0 || (2.0 * b1 - b0) == 0.0 {
+    if exactly_zero(denom) || exactly_zero(2.0 * b1 - b0) {
         return Err(StatsError::DegenerateSample);
     }
     let c = (2.0 * b1 - b0) / denom - std::f64::consts::LN_2 / 3f64.ln();
@@ -181,7 +182,7 @@ pub fn fit_gpd(sample: &[f64], threshold: f64) -> Result<Gpd, StatsError> {
     let a0 = b0;
     let a1 = b0 - b1;
     let denom = a0 - 2.0 * a1;
-    if denom == 0.0 {
+    if exactly_zero(denom) {
         return Err(StatsError::DegenerateSample);
     }
     let k = a0 / denom - 2.0; // Hosking shape, k = −ξ

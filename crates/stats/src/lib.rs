@@ -43,6 +43,7 @@ pub mod descriptive;
 pub mod dist;
 pub mod ecdf;
 pub mod evt;
+pub mod float;
 pub mod special;
 pub mod tests;
 

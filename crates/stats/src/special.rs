@@ -6,6 +6,8 @@
 //! Ljung-Box test is a regularized incomplete gamma, the normal CDF is an
 //! error function, and Gumbel/GEV moment fits need `Γ(1+k)`.
 
+use crate::float::exactly_zero;
+
 /// Euler–Mascheroni constant γ (mean of the standard Gumbel distribution).
 pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
 
@@ -82,7 +84,7 @@ pub fn gamma(x: f64) -> f64 {
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "gamma_p requires a > 0");
     assert!(x >= 0.0, "gamma_p requires x >= 0");
-    if x == 0.0 {
+    if exactly_zero(x) {
         return 0.0;
     }
     if x < a + 1.0 {
@@ -100,7 +102,7 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 pub fn gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "gamma_q requires a > 0");
     assert!(x >= 0.0, "gamma_q requires x >= 0");
-    if x == 0.0 {
+    if exactly_zero(x) {
         return 1.0;
     }
     if x < a + 1.0 {
@@ -167,7 +169,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-12);
 /// ```
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if exactly_zero(x) {
         return 0.0;
     }
     let p = gamma_p(0.5, x * x);

@@ -41,7 +41,7 @@ pub fn anderson_darling<D: ContinuousDistribution + ?Sized>(
 ) -> Result<TestResult, StatsError> {
     check_len(sample, 8)?;
     let mut xs = sample.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len();
     let nf = n as f64;
     let mut acc = 0.0;

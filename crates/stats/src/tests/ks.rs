@@ -39,8 +39,8 @@ pub fn ks_two_sample(first: &[f64], second: &[f64]) -> Result<TestResult, StatsE
     check_len(second, 8)?;
     let mut a = first.to_vec();
     let mut b = second.to_vec();
-    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    a.sort_by(|x, y| x.total_cmp(y));
+    b.sort_by(|x, y| x.total_cmp(y));
 
     let (n1, n2) = (a.len(), b.len());
     let mut i = 0usize;
@@ -86,7 +86,7 @@ pub fn ks_one_sample<D: ContinuousDistribution + ?Sized>(
 ) -> Result<TestResult, StatsError> {
     check_len(sample, 8)?;
     let mut xs = sample.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len() as f64;
     let mut d: f64 = 0.0;
     for (idx, &x) in xs.iter().enumerate() {

@@ -46,7 +46,7 @@ pub fn ljung_box(sample: &[f64], max_lag: usize) -> Result<TestResult, StatsErro
             .enumerate()
             .map(|(i, r)| r * r / (n - (i + 1) as f64))
             .sum::<f64>();
-    let chi2 = ChiSquared::new(max_lag as f64).expect("max_lag >= 1 checked by autocorrelation");
+    let chi2 = ChiSquared::new(max_lag as f64)?;
     Ok(TestResult {
         statistic: q,
         p_value: chi2.survival(q),

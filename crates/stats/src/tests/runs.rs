@@ -3,6 +3,7 @@
 use super::TestResult;
 use crate::descriptive::median;
 use crate::error::check_len;
+use crate::float::exactly_zero;
 use crate::special::std_normal_sf;
 use crate::StatsError;
 
@@ -51,7 +52,7 @@ pub fn runs_test(sample: &[f64]) -> Result<TestResult, StatsError> {
     }
     let n_pos = signs.iter().filter(|&&s| s).count() as f64;
     let n_neg = signs.len() as f64 - n_pos;
-    if n_pos == 0.0 || n_neg == 0.0 {
+    if exactly_zero(n_pos) || exactly_zero(n_neg) {
         return Err(StatsError::DegenerateSample);
     }
     let runs = 1 + signs.windows(2).filter(|w| w[0] != w[1]).count();

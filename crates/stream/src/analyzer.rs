@@ -694,6 +694,8 @@ impl StreamAnalyzer {
             convergence_delta,
             iid_status: self.monitor.health(),
             converged: self.converged_at.is_some(),
+            // proxima-lint: allow(no-lib-panic) -- snapshot emission is
+            // gated on n > 0 earlier in this function, so max() is Some.
             high_watermark: self.sketch.max().expect("n > 0 at any snapshot"),
         };
         self.last_snapshot = Some(snap);

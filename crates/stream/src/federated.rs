@@ -353,6 +353,9 @@ impl FederatedAnalyzer {
                 .collect();
             workers
                 .into_iter()
+                // proxima-lint: allow(no-lib-panic) -- join() only errs if
+                // the worker itself panicked; this re-raises that panic, it
+                // does not introduce a new failure mode.
                 .map(|w| w.join().expect("shard worker panicked"))
                 .collect()
         });

@@ -195,8 +195,11 @@ impl IidMonitor {
         let lags = default_lag(w);
         // Reference band for display: Bonferroni across the tested lags.
         let z = Normal::new(0.0, 1.0)
+            // proxima-lint: allow(no-lib-panic) -- sigma 1.0 > 0: infallible.
             .expect("unit normal")
             .quantile(1.0 - self.alpha / (2.0 * lags as f64))
+            // proxima-lint: allow(no-lib-panic) -- alpha is validated into
+            // (0, 1) at config time, so the argument stays inside (0, 1).
             .expect("probability in range");
         let band = z / (w as f64).sqrt();
         // A degenerate (constant) window supports neither test; nothing

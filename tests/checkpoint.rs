@@ -15,6 +15,61 @@ use proxima::mbpta::session::SessionSnapshot;
 use proxima::prelude::*;
 use proxima::stream::{FederatedFactory, StreamFactory};
 
+/// Every type with an `impl Encode for …` in the workspace's `persist.rs`
+/// files, by target name. `mbpta-lint`'s `codec-discipline` rule parses
+/// this list and fails the tree when a codec impl is missing from it:
+/// adding a wire type means adding it here AND making sure the golden
+/// fixtures below transitively exercise its byte layout.
+const CODEC_COVERAGE: &[&str] = &[
+    "BlockSpec",
+    "BootstrapSpec",
+    "BudgetInterval",
+    "ChannelId",
+    "EngineEstimate",
+    "EngineKind",
+    "EvtFit",
+    "FederatedAnalyzer",
+    "FederatedConfig",
+    "Gev",
+    "GofReport",
+    "Gpd",
+    "Gumbel",
+    "IidEvidence",
+    "IidHealth",
+    "IidMonitor",
+    "IidReport",
+    "IidStatus",
+    "MbptaConfig",
+    "MbptaError",
+    "ObservationSummary",
+    "Option<T>",
+    "Provenance",
+    "Pwcet",
+    "PwcetSnapshot",
+    "QuantileSketch",
+    "StatsError",
+    "StreamAnalyzer",
+    "StreamConfig",
+    "Summary",
+    "TestResult",
+    "Tuple",
+    "Vec<T>",
+    "Verdict",
+    "bool",
+    "f64",
+    "u64",
+    "usize",
+];
+
+#[test]
+fn codec_coverage_list_is_sorted_and_unique() {
+    assert!(
+        CODEC_COVERAGE.windows(2).all(|w| w[0] < w[1]),
+        "keep CODEC_COVERAGE sorted and free of duplicates so review \
+         diffs stay one-line"
+    );
+}
+
 /// Deterministic synthetic campaign for one channel.
 fn campaign(base: f64, n: usize, seed: u64) -> Vec<f64> {
     use rand::{Rng, SeedableRng};

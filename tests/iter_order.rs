@@ -1,0 +1,149 @@
+//! Registration-order invariance: the order in which channels join a
+//! session (and the order their measurements interleave) must never
+//! reach the per-channel verdicts. This is the regression battery for
+//! switching the session's channel index to a `BTreeMap` and for the
+//! `no-unordered-iter` lint rule: if anyone reintroduces an
+//! iteration-order dependence, the **bit-identity** assertions here
+//! catch it before the lint has to.
+
+use proxima::prelude::*;
+use proxima::stream::StreamConfig;
+use rand::{Rng, SeedableRng};
+
+fn campaign(base: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| base + (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 80.0)
+        .collect()
+}
+
+fn three_channels() -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        ("path/nominal", campaign(1.0e5, 1200, 4)),
+        ("core1/saturated", campaign(1.1e5, 1200, 20)),
+        ("tenant/fault", campaign(1.3e5, 1200, 40)),
+    ]
+}
+
+/// Round-robin interleave in the given channel order.
+fn interleave(channels: &[(&'static str, Vec<f64>)]) -> Vec<Tagged> {
+    let n = channels.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let mut feed = Vec::new();
+    for i in 0..n {
+        for (name, times) in channels {
+            if let Some(&x) = times.get(i) {
+                feed.push(Tagged::new(*name, x));
+            }
+        }
+    }
+    feed
+}
+
+/// One measurement stream per ordering: same per-channel data, three
+/// different arrival/registration orders.
+fn orderings() -> Vec<Vec<Tagged>> {
+    let channels = three_channels();
+    let mut reversed = channels.clone();
+    reversed.reverse();
+    // Sequential blocks: each channel registers and finishes entirely
+    // before the next one appears.
+    let mut blocks = Vec::new();
+    for (name, times) in &reversed {
+        for &x in times {
+            blocks.push(Tagged::new(*name, x));
+        }
+    }
+    vec![interleave(&channels), interleave(&reversed), blocks]
+}
+
+/// The merged per-channel verdicts rendered to comparable bits: the
+/// full report debug form plus the exact budget bit patterns at two
+/// exceedance levels.
+fn fingerprint(feed: &[Tagged], jobs: usize) -> Vec<(String, String, u64, u64)> {
+    let mut session = MbptaConfig::default()
+        .session()
+        .jobs(jobs)
+        .build_batch()
+        .expect("valid config");
+    session.extend(feed.iter().cloned()).expect("clean feed");
+    let merged = session.merge();
+    assert!(merged.all_ok(), "{merged:?}");
+    let mut out: Vec<(String, String, u64, u64)> = merged
+        .channels()
+        .iter()
+        .map(|c| {
+            let verdict = c.outcome.as_ref().expect("all_ok checked");
+            (
+                c.channel.as_str().to_string(),
+                format!("{verdict:?}"),
+                verdict.budget_for(1e-12).expect("valid p").to_bits(),
+                verdict.budget_for(1e-9).expect("valid p").to_bits(),
+            )
+        })
+        .collect();
+    // Sort by channel name so fingerprints compare order-free; the
+    // values inside must already be order-free.
+    out.sort();
+    out
+}
+
+#[test]
+fn batch_verdicts_ignore_registration_order() {
+    let all = orderings();
+    let reference = fingerprint(&all[0], 1);
+    assert_eq!(reference.len(), 3);
+    for (i, feed) in all.iter().enumerate().skip(1) {
+        assert_eq!(
+            reference,
+            fingerprint(feed, 1),
+            "ordering #{i} changed a verdict bit"
+        );
+    }
+}
+
+#[test]
+fn registration_order_invariance_holds_at_every_jobs() {
+    let all = orderings();
+    let reference = fingerprint(&all[0], 1);
+    for feed in &all {
+        for jobs in [2, 3, 8] {
+            assert_eq!(
+                reference,
+                fingerprint(feed, jobs),
+                "jobs={jobs} broke order invariance"
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_snapshots_ignore_registration_order() {
+    let stream = StreamConfig {
+        block_size: 25,
+        refit_every_blocks: 4,
+        target_p: 1e-12,
+        bootstrap: None,
+        ..StreamConfig::default()
+    };
+    let mut per_order = Vec::new();
+    for feed in orderings() {
+        let factory = proxima::stream::StreamFactory::new(stream.clone()).expect("valid config");
+        let mut session = MbptaConfig::default()
+            .session()
+            .snapshot_every(100)
+            .target_p(1e-12)
+            .build_with(factory)
+            .expect("valid config");
+        session.extend(feed.iter().cloned()).expect("clean feed");
+        let merged = session.merge();
+        let mut channels: Vec<(String, String)> = merged
+            .channels()
+            .iter()
+            .map(|c| (c.channel.as_str().to_string(), format!("{:?}", c.outcome)))
+            .collect();
+        channels.sort();
+        per_order.push(channels);
+    }
+    assert_eq!(per_order[0], per_order[1], "reversed order diverged");
+    assert_eq!(per_order[0], per_order[2], "sequential blocks diverged");
+}
