@@ -59,10 +59,14 @@ use crate::MbptaError;
 /// encoding change; old fixtures must keep decoding under the version
 /// they were written with or be rejected loudly.
 ///
+/// Version 2: the serve `STATS` payload grew per-shard counters and the
+/// server checkpoint became a manifest plus one sealed session blob per
+/// worker (sharded serve core).
+///
 /// Bumping this without regenerating the golden fixtures breaks the
 /// crash-resume battery: rerun with PROXIMA_REGEN_FIXTURES=1 and commit
 /// the refreshed `tests/fixtures/` alongside the bump (fixture-regen).
-pub const FORMAT_VERSION: u8 = 1;
+pub const FORMAT_VERSION: u8 = 2;
 
 /// Magic tag of a serialized engine state ([`Engine::save_state`]).
 ///
@@ -74,6 +78,13 @@ pub const MAGIC_ENGINE: [u8; 4] = *b"PXEG";
 ///
 /// [`AnalysisSession::checkpoint`]: crate::session::AnalysisSession::checkpoint
 pub const MAGIC_SESSION: [u8; 4] = *b"PXSN";
+
+/// Magic tag of a single exported channel record
+/// ([`AnalysisSession::export_channel_record`]) — the unit a sharded
+/// coordinator moves between worker sessions when it re-partitions.
+///
+/// [`AnalysisSession::export_channel_record`]: crate::session::AnalysisSession::export_channel_record
+pub const MAGIC_CHANNEL: [u8; 4] = *b"PXCH";
 
 /// Longest string the decoder accepts (channel labels, error messages):
 /// corrupt length fields must not drive unbounded allocations.

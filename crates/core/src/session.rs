@@ -858,7 +858,7 @@ impl<F: EngineFactory> AnalysisSession<F> {
     /// Returns [`MbptaError::Checkpoint`] if a channel's engine cannot
     /// serialize its state.
     pub fn checkpoint(&self) -> Result<Vec<u8>, MbptaError> {
-        use crate::persist::{seal, Encode, Writer, MAGIC_SESSION};
+        use crate::persist::{seal, Writer, MAGIC_SESSION};
         let mut w = Writer::new();
         w.usize(self.total);
         w.usize(self.snapshot_every);
@@ -868,33 +868,74 @@ impl<F: EngineFactory> AnalysisSession<F> {
         w.bool(self.polling);
         w.usize(self.channels.len());
         for state in &self.channels {
-            state.id.encode(&mut w);
-            match &state.engine {
-                Some(engine) => {
-                    w.bool(true);
-                    w.bytes(&engine.save_state()?);
-                }
-                None => w.bool(false),
-            }
-            match &state.early_verdict {
-                None => w.u8(0),
-                Some(Ok(verdict)) => {
-                    w.u8(1);
-                    verdict.encode(&mut w);
-                }
-                Some(Err(e)) => {
-                    w.u8(2);
-                    e.encode(&mut w);
-                }
-            }
-            w.usize(state.accepted);
-            state.failed.encode(&mut w);
-            w.usize(state.dropped);
-            state.last_emitted_n.encode(&mut w);
-            w.usize(state.last_polled_len);
-            w.bool(state.converged_emitted);
+            encode_channel_state(state, &mut w)?;
         }
         Ok(seal(MAGIC_SESSION, w.into_bytes()))
+    }
+
+    /// Serialize one channel's complete state — engine, early verdict,
+    /// quarantine error, drop counters and snapshot bookkeeping — as a
+    /// standalone sealed record (magic
+    /// [`MAGIC_CHANNEL`](crate::persist::MAGIC_CHANNEL)).
+    ///
+    /// The record is the unit of channel migration: a sharded
+    /// coordinator that re-partitions channels across worker sessions
+    /// exports each channel from the session that held it and
+    /// [`adopt_channel_record`](Self::adopt_channel_record)s it into
+    /// its new owner. The encoding is byte-for-byte the per-channel
+    /// section of a session [`checkpoint`](Self::checkpoint), so a
+    /// migrated channel's later snapshots and verdicts are
+    /// **bit-identical** to never having moved.
+    ///
+    /// # Errors
+    ///
+    /// [`MbptaError::Checkpoint`] if the channel is unknown or its
+    /// engine cannot serialize its state.
+    pub fn export_channel_record(&self, channel: &str) -> Result<Vec<u8>, MbptaError> {
+        use crate::persist::{seal, Writer, MAGIC_CHANNEL};
+        let state = self
+            .channels
+            .iter()
+            .find(|state| state.id.as_str() == channel)
+            .ok_or_else(|| {
+                MbptaError::checkpoint(format!("cannot export unknown channel `{channel}`"))
+            })?;
+        let mut w = Writer::new();
+        encode_channel_state(state, &mut w)?;
+        Ok(seal(MAGIC_CHANNEL, w.into_bytes()))
+    }
+
+    /// Install a channel from an
+    /// [`export_channel_record`](Self::export_channel_record) blob,
+    /// restoring its engine through [`EngineFactory::restore`] (so the
+    /// record's configuration fingerprint is verified against this
+    /// session's factory). The channel arrives with its full history —
+    /// early verdict, quarantine state, drop counters, snapshot
+    /// bookkeeping — and its measurements count toward the session
+    /// total, exactly as on a session restore.
+    ///
+    /// # Errors
+    ///
+    /// * [`MbptaError::InvalidConfig`] if the channel already exists;
+    /// * [`MbptaError::Checkpoint`] for corrupt, wrong-magic or
+    ///   configuration-mismatched record bytes.
+    pub fn adopt_channel_record(&mut self, record: &[u8]) -> Result<ChannelId, MbptaError> {
+        use crate::persist::{unseal, Reader, MAGIC_CHANNEL};
+        let payload = unseal(record, MAGIC_CHANNEL)?;
+        let mut r = Reader::new(payload);
+        let state = decode_channel_state(&self.factory, &mut r)?;
+        r.finish()?;
+        if self.index.contains_key(&state.id) {
+            return Err(MbptaError::InvalidConfig {
+                what: "cannot adopt a channel that already exists in the session",
+            });
+        }
+        let id = state.id.clone();
+        let n = state.engine.as_ref().map_or(state.accepted, Engine::len);
+        self.index.insert(id.clone(), self.channels.len());
+        self.channels.push(state);
+        self.total += n;
+        Ok(id)
     }
 
     /// Rebuild a session from a [`checkpoint`](Self::checkpoint) blob.
@@ -911,7 +952,7 @@ impl<F: EngineFactory> AnalysisSession<F> {
     /// Returns [`MbptaError::Checkpoint`] for truncated, corrupted,
     /// wrong-version or configuration-mismatched bytes.
     pub fn restore(factory: F, state: &[u8], jobs: usize) -> Result<Self, MbptaError> {
-        use crate::persist::{unseal, Decode, Reader, MAGIC_SESSION};
+        use crate::persist::{unseal, Reader, MAGIC_SESSION};
         let payload = unseal(state, MAGIC_SESSION)?;
         let mut r = Reader::new(payload);
         let total = r.usize()?;
@@ -929,54 +970,14 @@ impl<F: EngineFactory> AnalysisSession<F> {
         let mut channels = Vec::with_capacity(n_channels);
         let mut index = BTreeMap::new();
         for _ in 0..n_channels {
-            let id = ChannelId::decode(&mut r)?;
-            let engine = if r.bool()? {
-                Some(factory.restore(&id, r.bytes()?)?)
-            } else {
-                None
-            };
-            let early_verdict = match r.u8()? {
-                0 => None,
-                1 => Some(Ok(Verdict::decode(&mut r)?)),
-                2 => Some(Err(MbptaError::decode(&mut r)?)),
-                other => {
-                    return Err(MbptaError::checkpoint(format!(
-                        "unknown early-verdict tag {other}"
-                    )))
-                }
-            };
-            let accepted = r.usize()?;
-            let failed = Option::decode(&mut r)?;
-            let dropped = r.usize()?;
-            let last_emitted_n = Option::decode(&mut r)?;
-            let last_polled_len = r.usize()?;
-            let converged_emitted = r.bool()?;
-            if engine.is_none() && early_verdict.is_none() && failed.is_none() {
-                return Err(MbptaError::checkpoint(
-                    "checkpointed channel has neither an engine nor a recorded outcome",
-                ));
-            }
-            if engine.is_some() && early_verdict.is_some() {
-                return Err(MbptaError::checkpoint(
-                    "checkpointed channel has both a live engine and an early verdict",
-                ));
-            }
-            if index.insert(id.clone(), channels.len()).is_some() {
+            let state = decode_channel_state(&factory, &mut r)?;
+            if index.insert(state.id.clone(), channels.len()).is_some() {
                 return Err(MbptaError::checkpoint(format!(
-                    "checkpoint repeats channel `{id}`"
+                    "checkpoint repeats channel `{}`",
+                    state.id
                 )));
             }
-            channels.push(ChannelState {
-                id,
-                engine,
-                early_verdict,
-                accepted,
-                failed,
-                dropped,
-                last_emitted_n,
-                last_polled_len,
-                converged_emitted,
-            });
+            channels.push(state);
         }
         r.finish()?;
         Ok(AnalysisSession {
@@ -1054,6 +1055,97 @@ impl<F: EngineFactory> AnalysisSession<F> {
         });
         SessionVerdict { channels }
     }
+}
+
+/// Encode one channel's complete state — the per-channel section of a
+/// session checkpoint, shared verbatim by
+/// [`AnalysisSession::checkpoint`] and
+/// [`AnalysisSession::export_channel_record`] so migrated channels and
+/// checkpointed channels serialize bit-identically.
+fn encode_channel_state<E: Engine>(
+    state: &ChannelState<E>,
+    w: &mut crate::persist::Writer,
+) -> Result<(), MbptaError> {
+    use crate::persist::Encode;
+    state.id.encode(w);
+    match &state.engine {
+        Some(engine) => {
+            w.bool(true);
+            w.bytes(&engine.save_state()?);
+        }
+        None => w.bool(false),
+    }
+    match &state.early_verdict {
+        None => w.u8(0),
+        Some(Ok(verdict)) => {
+            w.u8(1);
+            verdict.encode(w);
+        }
+        Some(Err(e)) => {
+            w.u8(2);
+            e.encode(w);
+        }
+    }
+    w.usize(state.accepted);
+    state.failed.encode(w);
+    w.usize(state.dropped);
+    state.last_emitted_n.encode(w);
+    w.usize(state.last_polled_len);
+    w.bool(state.converged_emitted);
+    Ok(())
+}
+
+/// Decode one channel-state record (the inverse of
+/// [`encode_channel_state`]), restoring the engine through `factory`
+/// and enforcing the structural invariants a live channel must hold.
+fn decode_channel_state<F: EngineFactory>(
+    factory: &F,
+    r: &mut crate::persist::Reader<'_>,
+) -> Result<ChannelState<F::Engine>, MbptaError> {
+    use crate::persist::Decode;
+    let id = ChannelId::decode(r)?;
+    let engine = if r.bool()? {
+        Some(factory.restore(&id, r.bytes()?)?)
+    } else {
+        None
+    };
+    let early_verdict = match r.u8()? {
+        0 => None,
+        1 => Some(Ok(Verdict::decode(r)?)),
+        2 => Some(Err(MbptaError::decode(r)?)),
+        other => {
+            return Err(MbptaError::checkpoint(format!(
+                "unknown early-verdict tag {other}"
+            )))
+        }
+    };
+    let accepted = r.usize()?;
+    let failed = Option::decode(r)?;
+    let dropped = r.usize()?;
+    let last_emitted_n = Option::decode(r)?;
+    let last_polled_len = r.usize()?;
+    let converged_emitted = r.bool()?;
+    if engine.is_none() && early_verdict.is_none() && failed.is_none() {
+        return Err(MbptaError::checkpoint(
+            "checkpointed channel has neither an engine nor a recorded outcome",
+        ));
+    }
+    if engine.is_some() && early_verdict.is_some() {
+        return Err(MbptaError::checkpoint(
+            "checkpointed channel has both a live engine and an early verdict",
+        ));
+    }
+    Ok(ChannelState {
+        id,
+        engine,
+        early_verdict,
+        accepted,
+        failed,
+        dropped,
+        last_emitted_n,
+        last_polled_len,
+        converged_emitted,
+    })
 }
 
 impl<F: EngineFactory + Clone> Clone for AnalysisSession<F>
@@ -1775,5 +1867,94 @@ mod tests {
         }
         let direct = direct.merge();
         assert_eq!(adopted, direct.verdict("fed").unwrap().as_ref().unwrap());
+    }
+
+    #[test]
+    fn channel_record_export_adopt_migrates_bit_identically() {
+        let full = campaign(1.15e5, 1400, 12);
+        let (prefix, suffix) = full.split_at(900);
+
+        // Donor holds the channel mid-feed, alongside a sibling.
+        let mut donor = MbptaConfig::default().session().build_batch().unwrap();
+        for &x in prefix {
+            donor.push(Tagged::new("mover", x)).unwrap();
+        }
+        for x in campaign(1.0e5, 500, 13) {
+            donor.push(Tagged::new("stayer", x)).unwrap();
+        }
+        assert!(matches!(
+            donor.export_channel_record("ghost"),
+            Err(MbptaError::Checkpoint { .. })
+        ));
+        let record = donor.export_channel_record("mover").unwrap();
+
+        // The new owner adopts it, measurements counting into its total.
+        let mut owner = MbptaConfig::default().session().build_batch().unwrap();
+        let id = owner.adopt_channel_record(&record).unwrap();
+        assert_eq!(id.as_str(), "mover");
+        assert_eq!(owner.len(), prefix.len());
+        // A channel lives in exactly one session shard at a time.
+        assert!(matches!(
+            owner.adopt_channel_record(&record),
+            Err(MbptaError::InvalidConfig { .. })
+        ));
+        // Corrupt or wrong-magic bytes are typed errors, not panics.
+        assert!(matches!(
+            owner.adopt_channel_record(&record[..record.len() - 3]),
+            Err(MbptaError::Checkpoint { .. })
+        ));
+        assert!(matches!(
+            owner.adopt_channel_record(&donor.checkpoint().unwrap()),
+            Err(MbptaError::Checkpoint { .. })
+        ));
+
+        // Finish the feed in the new owner; a never-migrated control
+        // session sees the identical per-channel sequence.
+        for &x in suffix {
+            owner.push(Tagged::new("mover", x)).unwrap();
+        }
+        let mut control = MbptaConfig::default().session().build_batch().unwrap();
+        for &x in &full {
+            control.push(Tagged::new("mover", x)).unwrap();
+        }
+        let (moved, stayed) = (owner.merge(), control.merge());
+        assert_eq!(
+            moved.verdict("mover").unwrap(),
+            stayed.verdict("mover").unwrap(),
+            "migration must be invisible to the verdict"
+        );
+    }
+
+    #[test]
+    fn channel_record_carries_early_finish_and_quarantine() {
+        let build = || {
+            MbptaConfig::default()
+                .session()
+                .snapshot_every(0)
+                .early_finish(true)
+                .build_batch()
+                .unwrap()
+        };
+        let mut donor = build();
+        for x in campaign(1e5, 6000, 14) {
+            donor.push(Tagged::new("done", x)).unwrap();
+            // Constant feed: analysable only as a degenerate failure.
+            donor.push(Tagged::new("stuck", 500.0)).unwrap();
+        }
+        assert!(donor.channel("done").unwrap().finished_early());
+
+        // Migrate both the early-finished and the quarantined channel:
+        // frozen verdicts, quarantine errors and drop counters travel
+        // inside the record.
+        let mut owner = build();
+        for ch in ["done", "stuck"] {
+            let record = donor.export_channel_record(ch).unwrap();
+            owner.adopt_channel_record(&record).unwrap();
+        }
+        let (a, b) = (donor.merge(), owner.merge());
+        assert_eq!(a.verdict("done").unwrap(), b.verdict("done").unwrap());
+        assert_eq!(a.verdict("stuck").unwrap(), b.verdict("stuck").unwrap());
+        assert_eq!(a.channels()[0].dropped, b.channels()[0].dropped);
+        assert_eq!(a.channels()[1].dropped, b.channels()[1].dropped);
     }
 }

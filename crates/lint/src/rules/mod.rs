@@ -2,6 +2,7 @@
 //! suppressions, and enforces suppression hygiene.
 
 mod codec;
+mod concurrency;
 mod determinism;
 mod panics;
 
@@ -37,7 +38,7 @@ pub trait Rule {
 pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
 
 /// Every registered rule name, in report order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "no-wall-clock",
     "no-unordered-iter",
     "no-lib-panic",
@@ -45,6 +46,7 @@ pub const RULES: [&str; 7] = [
     "codec-discipline",
     "no-exit-in-lib",
     "deny-unsafe",
+    "no-thread-spawn-outside-sharding",
 ];
 
 /// Instantiate the full rule set.
@@ -57,6 +59,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(codec::CodecDiscipline),
         Box::new(panics::NoExitInLib),
         Box::new(panics::DenyUnsafe),
+        Box::new(concurrency::NoThreadSpawnOutsideSharding),
     ]
 }
 

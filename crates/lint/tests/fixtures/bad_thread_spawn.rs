@@ -1,0 +1,12 @@
+//! Fixture: ad-hoc thread creation outside the sanctioned pools.
+pub fn race_everything(jobs: Vec<Box<dyn FnOnce() + Send>>) {
+    std::thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(job);
+        }
+    });
+}
+
+pub fn fire_and_forget(task: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(task);
+}

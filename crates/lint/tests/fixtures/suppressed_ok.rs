@@ -37,3 +37,9 @@ pub fn bail(code: i32) {
     // injection behind an operator-only flag.
     std::process::exit(code);
 }
+
+pub fn fan_out(task: impl FnOnce() + Send + 'static) {
+    // proxima-lint: allow(no-thread-spawn-outside-sharding) -- fixture: a
+    // connection fan-out whose results never feed an analysis fold.
+    std::thread::spawn(task);
+}

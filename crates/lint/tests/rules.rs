@@ -164,6 +164,26 @@ fn ungated_crate_root_fires_deny_unsafe() {
 }
 
 #[test]
+fn thread_spawn_fixture_fires_outside_the_sanctioned_pools() {
+    let findings = lint_source(
+        "crates/fake/src/threads.rs",
+        include_str!("fixtures/bad_thread_spawn.rs"),
+        &LintContext::default(),
+    );
+    assert_eq!(rules_fired(&findings), ["no-thread-spawn-outside-sharding"]);
+    assert_eq!(findings.len(), 2, "scope and spawn: {findings:?}");
+    // The same code in a sanctioned pool file is that pool's whole job.
+    for path in ["crates/core/src/campaign.rs", "crates/serve/src/shard.rs"] {
+        let findings = lint_source(
+            path,
+            include_str!("fixtures/bad_thread_spawn.rs"),
+            &LintContext::default(),
+        );
+        assert!(findings.is_empty(), "{path}: {findings:?}");
+    }
+}
+
+#[test]
 fn justified_allows_silence_every_rule() {
     let findings = lint_source(
         "crates/fake/src/allowed.rs",

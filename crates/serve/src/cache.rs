@@ -27,17 +27,39 @@
 //! through. Recency is a monotonic tick in a `BTreeMap`, so eviction
 //! order is a pure function of the request sequence — the
 //! `no-unordered-iter` lint rule can vouch for it, and so can a replay.
+//!
+//! An optional **opportunistic TTL** bounds how long an entry may stay
+//! addressable, measured in the same logical ticks (never the wall
+//! clock — expiry must replay deterministically). An entry older than
+//! `ttl` ticks is dropped the next time it is touched: a `get` that
+//! lands on it counts one expiry plus one miss, and every `insert`
+//! sweeps expired entries from the cold end of the recency order
+//! before applying the LRU bound. Nothing scans the whole cache —
+//! expiry rides on operations that were happening anyway.
 
 use std::collections::{BTreeMap, HashMap};
 
 use proxima_mbpta::persist::{self, Encode, Writer};
 
+/// One cached response with its bookkeeping ticks.
+#[derive(Debug)]
+struct Entry {
+    payload: Vec<u8>,
+    /// Recency tick of the last touch (mirrored in `recency`).
+    touched: u64,
+    /// Tick at which the payload was (re-)inserted; expiry measures
+    /// from here, so refreshing recency does not extend a stale
+    /// entry's life.
+    inserted: u64,
+}
+
 /// LRU-bounded map from query fingerprint to encoded response payload.
 #[derive(Debug)]
 pub struct VerdictCache {
     capacity: usize,
-    /// Key → (payload, recency tick of its last touch).
-    map: HashMap<u64, (Vec<u8>, u64)>,
+    /// Entries older than this many ticks expire on touch (0 = never).
+    ttl: u64,
+    map: HashMap<u64, Entry>,
     /// Recency tick → key, oldest first. Mirrors `map` exactly: every
     /// entry holds the tick stored alongside its payload.
     recency: BTreeMap<u64, u64>,
@@ -47,16 +69,26 @@ pub struct VerdictCache {
     misses: u64,
     insertions: u64,
     evictions: u64,
+    expirations: u64,
 }
 
 impl VerdictCache {
-    /// Create a cache holding at most `capacity` responses.
+    /// Create a cache holding at most `capacity` responses, with no
+    /// expiry.
     ///
     /// A capacity of 0 disables caching: every `get` misses and every
     /// `insert` is dropped.
     pub fn new(capacity: usize) -> Self {
+        VerdictCache::with_ttl(capacity, 0)
+    }
+
+    /// Create a cache holding at most `capacity` responses whose
+    /// entries expire once they are older than `ttl` logical ticks
+    /// (one tick per get-hit or insert; `ttl` 0 disables expiry).
+    pub fn with_ttl(capacity: usize, ttl: u64) -> Self {
         VerdictCache {
             capacity,
+            ttl,
             map: HashMap::new(),
             recency: BTreeMap::new(),
             tick: 0,
@@ -64,20 +96,40 @@ impl VerdictCache {
             misses: 0,
             insertions: 0,
             evictions: 0,
+            expirations: 0,
         }
     }
 
+    /// `true` when `inserted` is more than `ttl` ticks behind `now`.
+    fn expired(&self, inserted: u64, now: u64) -> bool {
+        self.ttl > 0 && now.saturating_sub(inserted) > self.ttl
+    }
+
     /// Look up the encoded response for `key`, counting a hit or miss.
-    /// A hit refreshes the entry's recency.
+    /// A hit refreshes the entry's recency; a lookup that lands on an
+    /// expired entry drops it and counts one expiry plus one miss.
     pub fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        let now = self.tick + 1;
+        let stale = self
+            .map
+            .get(&key)
+            .is_some_and(|entry| self.expired(entry.inserted, now));
+        if stale {
+            if let Some(entry) = self.map.remove(&key) {
+                self.recency.remove(&entry.touched);
+            }
+            self.expirations += 1;
+            self.misses += 1;
+            return None;
+        }
         match self.map.get_mut(&key) {
-            Some((bytes, touched)) => {
+            Some(entry) => {
                 self.hits += 1;
-                let bytes = bytes.clone();
-                self.tick += 1;
-                self.recency.remove(touched);
-                *touched = self.tick;
-                self.recency.insert(self.tick, key);
+                let bytes = entry.payload.clone();
+                self.tick = now;
+                self.recency.remove(&entry.touched);
+                entry.touched = now;
+                self.recency.insert(now, key);
                 Some(bytes)
             }
             None => {
@@ -87,23 +139,46 @@ impl VerdictCache {
         }
     }
 
-    /// Store the encoded response for `key`, evicting the
-    /// least-recently-used entry once the cache is full. Re-inserting
-    /// an existing key replaces its payload and refreshes its recency.
+    /// Store the encoded response for `key`, sweeping expired entries
+    /// from the cold end and then evicting the least-recently-used
+    /// entry once the cache is full. Re-inserting an existing key
+    /// replaces its payload and refreshes both its recency and its
+    /// expiry clock.
     pub fn insert(&mut self, key: u64, value: Vec<u8>) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        match self.map.insert(key, (value, self.tick)) {
-            Some((_, old_tick)) => {
-                self.recency.remove(&old_tick);
+        let entry = Entry {
+            payload: value,
+            touched: self.tick,
+            inserted: self.tick,
+        };
+        match self.map.insert(key, entry) {
+            Some(old) => {
+                self.recency.remove(&old.touched);
             }
             None => {
                 self.insertions += 1;
             }
         }
         self.recency.insert(self.tick, key);
+        // Opportunistic sweep: the coldest entries are also the ones
+        // most likely stale, so walk from the cold end while they are
+        // expired. Stops at the first live entry — O(expired), not
+        // O(cache).
+        while let Some((&coldest_tick, &coldest_key)) = self.recency.first_key_value() {
+            let stale = self
+                .map
+                .get(&coldest_key)
+                .is_some_and(|e| self.expired(e.inserted, self.tick));
+            if !stale {
+                break;
+            }
+            self.recency.remove(&coldest_tick);
+            self.map.remove(&coldest_key);
+            self.expirations += 1;
+        }
         while self.map.len() > self.capacity {
             // pop_first is the coldest tick; the mirror invariant
             // guarantees its key is present in the map.
@@ -147,6 +222,11 @@ impl VerdictCache {
     /// Entries dropped to respect the bound.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Entries dropped because they outlived the TTL.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
     }
 }
 
@@ -300,8 +380,121 @@ mod tests {
         assert!(cache.len() <= 3);
         assert_eq!(cache.map.len(), cache.recency.len());
         for (tick, key) in &cache.recency {
-            assert_eq!(cache.map.get(key).map(|(_, t)| t), Some(tick));
+            assert_eq!(cache.map.get(key).map(|e| &e.touched), Some(tick));
         }
+    }
+
+    #[test]
+    fn ttl_zero_never_expires() {
+        let mut cache = VerdictCache::new(4);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![1]);
+        for i in 0..1000 {
+            let churn = query_key(1, 1, "other", i, 0);
+            cache.insert(churn, vec![0]);
+            // Keep the entry LRU-hot so only expiry could drop it.
+            assert_eq!(cache.get(key), Some(vec![1]), "tick {i}");
+        }
+        assert_eq!(cache.expirations(), 0);
+    }
+
+    #[test]
+    fn expired_entry_counts_expiry_plus_miss_on_get() {
+        // ttl = 2 ticks; insert (tick 1), then two churn inserts push
+        // the clock to 3, so the lookup at tick 4 finds the entry
+        // 3 ticks old — expired.
+        let mut cache = VerdictCache::with_ttl(8, 2);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![1]);
+        cache.insert(query_key(1, 1, "a", 1, 0), vec![0]);
+        cache.insert(query_key(1, 1, "b", 1, 0), vec![0]);
+        assert_eq!(cache.get(key), None);
+        assert_eq!(cache.expirations(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 2, "expired entry left the map");
+    }
+
+    #[test]
+    fn fresh_entry_still_hits_within_ttl() {
+        let mut cache = VerdictCache::with_ttl(8, 3);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![1]);
+        cache.insert(query_key(1, 1, "a", 1, 0), vec![0]);
+        // Lookup at tick 3: the entry is 2 ticks old, within ttl 3.
+        assert_eq!(cache.get(key), Some(vec![1]));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.expirations(), 0);
+    }
+
+    #[test]
+    fn recency_refresh_does_not_extend_ttl() {
+        // Hits refresh recency but not the insertion tick: an entry
+        // re-read forever still expires ttl ticks after its insert.
+        let mut cache = VerdictCache::with_ttl(8, 3);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![1]); // tick 1
+        assert_eq!(cache.get(key), Some(vec![1])); // tick 2, age 1
+        assert_eq!(cache.get(key), Some(vec![1])); // tick 3, age 2
+        assert_eq!(cache.get(key), Some(vec![1])); // tick 4, age 3
+        assert_eq!(cache.get(key), None, "age 4 > ttl 3"); // tick would be 5
+        assert_eq!(cache.expirations(), 1);
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn reinsert_restarts_the_expiry_clock() {
+        let mut cache = VerdictCache::with_ttl(8, 2);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![1]); // tick 1
+        cache.insert(query_key(1, 1, "a", 1, 0), vec![0]); // tick 2
+        cache.insert(key, vec![2]); // tick 3: clock restarts
+        cache.insert(query_key(1, 1, "b", 1, 0), vec![0]); // tick 4
+        assert_eq!(cache.get(key), Some(vec![2]), "age 2 ≤ ttl 2");
+        assert_eq!(cache.expirations(), 0);
+    }
+
+    #[test]
+    fn insert_sweeps_expired_entries_from_the_cold_end() {
+        let mut cache = VerdictCache::with_ttl(16, 2);
+        let a = query_key(1, 1, "a", 1, 0);
+        let b = query_key(1, 1, "b", 1, 0);
+        cache.insert(a, vec![1]); // tick 1
+        cache.insert(b, vec![2]); // tick 2
+        cache.insert(query_key(1, 1, "c", 1, 0), vec![0]); // tick 3: none stale yet
+        cache.insert(query_key(1, 1, "d", 1, 0), vec![0]); // tick 4: sweeps a (age 3)
+        cache.insert(query_key(1, 1, "e", 1, 0), vec![0]); // tick 5: sweeps b (age 3)
+        assert_eq!(cache.expirations(), 2, "a and b swept without any get");
+        assert_eq!(cache.len(), 3, "c, d, e remain — sweep stopped at live c");
+        assert_eq!(cache.misses(), 0, "sweep never counts misses");
+    }
+
+    #[test]
+    fn expiry_is_a_pure_function_of_the_request_sequence() {
+        // Replaying the same operation sequence twice must produce
+        // identical counters and contents — tick-based expiry has no
+        // hidden wall-clock input.
+        let run = || {
+            let mut cache = VerdictCache::with_ttl(4, 3);
+            let mut trace = Vec::new();
+            for i in 0..40u64 {
+                let key = query_key(5, 1, "ch", i % 6, 0);
+                if i % 3 == 0 {
+                    cache.insert(key, vec![i as u8]);
+                } else {
+                    trace.push(cache.get(key));
+                }
+            }
+            (
+                trace,
+                cache.hits(),
+                cache.misses(),
+                cache.expirations(),
+                cache.evictions(),
+                cache.len(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub enum ClientError {
     Server(String),
     /// The server closed the connection instead of answering.
     Disconnected,
+    /// The server refused the connection at admission: it is at its
+    /// concurrent-connection bound. Reconnect later — no state was
+    /// touched.
+    Busy {
+        /// Connections being served when this one was refused.
+        active: u64,
+        /// The server's `max_conns` bound.
+        limit: u64,
+    },
     /// The server answered with an unexpected response variant.
     /// Boxed to keep the error variant small next to `Ok` payloads.
     Unexpected(Box<Response>),
@@ -39,6 +48,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Frame(e) => write!(f, "protocol failure: {e}"),
             ClientError::Server(message) => write!(f, "server error: {message}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Busy { active, limit } => {
+                write!(f, "server busy: {active}/{limit} connections — retry later")
+            }
             ClientError::Unexpected(resp) => write!(f, "unexpected response: {resp:?}"),
         }
     }
@@ -96,6 +108,7 @@ impl ServeClient {
     fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
         match self.call(request)? {
             Response::Error { message } => Err(ClientError::Server(message)),
+            Response::Busy { active, limit } => Err(ClientError::Busy { active, limit }),
             response => Ok(response),
         }
     }

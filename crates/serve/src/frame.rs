@@ -292,8 +292,10 @@ impl Request {
 pub struct WireSnapshot {
     /// The channel the estimate belongs to.
     pub channel: String,
-    /// Session-wide measurements ingested when the estimate was
-    /// emitted.
+    /// Measurements the channel had accepted when the estimate was
+    /// emitted. Channel-local by design (format v2): a channel's
+    /// snapshot cadence must not depend on which worker owns it or on
+    /// how other channels interleave.
     pub total: u64,
     /// The channel engine's estimate.
     pub estimate: EngineEstimate,
@@ -312,6 +314,76 @@ impl WireSnapshot {
             total: r.u64().map_err(malformed)?,
             estimate: EngineEstimate::decode(r).map_err(malformed)?,
         })
+    }
+}
+
+/// Deterministic per-worker counters (format v2).
+///
+/// One entry per shard in worker order. `channels`/`total` describe the
+/// worker's slice of the session; the `cache_*` counters describe its
+/// private [`VerdictCache`](crate::VerdictCache). Summing a field over
+/// all shards yields the matching global field in [`ServerStats`]
+/// (except `cache_len`, which the global report also sums — each shard
+/// bounds its own cache independently).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Channels owned by this worker.
+    pub channels: u64,
+    /// Measurements held by this worker's session.
+    pub total: u64,
+    /// Query-cache hits on this worker's cache.
+    pub cache_hits: u64,
+    /// Query-cache misses on this worker's cache.
+    pub cache_misses: u64,
+    /// Query-cache insertions on this worker's cache.
+    pub cache_insertions: u64,
+    /// Query-cache LRU evictions on this worker's cache.
+    pub cache_evictions: u64,
+    /// Query-cache TTL expirations on this worker's cache.
+    pub cache_expirations: u64,
+    /// Entries currently resident in this worker's cache.
+    pub cache_len: u64,
+}
+
+impl ShardStats {
+    fn encode(&self, w: &mut Writer) {
+        for v in self.fields() {
+            w.u64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let mut s = ShardStats::default();
+        for f in s.fields_mut() {
+            *f = r.u64().map_err(malformed)?;
+        }
+        Ok(s)
+    }
+
+    fn fields(&self) -> [u64; 8] {
+        [
+            self.channels,
+            self.total,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_insertions,
+            self.cache_evictions,
+            self.cache_expirations,
+            self.cache_len,
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [&mut u64; 8] {
+        [
+            &mut self.channels,
+            &mut self.total,
+            &mut self.cache_hits,
+            &mut self.cache_misses,
+            &mut self.cache_insertions,
+            &mut self.cache_evictions,
+            &mut self.cache_expirations,
+            &mut self.cache_len,
+        ]
     }
 }
 
@@ -352,10 +424,18 @@ pub struct ServerStats {
     pub cache_capacity: u64,
     /// Checkpoints written (auto + forced + shutdown).
     pub checkpoints_written: u64,
-    /// Size of the last checkpoint blob, bytes.
+    /// Size of the last checkpoint (manifest + shard blobs), bytes.
     pub last_checkpoint_bytes: u64,
     /// Measurements ingested since the last checkpoint mark.
     pub since_checkpoint: u64,
+    /// Query-cache TTL expirations (summed over workers).
+    pub cache_expirations: u64,
+    /// Connections refused by admission control with a `Busy` frame.
+    pub busy_rejections: u64,
+    /// Analysis worker threads the session is partitioned across.
+    pub workers: u64,
+    /// Per-worker counters, in worker order (format v2).
+    pub shards: Vec<ShardStats>,
 }
 
 impl ServerStats {
@@ -363,17 +443,32 @@ impl ServerStats {
         for v in self.fields() {
             w.u64(v);
         }
+        w.usize(self.shards.len());
+        for shard in &self.shards {
+            shard.encode(w);
+        }
     }
 
-    fn decode(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+    fn decode(r: &mut Reader<'_>, payload_len: usize) -> Result<Self, FrameError> {
         let mut s = ServerStats::default();
         for f in s.fields_mut() {
             *f = r.u64().map_err(malformed)?;
         }
+        let n = r.usize().map_err(malformed)?;
+        if n > payload_len {
+            return Err(FrameError::Malformed(format!(
+                "shard count {n} exceeds the payload size"
+            )));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(ShardStats::decode(r)?);
+        }
+        s.shards = shards;
         Ok(s)
     }
 
-    fn fields(&self) -> [u64; 18] {
+    fn fields(&self) -> [u64; 21] {
         [
             self.total,
             self.channels,
@@ -393,10 +488,13 @@ impl ServerStats {
             self.checkpoints_written,
             self.last_checkpoint_bytes,
             self.since_checkpoint,
+            self.cache_expirations,
+            self.busy_rejections,
+            self.workers,
         ]
     }
 
-    fn fields_mut(&mut self) -> [&mut u64; 18] {
+    fn fields_mut(&mut self) -> [&mut u64; 21] {
         [
             &mut self.total,
             &mut self.channels,
@@ -416,6 +514,9 @@ impl ServerStats {
             &mut self.checkpoints_written,
             &mut self.last_checkpoint_bytes,
             &mut self.since_checkpoint,
+            &mut self.cache_expirations,
+            &mut self.busy_rejections,
+            &mut self.workers,
         ]
     }
 }
@@ -467,6 +568,16 @@ pub enum Response {
     /// Acknowledges a [`Request::Shutdown`]; the server stops accepting
     /// connections after sending this.
     ShuttingDown,
+    /// Admission control refused the connection: the server is at its
+    /// connection limit. Sent as a farewell immediately after accept;
+    /// the server closes the connection right after. Retry later —
+    /// nothing was processed.
+    Busy {
+        /// Connections being served when this one was refused.
+        active: u64,
+        /// The configured `--max-conns` limit.
+        limit: u64,
+    },
     /// The request could not be served.
     Error {
         /// Human-readable reason.
@@ -481,6 +592,7 @@ const RESP_MERGED: u8 = 4;
 const RESP_CHECKPOINTED: u8 = 5;
 const RESP_STATS: u8 = 6;
 const RESP_SHUTTING_DOWN: u8 = 7;
+const RESP_BUSY: u8 = 8;
 const RESP_ERROR: u8 = 255;
 
 impl Response {
@@ -558,6 +670,11 @@ impl Response {
                 stats.encode(&mut w);
             }
             Response::ShuttingDown => w.u8(RESP_SHUTTING_DOWN),
+            Response::Busy { active, limit } => {
+                w.u8(RESP_BUSY);
+                w.u64(*active);
+                w.u64(*limit);
+            }
             Response::Error { message } => {
                 w.u8(RESP_ERROR);
                 w.str(message);
@@ -639,8 +756,12 @@ impl Response {
             RESP_CHECKPOINTED => Response::Checkpointed {
                 bytes: r.u64().map_err(malformed)?,
             },
-            RESP_STATS => Response::Stats(ServerStats::decode(&mut r)?),
+            RESP_STATS => Response::Stats(ServerStats::decode(&mut r, payload.len())?),
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_BUSY => Response::Busy {
+                active: r.u64().map_err(malformed)?,
+                limit: r.u64().map_err(malformed)?,
+            },
             RESP_ERROR => Response::Error {
                 message: r.str().map_err(malformed)?.to_string(),
             },
@@ -800,9 +921,31 @@ mod tests {
             Response::Stats(ServerStats {
                 total: 42,
                 cache_hits: 7,
+                cache_expirations: 3,
+                busy_rejections: 2,
+                workers: 2,
+                shards: vec![
+                    ShardStats {
+                        channels: 1,
+                        total: 30,
+                        cache_hits: 7,
+                        cache_expirations: 3,
+                        ..Default::default()
+                    },
+                    ShardStats {
+                        channels: 2,
+                        total: 12,
+                        ..Default::default()
+                    },
+                ],
                 ..Default::default()
             }),
+            Response::Stats(ServerStats::default()),
             Response::ShuttingDown,
+            Response::Busy {
+                active: 64,
+                limit: 64,
+            },
             Response::Error {
                 message: "nope".into(),
             },

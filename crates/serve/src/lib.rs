@@ -1,5 +1,5 @@
-//! `mbpta serve`: an offline-safe framed-TCP analysis service over the
-//! multi-channel session core.
+//! `mbpta serve`: an offline-safe framed-TCP analysis service over a
+//! **sharded** multi-channel session core.
 //!
 //! A measurement campaign often runs where the analysis cannot: on a
 //! target board, across a test-rig farm, in per-tenant shards. This
@@ -13,16 +13,24 @@
 //!   corrupt input maps to typed errors and poisons only its own
 //!   connection.
 //! * [`server`] — the service: a hand-rolled `std::net` accept loop,
-//!   one thread per connection, one mutex-guarded session behind them.
-//!   INGEST streams tagged batches in, SNAPSHOT/VERDICT answer from a
-//!   fingerprint-keyed response cache, MERGE adopts sealed federated
-//!   shard blobs (state travels, data does not), and the session
-//!   auto-checkpoints every `checkpoint_every` measurements so
-//!   [`Server::resume`] restarts a killed service bit-identically.
+//!   one thread per connection, and a channel-partitioned worker pool
+//!   behind them — each of `--workers N` analysis threads owns its own
+//!   session shard and response cache, channels route to workers by
+//!   name hash, and bounded mailboxes turn overload into backpressure
+//!   instead of drops. Past `--max-conns` the accept loop answers a
+//!   typed `Busy` frame. INGEST streams tagged batches in,
+//!   SNAPSHOT/VERDICT answer from per-worker fingerprint-keyed caches
+//!   (the envelope verdict fans out and folds per-worker partials),
+//!   MERGE adopts sealed federated shard blobs (state travels, data
+//!   does not), and the service auto-checkpoints — one sealed blob per
+//!   worker plus a manifest — so [`Server::resume`] restarts a killed
+//!   service bit-identically, even at a different worker count.
+//!   **Every response is bit-identical at any worker count.**
 //! * [`cache`] — the query cache: responses keyed by a fingerprint of
 //!   the analysis configuration, the query, and the ingest progress it
 //!   was computed at, so any ingest invalidates exactly the answers it
-//!   changes and repeat queries are O(1).
+//!   changes and repeat queries are O(1). A deterministic tick-based
+//!   TTL (`--cache-ttl`) opportunistically expires cold entries.
 //! * [`client`] — a small blocking client ([`ServeClient`]) used by
 //!   the `mbpta call` CLI, the test batteries, and embedders.
 //!
@@ -34,7 +42,11 @@
 //! ```
 //! use proxima_serve::{ServeClient, ServeConfig, Server};
 //!
-//! let server = Server::bind("127.0.0.1:0", ServeConfig::default())?;
+//! let config = ServeConfig {
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! };
+//! let server = Server::bind("127.0.0.1:0", config)?;
 //! let addr = server.local_addr();
 //! let handle = server.spawn();
 //!
@@ -59,8 +71,11 @@ pub mod cache;
 pub mod client;
 pub mod frame;
 pub mod server;
+mod shard;
 
 pub use cache::VerdictCache;
 pub use client::{ClientError, ServeClient};
-pub use frame::{FrameError, Request, Response, ServerStats, WireSnapshot, MAGIC_FRAME, MAX_FRAME};
-pub use server::{ServeConfig, ServeError, Server, MAGIC_SERVE};
+pub use frame::{
+    FrameError, Request, Response, ServerStats, ShardStats, WireSnapshot, MAGIC_FRAME, MAX_FRAME,
+};
+pub use server::{ResumeOptions, ServeConfig, ServeError, Server, MAGIC_SERVE};

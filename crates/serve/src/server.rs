@@ -1,48 +1,62 @@
-//! The analysis service: a framed-TCP front end over one live
-//! [`AnalysisSession`].
+//! The analysis service: a framed-TCP front end over a **sharded**
+//! session core.
 //!
-//! The server owns a multi-channel streaming session
-//! (`AnalysisSession<StreamFactory>`) and multiplexes any number of
-//! concurrent client connections into it — one OS thread per
-//! connection, one mutex-guarded session behind them. Ingest frames
-//! append to per-channel engines through the same `push_batch` hot
-//! path the CLI feeder uses; query frames answer from the scheduler's
-//! latest emitted estimates (SNAPSHOT) or by finalizing a **clone** of
-//! the session (VERDICT) so the live campaign keeps streaming; MERGE
-//! adopts sealed federated shard blobs, so remote shards ship folded
-//! analyzer state — never raw measurements — into the coordinator.
+//! The server partitions channels across `workers` analysis threads
+//! (the private `shard` module): each worker owns its own
+//! `AnalysisSession<StreamFactory>`, verdict cache and latest-snapshot
+//! map, and a channel's owner is FNV-1a of its tag mod the worker
+//! count. Connection threads talk to workers through bounded mailboxes
+//! — a slow worker blocks its senders (backpressure) instead of
+//! dropping or reordering requests. Ingest frames append through the
+//! same `push_batch` hot path the CLI feeder uses; SNAPSHOT answers
+//! from the owner's latest emitted estimate; VERDICT finalizes a
+//! **clone** of the owner's session (or fans out and folds per-worker
+//! partials for the envelope) so the live campaign keeps streaming;
+//! MERGE adopts sealed federated shard blobs into the owner, so remote
+//! shards ship folded analyzer state — never raw measurements — into
+//! the coordinator.
 //!
-//! Durability reuses the library checkpoint machinery: with a
-//! checkpoint path configured the server persists the session every
-//! `checkpoint_every` accepted measurements (the cadence the session
-//! itself tracks — [`AnalysisSession::checkpoint_due`]), atomically
-//! (write + fsync + rename), and [`Server::resume`] restarts from the
-//! last such file with verdicts bit-identical to an uninterrupted run
-//! over the same feed order.
+//! Every response is **bit-identical at any worker count**: estimates
+//! are pure functions of a channel's own feed, session-wide totals
+//! come from one dispatcher counter, and the envelope fold replicates
+//! the single-session scan exactly.
+//!
+//! Admission control is explicit: past `max_conns` concurrent
+//! connections the accept loop answers a typed `Busy` frame and closes
+//! — clients distinguish "come back later" from failure.
+//!
+//! Durability shards with the session: a checkpoint writes one sealed
+//! session blob per worker plus a manifest (stream config, cadences,
+//! channel order, shard digests), each file atomically (write, fsync,
+//! rename), manifest last as the commit point. [`Server::resume`]
+//! restores the shard set — at the same worker count by restoring each
+//! blob in place, at a different one by re-partitioning channels
+//! through the session core's export/adopt records — with verdicts
+//! bit-identical to an uninterrupted run over the same feed order.
 //!
 //! Everything is hand-rolled on `std::net` — no async runtime, no
 //! external dependencies, fully offline-safe.
 
-use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 
-use proxima_mbpta::engine::Engine;
 use proxima_mbpta::persist::{self, Decode, Encode, Reader, Writer};
-use proxima_mbpta::session::SessionSnapshot;
 use proxima_mbpta::{AnalysisSession, BlockSpec, MbptaConfig};
-use proxima_stream::{SessionStreamExt, StreamConfig, StreamEngine, StreamFactory};
+use proxima_stream::{SessionStreamExt, StreamConfig, StreamFactory};
 
-use crate::cache::{config_fingerprint, query_key, VerdictCache};
-use crate::frame::{read_frame, write_frame, Request, Response, ServerStats, WireSnapshot};
+use crate::cache::{config_fingerprint, VerdictCache};
+use crate::frame::{read_frame, write_frame, Request, Response, ServerStats};
+use crate::shard::{repartition, ShardedSession, WorkerContext, WorkerSeed};
 
-/// Magic for the server's own checkpoint files: `PXSV`
-/// ("proxima server"). The payload wraps the serve parameters plus the
-/// sealed session blob, so `--resume` needs nothing but the file.
+/// Magic for the server's checkpoint **manifest**: `PXSV`
+/// ("proxima server"). The manifest carries the serve parameters, the
+/// global channel order and one digest per shard blob; the blobs
+/// themselves live in sibling `.g<generation>.shard<i>` files, and the
+/// manifest rename is the commit point.
 pub const MAGIC_SERVE: [u8; 4] = *b"PXSV";
 
 /// Everything the service needs to run.
@@ -51,18 +65,30 @@ pub struct ServeConfig {
     /// Streaming-engine knobs shared by every channel (block size,
     /// target cutoff, refit cadence, …).
     pub stream: StreamConfig,
-    /// Emit a scheduler snapshot every this many session measurements
-    /// (`0` disables live estimates).
+    /// Emit a snapshot every this many accepted measurements **of a
+    /// channel** (`0` disables scheduled estimates; convergence
+    /// announcements still flow).
     pub snapshot_every: usize,
-    /// Where checkpoints go; `None` disables durability.
+    /// Where the checkpoint manifest goes; `None` disables durability.
     pub checkpoint_path: Option<PathBuf>,
-    /// Auto-checkpoint every this many accepted measurements (`0`
+    /// Auto-checkpoint every this many session measurements (`0`
     /// disables; must be paired with `checkpoint_path`).
     pub checkpoint_every: usize,
-    /// Bound on cached query responses.
+    /// Bound on each worker's cached query responses.
     pub cache_capacity: usize,
-    /// Worker threads for snapshot/finalize fan-out inside the session
-    /// (`0` = sequential; results are identical either way).
+    /// Cached responses expire after this many cache operations on
+    /// their worker (`0` disables expiry). Logical ticks, never wall
+    /// clock — see [`crate::cache`].
+    pub cache_ttl: u64,
+    /// Analysis worker threads; channels are partitioned across them
+    /// by name hash. Must be at least 1. Responses are bit-identical
+    /// at any value.
+    pub workers: usize,
+    /// Concurrent connection bound; past it new connections get a
+    /// typed `Busy` frame (`0` = unlimited).
+    pub max_conns: usize,
+    /// Threads for finalize fan-out inside each worker's session (`0`
+    /// = sequential; results are identical either way).
     pub jobs: usize,
     /// Abort the process once the session holds at least this many
     /// measurements — crash-injection for restart drills; never set it
@@ -78,10 +104,29 @@ impl Default for ServeConfig {
             checkpoint_path: None,
             checkpoint_every: 0,
             cache_capacity: 256,
+            cache_ttl: 0,
+            workers: 1,
+            max_conns: 0,
             jobs: 0,
             crash_after: None,
         }
     }
+}
+
+/// The caller-side knobs of [`Server::resume`]; everything else comes
+/// from the checkpoint manifest.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeOptions {
+    /// Threads for finalize fan-out inside each worker's session.
+    pub jobs: usize,
+    /// Crash injection (see [`ServeConfig::crash_after`]).
+    pub crash_after: Option<usize>,
+    /// Worker count to resume at; `0` keeps the manifest's count. A
+    /// different count re-partitions channels through the session
+    /// core's export/adopt records — responses stay bit-identical.
+    pub workers: usize,
+    /// Concurrent connection bound (`0` = unlimited).
+    pub max_conns: usize,
 }
 
 /// Why the server could not start, serve a request, or persist.
@@ -91,7 +136,8 @@ pub enum ServeError {
     Config(String),
     /// Socket or checkpoint-file I/O failed.
     Io(String),
-    /// The analysis core rejected a request, blob, or checkpoint.
+    /// The analysis core rejected a request, blob, or checkpoint — or
+    /// an analysis worker is gone.
     Analysis(String),
     /// A shared-state mutex was poisoned: a connection thread panicked
     /// while holding it, so the protected state cannot be trusted. The
@@ -126,28 +172,33 @@ impl From<proxima_mbpta::MbptaError> for ServeError {
     }
 }
 
-/// The mutable heart of the service, behind one mutex.
-struct Core {
-    session: AnalysisSession<StreamFactory>,
-    /// Latest scheduler-emitted estimate per channel.
-    latest: HashMap<String, WireSnapshot>,
-    config: ServeConfig,
+/// Checkpoint generation bookkeeping, serialized by one mutex so
+/// concurrent checkpoint triggers write distinct generations and
+/// retire the right predecessors.
+struct CheckpointCursor {
+    /// Generation the next checkpoint writes.
+    next_gen: u64,
+    /// Last committed generation and its shard count (the files to
+    /// retire after the next commit).
+    prev: Option<(u64, usize)>,
 }
 
 /// State shared by the accept loop and every connection thread.
 struct Shared {
-    core: Mutex<Core>,
-    cache: Mutex<VerdictCache>,
+    sharded: ShardedSession,
+    config: ServeConfig,
     counters: Counters,
     shutdown: AtomicBool,
-    /// Analysis-configuration fingerprint folded into every cache key.
-    fingerprint: u64,
+    /// Connections currently being served (admission control).
+    active_conns: AtomicU64,
+    checkpoint: Mutex<CheckpointCursor>,
     addr: SocketAddr,
 }
 
 #[derive(Default)]
 struct Counters {
     connections: AtomicU64,
+    busy_rejections: AtomicU64,
     frames_ingest: AtomicU64,
     frames_snapshot: AtomicU64,
     frames_verdict: AtomicU64,
@@ -167,6 +218,7 @@ struct Counters {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
 /// Acquire a shared-state mutex, surfacing poison as a typed
@@ -175,105 +227,208 @@ pub struct Server {
 /// half-applied, so later requests get an honest error frame rather
 /// than answers computed from state nobody can vouch for — and the
 /// panic stays confined to the one connection that caused it.
-fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> Result<MutexGuard<'a, T>, ServeError> {
+pub(crate) fn lock<'a, T>(
+    m: &'a Mutex<T>,
+    what: &'static str,
+) -> Result<MutexGuard<'a, T>, ServeError> {
     m.lock().map_err(|_| ServeError::Poisoned(what))
 }
 
+/// A fresh worker session: the session scheduler stays off
+/// (`snapshot_every(0)`, `checkpoint_every(0)`) because snapshot
+/// cadence and checkpoint cadence are serve-layer policy — per channel
+/// and per dispatcher respectively — so they cannot depend on how
+/// channels interleave across workers.
+fn new_worker_session(config: &ServeConfig) -> Result<AnalysisSession<StreamFactory>, ServeError> {
+    Ok(MbptaConfig {
+        block: BlockSpec::Fixed(config.stream.block_size),
+        ..MbptaConfig::default()
+    }
+    .session()
+    .snapshot_every(0)
+    .checkpoint_every(0)
+    .target_p(config.stream.target_p)
+    .jobs(config.jobs)
+    .build_stream_with(config.stream.clone())?)
+}
+
+fn fresh_cache(config: &ServeConfig) -> VerdictCache {
+    VerdictCache::with_ttl(config.cache_capacity, config.cache_ttl)
+}
+
 impl Server {
-    /// Bind a fresh session on `addr` (use port 0 to let the OS pick;
-    /// read the port back from [`local_addr`](Self::local_addr)).
+    /// Bind a fresh sharded session on `addr` (use port 0 to let the
+    /// OS pick; read the port back from [`local_addr`](Self::local_addr)).
     ///
     /// # Errors
     ///
-    /// Invalid configuration (bad streaming knobs, a checkpoint path
-    /// without a cadence or vice versa) or a bind failure.
+    /// Invalid configuration (bad streaming knobs, zero workers, a
+    /// checkpoint path without a cadence or vice versa) or a bind
+    /// failure.
     pub fn bind(addr: &str, config: ServeConfig) -> Result<Server, ServeError> {
-        let session = MbptaConfig {
-            block: BlockSpec::Fixed(config.stream.block_size),
-            ..MbptaConfig::default()
+        validate(&config)?;
+        let mut seeds = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            seeds.push(WorkerSeed {
+                session: new_worker_session(&config)?,
+                cache: fresh_cache(&config),
+            });
         }
-        .session()
-        .snapshot_every(config.snapshot_every)
-        .checkpoint_every(config.checkpoint_every)
-        .target_p(config.stream.target_p)
-        .jobs(config.jobs)
-        .build_stream_with(config.stream.clone())?;
-        Server::with_session(addr, config, session)
+        Server::start(
+            addr,
+            config,
+            seeds,
+            Vec::new(),
+            0,
+            CheckpointCursor {
+                next_gen: 1,
+                prev: None,
+            },
+        )
     }
 
-    /// Restart from a checkpoint file previously written by a server
-    /// with a checkpoint path configured. The serve parameters (stream
-    /// config, cadences, cache bound) come from the file; only the
-    /// bind address, thread bound and crash injection are the caller's.
-    /// Checkpointing continues to the same file.
+    /// Restart from a checkpoint manifest previously written by a
+    /// server with a checkpoint path configured. The serve parameters
+    /// (stream config, cadences, cache bound, worker count) come from
+    /// the manifest; [`ResumeOptions`] carries only the caller-side
+    /// knobs, including an optional different worker count — the shard
+    /// set is then re-partitioned channel by channel, and responses
+    /// stay bit-identical. Checkpointing continues to the same path.
     ///
     /// # Errors
     ///
-    /// An unreadable/corrupt/mismatched checkpoint file, or any
+    /// An unreadable/corrupt/mismatched manifest or shard file, or any
     /// [`Server::bind`] failure.
     pub fn resume(
         addr: &str,
         path: impl Into<PathBuf>,
-        jobs: usize,
-        crash_after: Option<usize>,
+        opts: ResumeOptions,
     ) -> Result<Server, ServeError> {
         let path = path.into();
-        let bytes = std::fs::read(&path)
-            .map_err(|e| ServeError::Io(format!("cannot open {}: {e}", path.display())))?;
-        let payload = persist::unseal(&bytes, MAGIC_SERVE)?;
-        let mut r = Reader::new(payload);
-        let stream = StreamConfig::decode(&mut r)?;
-        let snapshot_every = r.usize()?;
-        let checkpoint_every = r.usize()?;
-        let cache_capacity = r.usize()?;
-        let blob = r.bytes()?.to_vec();
-        r.finish()?;
-        let factory = StreamFactory::new(stream.clone())?;
-        let mut session = AnalysisSession::restore(factory, &blob, jobs)?;
-        // Cadence is runtime policy (not part of the session blob);
-        // re-arm it so checkpointing continues across the restart.
-        session.set_checkpoint_every(checkpoint_every);
-        let config = ServeConfig {
-            stream,
-            snapshot_every,
-            checkpoint_path: Some(path),
-            checkpoint_every,
-            cache_capacity,
-            jobs,
-            crash_after,
+        let manifest = Manifest::read(&path)?;
+        let target = if opts.workers == 0 {
+            manifest.workers
+        } else {
+            opts.workers
         };
-        Server::with_session(addr, config, session)
+        let config = ServeConfig {
+            stream: manifest.stream.clone(),
+            snapshot_every: manifest.snapshot_every,
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: manifest.checkpoint_every,
+            cache_capacity: manifest.cache_capacity,
+            cache_ttl: manifest.cache_ttl,
+            workers: target,
+            max_conns: opts.max_conns,
+            jobs: opts.jobs,
+            crash_after: opts.crash_after,
+        };
+        validate(&config)?;
+
+        let mut sessions = Vec::with_capacity(manifest.workers);
+        for (index, &(len, checksum)) in manifest.shards.iter().enumerate() {
+            let file = shard_file(&path, manifest.generation, index);
+            let blob = std::fs::read(&file)
+                .map_err(|e| ServeError::Io(format!("cannot open {}: {e}", file.display())))?;
+            if blob.len() as u64 != len || persist::fnv1a(&blob) != checksum {
+                return Err(ServeError::Io(format!(
+                    "checkpoint shard {index} ({}) does not match its manifest digest",
+                    file.display()
+                )));
+            }
+            let factory = StreamFactory::new(manifest.stream.clone())?;
+            sessions.push(AnalysisSession::restore(factory, &blob, opts.jobs)?);
+        }
+
+        // The dispatcher total comes from the restored sessions (each
+        // preserves its own total, dropped pushes included), captured
+        // before any migration — adopting a record recounts only
+        // accepted measurements.
+        let total: u64 = sessions.iter().map(|s| s.len() as u64).sum();
+
+        // Reconcile the channel order against what the blobs actually
+        // hold: the manifest order first (filtered to channels
+        // present), then any channel the order missed, in worker
+        // order. A live checkpoint can lose that race without losing
+        // data.
+        let mut order = Vec::new();
+        let mut known = std::collections::BTreeSet::new();
+        let present: std::collections::BTreeSet<String> = sessions
+            .iter()
+            .flat_map(|s| s.channel_ids().map(|id| id.as_str().to_string()))
+            .collect();
+        for name in &manifest.channel_order {
+            if present.contains(name) && known.insert(name.clone()) {
+                order.push(name.clone());
+            }
+        }
+        for session in &sessions {
+            for id in session.channel_ids() {
+                let name = id.as_str().to_string();
+                if known.insert(name.clone()) {
+                    order.push(name);
+                }
+            }
+        }
+
+        let sessions = if target == manifest.workers {
+            sessions
+        } else {
+            repartition(&sessions, target, || new_worker_session(&config))?
+        };
+        let seeds = sessions
+            .into_iter()
+            .map(|session| WorkerSeed {
+                session,
+                cache: fresh_cache(&config),
+            })
+            .collect();
+        Server::start(
+            addr,
+            config,
+            seeds,
+            order,
+            total,
+            CheckpointCursor {
+                next_gen: manifest.generation + 1,
+                prev: Some((manifest.generation, manifest.workers)),
+            },
+        )
     }
 
-    fn with_session(
+    fn start(
         addr: &str,
         config: ServeConfig,
-        session: AnalysisSession<StreamFactory>,
+        seeds: Vec<WorkerSeed>,
+        channel_order: Vec<String>,
+        total: u64,
+        cursor: CheckpointCursor,
     ) -> Result<Server, ServeError> {
-        if config.checkpoint_path.is_some() != (config.checkpoint_every > 0) {
-            return Err(ServeError::Config(
-                "checkpoint_path and checkpoint_every must be set together".to_string(),
-            ));
-        }
         let listener = TcpListener::bind(addr)
             .map_err(|e| ServeError::Io(format!("cannot bind {addr}: {e}")))?;
         let addr = listener.local_addr()?;
         // Anything that changes what a query would answer goes into the
         // fingerprint; progress counters go into each key instead.
-        let fingerprint = config_fingerprint(&[&config.stream, &config.snapshot_every]);
+        let ctx = WorkerContext {
+            stream: config.stream.clone(),
+            snapshot_every: config.snapshot_every,
+            fingerprint: config_fingerprint(&[&config.stream, &config.snapshot_every]),
+        };
+        let (sharded, workers) = ShardedSession::spawn(seeds, channel_order, total, &ctx);
         let shared = Arc::new(Shared {
-            core: Mutex::new(Core {
-                session,
-                latest: HashMap::new(),
-                config: config.clone(),
-            }),
-            cache: Mutex::new(VerdictCache::new(config.cache_capacity)),
+            sharded,
+            config,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
-            fingerprint,
+            active_conns: AtomicU64::new(0),
+            checkpoint: Mutex::new(cursor),
             addr,
         });
-        Ok(Server { listener, shared })
+        Ok(Server {
+            listener,
+            shared,
+            workers,
+        })
     }
 
     /// The bound address (resolves port 0).
@@ -282,14 +437,19 @@ impl Server {
     }
 
     /// Run the accept loop until a client sends `Shutdown`. In-flight
-    /// connections drain before this returns.
+    /// connections drain and the analysis workers join before this
+    /// returns.
     ///
     /// # Errors
     ///
     /// Currently infallible; the `Result` reserves room for fatal
     /// accept-loop failures.
     pub fn run(self) -> Result<(), ServeError> {
-        let Server { listener, shared } = self;
+        let Server {
+            listener,
+            shared,
+            workers,
+        } = self;
         let mut handles: Vec<thread::JoinHandle<()>> = Vec::new();
         for conn in listener.incoming() {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -299,13 +459,42 @@ impl Server {
                 Ok(stream) => stream,
                 Err(_) => continue,
             };
+            // Admission control: past the bound, answer a typed Busy
+            // farewell instead of queueing work we cannot serve soon.
+            // Only the accept loop admits, so load-then-admit is
+            // race-free; connection threads only ever decrement.
+            let limit = shared.config.max_conns as u64;
+            if limit > 0 {
+                let active = shared.active_conns.load(Ordering::SeqCst);
+                if active >= limit {
+                    shared
+                        .counters
+                        .busy_rejections
+                        .fetch_add(1, Ordering::SeqCst);
+                    reject_busy(stream, active, limit);
+                    continue;
+                }
+            }
             shared.counters.connections.fetch_add(1, Ordering::SeqCst);
+            shared.active_conns.fetch_add(1, Ordering::SeqCst);
             let shared = Arc::clone(&shared);
             handles.retain(|h| !h.is_finished());
-            handles.push(thread::spawn(move || serve_connection(stream, &shared)));
+            // proxima-lint: allow(no-thread-spawn-outside-sharding) -- connection
+            // fan-out of the serve front end; analysis work still runs
+            // only on the sharded worker pool.
+            handles.push(thread::spawn(move || {
+                serve_connection(stream, &shared);
+                shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            }));
         }
         for handle in handles {
             let _ = handle.join();
+        }
+        // Dropping the dispatcher closes every mailbox; workers drain
+        // and exit.
+        drop(shared);
+        for worker in workers {
+            let _ = worker.join();
         }
         Ok(())
     }
@@ -313,8 +502,30 @@ impl Server {
     /// Run the accept loop on a fresh thread (for in-process tests and
     /// embedding).
     pub fn spawn(self) -> thread::JoinHandle<Result<(), ServeError>> {
+        // proxima-lint: allow(no-thread-spawn-outside-sharding) -- the embedding
+        // entry point that runs the accept loop off-thread.
         thread::spawn(move || self.run())
     }
+}
+
+fn validate(config: &ServeConfig) -> Result<(), ServeError> {
+    if config.workers == 0 {
+        return Err(ServeError::Config("workers must be at least 1".to_string()));
+    }
+    if config.checkpoint_path.is_some() != (config.checkpoint_every > 0) {
+        return Err(ServeError::Config(
+            "checkpoint_path and checkpoint_every must be set together".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Write the `Busy` farewell to a rejected connection and close it.
+fn reject_busy(stream: TcpStream, active: u64, limit: u64) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = BufWriter::new(stream);
+    let farewell = Response::Busy { active, limit }.encode();
+    let _ = write_frame(&mut writer, &farewell).and_then(|()| writer.flush());
 }
 
 fn serve_connection(stream: TcpStream, shared: &Shared) {
@@ -386,30 +597,34 @@ fn handle(shared: &Shared, request: Request) -> (Vec<u8>, bool) {
     match request {
         Request::Ingest { channel, values } => {
             counters.frames_ingest.fetch_add(1, Ordering::SeqCst);
-            (handle_ingest(shared, &channel, &values), false)
+            (handle_ingest(shared, &channel, values), false)
         }
         Request::Snapshot { channel } => {
             counters.frames_snapshot.fetch_add(1, Ordering::SeqCst);
-            (handle_snapshot(shared, &channel), false)
+            let response = shared
+                .sharded
+                .snapshot(&channel)
+                .unwrap_or_else(|e| error_response(e.to_string()));
+            (response, false)
         }
         Request::Verdict { p, channel } => {
             counters.frames_verdict.fetch_add(1, Ordering::SeqCst);
-            (handle_verdict(shared, p, channel.as_deref()), false)
+            let response = shared
+                .sharded
+                .verdict(p, channel.as_deref())
+                .unwrap_or_else(|e| error_response(e.to_string()));
+            (response, false)
         }
         Request::Merge { channel, blob } => {
             counters.frames_merge.fetch_add(1, Ordering::SeqCst);
-            (handle_merge(shared, &channel, &blob), false)
+            (handle_merge(shared, &channel, blob), false)
         }
         Request::Checkpoint => {
             counters.frames_admin.fetch_add(1, Ordering::SeqCst);
-            let mut core = match lock(&shared.core, "analysis core") {
-                Ok(core) => core,
-                Err(e) => return (error_response(e.to_string()), false),
-            };
-            if core.config.checkpoint_path.is_none() {
+            if shared.config.checkpoint_path.is_none() {
                 return (error_response("no checkpoint path configured"), false);
             }
-            match write_server_checkpoint(shared, &mut core) {
+            match write_server_checkpoint(shared, false) {
                 Ok(bytes) => (Response::Checkpointed { bytes }.encode(), false),
                 Err(e) => (error_response(format!("checkpoint failed: {e}")), false),
             }
@@ -426,14 +641,8 @@ fn handle(shared: &Shared, request: Request) -> (Vec<u8>, bool) {
             shared.shutdown.store(true, Ordering::SeqCst);
             // Persist the final state so a later `resume` continues
             // exactly where the campaign stopped.
-            let mut core = match lock(&shared.core, "analysis core") {
-                Ok(core) => core,
-                // Still shut down; there is no trustworthy state left
-                // to checkpoint anyway.
-                Err(e) => return (error_response(e.to_string()), true),
-            };
-            if core.config.checkpoint_path.is_some() {
-                if let Err(e) = write_server_checkpoint(shared, &mut core) {
+            if shared.config.checkpoint_path.is_some() {
+                if let Err(e) = write_server_checkpoint(shared, false) {
                     return (
                         error_response(format!("shutdown checkpoint failed: {e}")),
                         true,
@@ -452,194 +661,51 @@ fn error_response(message: impl Into<String>) -> Vec<u8> {
     .encode()
 }
 
-fn wire_snapshot(snapshot: &SessionSnapshot) -> WireSnapshot {
-    WireSnapshot {
-        channel: snapshot.channel.as_str().to_string(),
-        total: snapshot.total as u64,
-        estimate: snapshot.estimate.clone(),
-    }
-}
-
-/// The channel's accepted measurement count, `None` for a channel the
-/// session has never seen. Progress counters like this one are what
-/// key (and therefore invalidate) cached query responses.
-fn channel_progress(core: &mut Core, channel: &str) -> Option<u64> {
-    if core.session.channel_ids().any(|id| id.as_str() == channel) {
-        core.session
-            .channel(channel)
-            .ok()
-            .map(|handle| handle.len() as u64)
-    } else {
-        None
-    }
-}
-
-fn handle_ingest(shared: &Shared, channel: &str, values: &[f64]) -> Vec<u8> {
-    let mut core = match lock(&shared.core, "analysis core") {
-        Ok(core) => core,
+fn handle_ingest(shared: &Shared, channel: &str, values: Vec<f64>) -> Vec<u8> {
+    let reply = match shared.sharded.ingest(channel, values) {
+        Ok(reply) => reply,
         Err(e) => return error_response(e.to_string()),
     };
-    let snapshots = match core.session.push_batch(channel, values) {
-        Ok(snapshots) => snapshots,
-        Err(e) => return error_response(e.to_string()),
-    };
-    for snapshot in &snapshots {
-        core.latest.insert(
-            snapshot.channel.as_str().to_string(),
-            wire_snapshot(snapshot),
-        );
-    }
-    let channel_len = channel_progress(&mut core, channel).unwrap_or(0);
-    let total = core.session.len() as u64;
-    let snapshots = snapshots.iter().map(wire_snapshot).collect();
-    if let Err(e) = after_mutation(shared, &mut core) {
+    if let Err(e) = after_mutation(shared) {
         return error_response(format!("ingested, but checkpointing failed: {e}"));
     }
     Response::Ingested {
-        channel_len,
-        total,
-        snapshots,
+        channel_len: reply.channel_len,
+        total: reply.total,
+        snapshots: reply.snapshots,
     }
     .encode()
 }
 
-fn handle_merge(shared: &Shared, channel: &str, blob: &[u8]) -> Vec<u8> {
-    let mut core = match lock(&shared.core, "analysis core") {
-        Ok(core) => core,
+fn handle_merge(shared: &Shared, channel: &str, blob: Vec<u8>) -> Vec<u8> {
+    let reply = match shared.sharded.merge(channel, blob) {
+        Ok(reply) => reply,
         Err(e) => return error_response(e.to_string()),
     };
-    let engine = match StreamEngine::from_federated_blob(blob, &core.config.stream) {
-        Ok(engine) => engine,
-        Err(e) => return error_response(e.to_string()),
-    };
-    let channel_len = engine.len() as u64;
-    let state = match engine.save_state() {
-        Ok(state) => state,
-        Err(e) => return error_response(e.to_string()),
-    };
-    if let Err(e) = core.session.adopt_channel(channel, &state) {
-        return error_response(e.to_string());
-    }
-    let total = core.session.len() as u64;
-    if let Err(e) = after_mutation(shared, &mut core) {
+    if let Err(e) = after_mutation(shared) {
         return error_response(format!("merged, but checkpointing failed: {e}"));
     }
-    Response::Merged { channel_len, total }.encode()
-}
-
-fn handle_snapshot(shared: &Shared, channel: &str) -> Vec<u8> {
-    let mut core = match lock(&shared.core, "analysis core") {
-        Ok(core) => core,
-        Err(e) => return error_response(e.to_string()),
-    };
-    let progress = channel_progress(&mut core, channel).unwrap_or(0);
-    let key = query_key(shared.fingerprint, 2, channel, progress, 0);
-    // A poisoned cache only loses memoization, never correctness:
-    // treat it as a miss and recompute.
-    if let Some(hit) = cache_get(shared, key) {
-        return hit;
+    Response::Merged {
+        channel_len: reply.channel_len,
+        total: reply.total,
     }
-    let response = Response::Snapshot {
-        latest: core.latest.get(channel).cloned(),
-    }
-    .encode();
-    drop(core);
-    cache_put(shared, key, &response);
-    response
-}
-
-fn handle_verdict(shared: &Shared, p: f64, channel: Option<&str>) -> Vec<u8> {
-    let mut core = match lock(&shared.core, "analysis core") {
-        Ok(core) => core,
-        Err(e) => return error_response(e.to_string()),
-    };
-    let progress = match channel {
-        Some(name) => channel_progress(&mut core, name).unwrap_or(0),
-        None => core.session.len() as u64,
-    };
-    let key = query_key(
-        shared.fingerprint,
-        3,
-        channel.unwrap_or("*"),
-        progress,
-        p.to_bits(),
-    );
-    if let Some(hit) = cache_get(shared, key) {
-        return hit;
-    }
-    // Finalize a clone: the live session keeps streaming, and repeat
-    // queries between ingests come straight from the cache.
-    let clone = core.session.clone();
-    drop(core);
-    let merged = clone.merge();
-    let channels: Vec<(String, Result<proxima_mbpta::Verdict, String>)> = match channel {
-        Some(name) => match merged.verdict(name) {
-            Some(outcome) => vec![(name.to_string(), outcome.clone().map_err(|e| e.to_string()))],
-            None => {
-                return error_response(format!("unknown channel `{name}`"));
-            }
-        },
-        None => merged
-            .channels()
-            .iter()
-            .map(|c| {
-                (
-                    c.channel.as_str().to_string(),
-                    c.outcome.clone().map_err(|e| e.to_string()),
-                )
-            })
-            .collect(),
-    };
-    let envelope = match channel {
-        Some(name) => channels[0]
-            .1
-            .as_ref()
-            .map_err(Clone::clone)
-            .and_then(|v| v.budget_for(p).map_err(|e| e.to_string()))
-            .map(|budget| (name.to_string(), budget)),
-        None => merged
-            .envelope_budget(p)
-            .map(|(winner, budget)| (winner.as_str().to_string(), budget))
-            .map_err(|e| e.to_string()),
-    };
-    let response = Response::Verdicts {
-        p,
-        channels,
-        envelope,
-    }
-    .encode();
-    cache_put(shared, key, &response);
-    response
-}
-
-/// Cache lookup that degrades to a miss when the cache mutex is
-/// poisoned — memoization is optional, correctness is not.
-fn cache_get(shared: &Shared, key: u64) -> Option<Vec<u8>> {
-    lock(&shared.cache, "verdict cache")
-        .ok()
-        .and_then(|mut cache| cache.get(key))
-}
-
-/// Cache store with the same degradation: a poisoned cache simply
-/// stops memoizing.
-fn cache_put(shared: &Shared, key: u64, response: &[u8]) {
-    if let Ok(mut cache) = lock(&shared.cache, "verdict cache") {
-        cache.insert(key, response.to_vec());
-    }
+    .encode()
 }
 
 /// Post-mutation bookkeeping shared by ingest and merge: write an
 /// auto-checkpoint when one falls due, then fire crash injection.
-fn after_mutation(shared: &Shared, core: &mut Core) -> Result<(), ServeError> {
-    if core.config.checkpoint_path.is_some() && core.session.checkpoint_due() {
-        write_server_checkpoint(shared, core)?;
+fn after_mutation(shared: &Shared) -> Result<(), ServeError> {
+    if shared.config.checkpoint_path.is_some()
+        && shared
+            .sharded
+            .checkpoint_due(shared.config.checkpoint_every)
+    {
+        write_server_checkpoint(shared, true)?;
     }
-    if let Some(limit) = core.config.crash_after {
-        if core.session.len() >= limit {
-            eprintln!(
-                "mbpta serve: injected crash at {} measurements (crash_after {limit})",
-                core.session.len()
-            );
+    if let Some(limit) = shared.config.crash_after {
+        let total = shared.sharded.total();
+        if total >= limit as u64 {
+            eprintln!("mbpta serve: injected crash at {total} measurements (crash_after {limit})");
             let _ = io::stderr().flush();
             // proxima-lint: allow(no-exit-in-lib) -- deliberate crash
             // injection for the restart-determinism battery, reachable
@@ -650,35 +716,34 @@ fn after_mutation(shared: &Shared, core: &mut Core) -> Result<(), ServeError> {
     Ok(())
 }
 
-/// Checkpoint the session (with the serve parameters alongside, so
-/// resume needs only the file) atomically: write a sibling temp file,
-/// fsync it, rename over the target, then best-effort fsync the
-/// directory — a crash at any point leaves either the old or the new
-/// checkpoint intact, never a torn one.
-fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, ServeError> {
-    let path = core
-        .config
-        .checkpoint_path
-        .clone()
-        .ok_or_else(|| ServeError::Config("no checkpoint path configured".to_string()))?;
-    let blob = core.session.checkpoint()?;
-    let mut w = Writer::new();
-    core.config.stream.encode(&mut w);
-    w.usize(core.config.snapshot_every);
-    w.usize(core.config.checkpoint_every);
-    w.usize(core.config.cache_capacity);
-    w.bytes(&blob);
-    let bytes = persist::seal(MAGIC_SERVE, w.into_bytes());
+/// The sibling file holding worker `index`'s sealed session blob for
+/// checkpoint generation `generation`.
+fn shard_file(path: &Path, generation: u64, index: usize) -> PathBuf {
+    let name = path.file_name().map_or_else(
+        || "checkpoint".to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    path.with_file_name(format!("{name}.g{generation}.shard{index}"))
+}
 
-    let tmp = path.with_extension("tmp");
+/// Write `bytes` to `path` atomically: a sibling temp file, fsync,
+/// rename over the target, then best-effort fsync the directory — a
+/// crash at any point leaves either the old or the new file intact,
+/// never a torn one.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+    let name = path.file_name().map_or_else(
+        || "checkpoint".to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    let tmp = path.with_file_name(format!("{name}.tmp"));
     let mut file = std::fs::File::create(&tmp)
         .map_err(|e| ServeError::Io(format!("cannot create {}: {e}", tmp.display())))?;
-    file.write_all(&bytes)
+    file.write_all(bytes)
         .map_err(|e| ServeError::Io(format!("cannot write {}: {e}", tmp.display())))?;
     file.sync_all()
         .map_err(|e| ServeError::Io(format!("cannot sync {}: {e}", tmp.display())))?;
     drop(file);
-    std::fs::rename(&tmp, &path).map_err(|e| {
+    std::fs::rename(&tmp, path).map_err(|e| {
         ServeError::Io(format!(
             "cannot rename {} over {}: {e}",
             tmp.display(),
@@ -687,7 +752,7 @@ fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, Serv
     })?;
     if let Some(parent) = path.parent() {
         let dir = if parent.as_os_str().is_empty() {
-            std::path::Path::new(".")
+            Path::new(".")
         } else {
             parent
         };
@@ -695,8 +760,155 @@ fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, Serv
             let _ = dir.sync_all();
         }
     }
+    Ok(())
+}
 
-    core.session.mark_checkpointed();
+/// What the checkpoint manifest records.
+struct Manifest {
+    stream: StreamConfig,
+    snapshot_every: usize,
+    checkpoint_every: usize,
+    cache_capacity: usize,
+    cache_ttl: u64,
+    workers: usize,
+    generation: u64,
+    channel_order: Vec<String>,
+    /// Per-shard `(byte length, FNV-1a digest)` of the sealed blobs.
+    shards: Vec<(u64, u64)>,
+}
+
+impl Manifest {
+    fn read(path: &Path) -> Result<Manifest, ServeError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServeError::Io(format!("cannot open {}: {e}", path.display())))?;
+        let payload = persist::unseal(&bytes, MAGIC_SERVE)?;
+        let mut r = Reader::new(payload);
+        let stream = StreamConfig::decode(&mut r)?;
+        let snapshot_every = r.usize()?;
+        let checkpoint_every = r.usize()?;
+        let cache_capacity = r.usize()?;
+        let cache_ttl = r.u64()?;
+        let workers = r.usize()?;
+        let generation = r.u64()?;
+        let n = r.usize()?;
+        if n > payload.len() {
+            return Err(ServeError::Analysis(format!(
+                "manifest channel count {n} exceeds the payload size"
+            )));
+        }
+        let mut channel_order = Vec::with_capacity(n);
+        for _ in 0..n {
+            channel_order.push(r.str()?.to_string());
+        }
+        let m = r.usize()?;
+        if m != workers {
+            return Err(ServeError::Analysis(format!(
+                "manifest lists {m} shard digests for {workers} workers"
+            )));
+        }
+        let mut shards = Vec::with_capacity(m);
+        for _ in 0..m {
+            shards.push((r.u64()?, r.u64()?));
+        }
+        r.finish()?;
+        Ok(Manifest {
+            stream,
+            snapshot_every,
+            checkpoint_every,
+            cache_capacity,
+            cache_ttl,
+            workers,
+            generation,
+            channel_order,
+            shards,
+        })
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.stream.encode(&mut w);
+        w.usize(self.snapshot_every);
+        w.usize(self.checkpoint_every);
+        w.usize(self.cache_capacity);
+        w.u64(self.cache_ttl);
+        w.usize(self.workers);
+        w.u64(self.generation);
+        w.usize(self.channel_order.len());
+        for name in &self.channel_order {
+            w.str(name);
+        }
+        w.usize(self.shards.len());
+        for &(len, checksum) in &self.shards {
+            w.u64(len);
+            w.u64(checksum);
+        }
+        persist::seal(MAGIC_SERVE, w.into_bytes())
+    }
+}
+
+/// Checkpoint the sharded session: one sealed session blob per worker
+/// in generation-tagged sibling files, then the manifest (serve
+/// parameters, channel order, shard digests) renamed over
+/// `checkpoint_path` as the commit point. After the commit the
+/// previous generation's shard files are retired best-effort — a crash
+/// anywhere leaves a complete generation on disk.
+///
+/// With `only_if_due` set the write is skipped when another trigger
+/// already checkpointed while this one waited on the cursor.
+fn write_server_checkpoint(shared: &Shared, only_if_due: bool) -> Result<u64, ServeError> {
+    let path = shared
+        .config
+        .checkpoint_path
+        .clone()
+        .ok_or_else(|| ServeError::Config("no checkpoint path configured".to_string()))?;
+    let mut cursor = lock(&shared.checkpoint, "checkpoint cursor")?;
+    if only_if_due
+        && !shared
+            .sharded
+            .checkpoint_due(shared.config.checkpoint_every)
+    {
+        return Ok(0);
+    }
+    // Order before blobs: a channel racing into existence mid-capture
+    // then appears in the blobs and is reconciled at resume; the other
+    // way around the manifest would name a channel no blob holds.
+    let channel_order = shared.sharded.channel_order()?;
+    let total = shared.sharded.total();
+    let blobs = shared.sharded.checkpoint_blobs()?;
+    let generation = cursor.next_gen;
+
+    let mut shards = Vec::with_capacity(blobs.len());
+    let mut written = 0u64;
+    for (index, blob) in blobs.iter().enumerate() {
+        write_atomic(&shard_file(&path, generation, index), blob)?;
+        shards.push((blob.len() as u64, persist::fnv1a(blob)));
+        written += blob.len() as u64;
+    }
+    let manifest = Manifest {
+        stream: shared.config.stream.clone(),
+        snapshot_every: shared.config.snapshot_every,
+        checkpoint_every: shared.config.checkpoint_every,
+        cache_capacity: shared.config.cache_capacity,
+        cache_ttl: shared.config.cache_ttl,
+        workers: blobs.len(),
+        generation,
+        channel_order,
+        shards,
+    }
+    .encode();
+    write_atomic(&path, &manifest)?;
+    written += manifest.len() as u64;
+
+    if let Some((prev_gen, prev_count)) = cursor.prev {
+        for index in 0..prev_count {
+            let _ = std::fs::remove_file(shard_file(&path, prev_gen, index));
+        }
+    }
+    cursor.prev = Some((generation, blobs.len()));
+    cursor.next_gen = generation + 1;
+    drop(cursor);
+
+    shared.sharded.mark_checkpointed(total);
     shared
         .counters
         .checkpoints_written
@@ -704,34 +916,17 @@ fn write_server_checkpoint(shared: &Shared, core: &mut Core) -> Result<u64, Serv
     shared
         .counters
         .last_checkpoint_bytes
-        .store(bytes.len() as u64, Ordering::SeqCst);
-    Ok(bytes.len() as u64)
+        .store(written, Ordering::SeqCst);
+    Ok(written)
 }
 
 fn build_stats(shared: &Shared) -> Result<ServerStats, ServeError> {
-    let (total, channels, since_checkpoint) = {
-        let core = lock(&shared.core, "analysis core")?;
-        (
-            core.session.len() as u64,
-            core.session.channel_count() as u64,
-            core.session.since_checkpoint() as u64,
-        )
-    };
-    let (cache_hits, cache_misses, cache_insertions, cache_evictions, cache_len, cache_capacity) = {
-        let cache = lock(&shared.cache, "verdict cache")?;
-        (
-            cache.hits(),
-            cache.misses(),
-            cache.insertions(),
-            cache.evictions(),
-            cache.len() as u64,
-            cache.capacity() as u64,
-        )
-    };
+    let shards = shared.sharded.shard_stats()?;
+    let sum = |f: fn(&crate::frame::ShardStats) -> u64| shards.iter().map(f).sum::<u64>();
     let c = &shared.counters;
     Ok(ServerStats {
-        total,
-        channels,
+        total: shared.sharded.total(),
+        channels: shared.sharded.channel_count()?,
         connections: c.connections.load(Ordering::SeqCst),
         frames_ingest: c.frames_ingest.load(Ordering::SeqCst),
         frames_snapshot: c.frames_snapshot.load(Ordering::SeqCst),
@@ -739,22 +934,26 @@ fn build_stats(shared: &Shared) -> Result<ServerStats, ServeError> {
         frames_merge: c.frames_merge.load(Ordering::SeqCst),
         frames_admin: c.frames_admin.load(Ordering::SeqCst),
         protocol_errors: c.protocol_errors.load(Ordering::SeqCst),
-        cache_hits,
-        cache_misses,
-        cache_insertions,
-        cache_evictions,
-        cache_len,
-        cache_capacity,
+        cache_hits: sum(|s| s.cache_hits),
+        cache_misses: sum(|s| s.cache_misses),
+        cache_insertions: sum(|s| s.cache_insertions),
+        cache_evictions: sum(|s| s.cache_evictions),
+        cache_len: sum(|s| s.cache_len),
+        cache_capacity: (shared.config.cache_capacity * shared.config.workers) as u64,
         checkpoints_written: c.checkpoints_written.load(Ordering::SeqCst),
         last_checkpoint_bytes: c.last_checkpoint_bytes.load(Ordering::SeqCst),
-        since_checkpoint,
+        since_checkpoint: shared.sharded.since_checkpoint(),
+        cache_expirations: sum(|s| s.cache_expirations),
+        busy_rejections: c.busy_rejections.load(Ordering::SeqCst),
+        workers: shared.config.workers as u64,
+        shards,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::ServeClient;
+    use crate::client::{ClientError, ServeClient};
 
     fn start(config: ServeConfig) -> (SocketAddr, thread::JoinHandle<Result<(), ServeError>>) {
         let server = Server::bind("127.0.0.1:0", config).unwrap();
@@ -778,6 +977,17 @@ mod tests {
             .collect()
     }
 
+    /// A scratch path under the target-relative temp dir, unique per
+    /// test via a process-wide counter (no clock, no randomness).
+    fn scratch(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "proxima-serve-{}-{tag}-{id}.bin",
+            std::process::id()
+        ))
+    }
+
     #[test]
     fn ingest_query_shutdown_round_trip() {
         let (addr, handle) = start(ServeConfig {
@@ -791,7 +1001,7 @@ mod tests {
         assert_eq!(total, 1500);
 
         let latest = client.snapshot("nominal").unwrap();
-        let latest = latest.expect("scheduler emitted at least one snapshot");
+        let latest = latest.expect("a snapshot was emitted for the channel");
         assert_eq!(latest.channel, "nominal");
         assert!(latest.estimate.pwcet > latest.estimate.high_watermark);
 
@@ -816,6 +1026,9 @@ mod tests {
         assert_eq!(stats.total, 1500);
         assert_eq!(stats.channels, 1);
         assert_eq!(stats.protocol_errors, 0);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.shards.len(), 1);
+        assert_eq!(stats.shards[0].total, 1500);
 
         client.shutdown().unwrap();
         handle.join().unwrap().unwrap();
@@ -836,6 +1049,150 @@ mod tests {
         assert_eq!(stats.cache_misses, 2);
         client.shutdown().unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn responses_are_bit_identical_across_worker_counts() {
+        let channels = ["alpha", "bravo", "charlie", "delta", "echo"];
+        let mut captured: Vec<Vec<(Option<u64>, Response, Response)>> = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let (addr, handle) = start(ServeConfig {
+                workers,
+                snapshot_every: 100,
+                ..ServeConfig::default()
+            });
+            let mut client = ServeClient::connect(addr).unwrap();
+            let mut per_channel = Vec::new();
+            for (i, name) in channels.iter().enumerate() {
+                let values = feed(100 + i as u64, 700);
+                client.ingest(name, &values[..350]).unwrap();
+                client.ingest(name, &values[350..]).unwrap();
+            }
+            for name in &channels {
+                let latest = client.snapshot(name).unwrap();
+                per_channel.push((
+                    latest.map(|s| s.estimate.pwcet.to_bits()),
+                    client.verdict(1e-12, Some(name)).unwrap(),
+                    client.verdict(1e-9, None).unwrap(),
+                ));
+            }
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.total, 5 * 700);
+            assert_eq!(stats.channels, 5);
+            assert_eq!(stats.workers, workers as u64);
+            assert_eq!(stats.shards.len(), workers);
+            assert_eq!(
+                stats.shards.iter().map(|s| s.total).sum::<u64>(),
+                5 * 700,
+                "every measurement lands on exactly one worker"
+            );
+            captured.push(per_channel);
+            client.shutdown().unwrap();
+            handle.join().unwrap().unwrap();
+        }
+        for other in &captured[1..] {
+            assert_eq!(
+                &captured[0], other,
+                "snapshots and verdicts must not depend on the worker count"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_admission_answers_a_typed_frame() {
+        let (addr, handle) = start(ServeConfig {
+            max_conns: 1,
+            ..ServeConfig::default()
+        });
+        let mut first = ServeClient::connect(addr).unwrap();
+        // Served once, so the accept loop has definitely admitted it.
+        first.ingest("ch", &feed(3, 100)).unwrap();
+        let mut second = ServeClient::connect(addr).unwrap();
+        match second.stats() {
+            Err(ClientError::Busy { active, limit }) => {
+                assert_eq!(limit, 1);
+                assert!(active >= 1);
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        drop(second);
+        let stats = first.stats().unwrap();
+        assert_eq!(stats.busy_rejections, 1);
+        assert_eq!(stats.connections, 1, "rejected connections are not served");
+        first.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn sharded_checkpoint_resumes_bit_identical_at_any_worker_count() {
+        let path = scratch("resume");
+        let (addr, handle) = start(ServeConfig {
+            workers: 4,
+            checkpoint_path: Some(path.clone()),
+            checkpoint_every: 400,
+            ..ServeConfig::default()
+        });
+        let mut client = ServeClient::connect(addr).unwrap();
+        for (i, name) in ["alpha", "bravo", "charlie"].iter().enumerate() {
+            client.ingest(name, &feed(200 + i as u64, 600)).unwrap();
+        }
+        let reference = client.verdict(1e-12, None).unwrap();
+        let total_before = client.stats().unwrap().total;
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+
+        // Resume at the manifest's count, at fewer, and at more
+        // workers: bit-identical verdicts every time.
+        for workers in [0usize, 2, 5] {
+            let server = Server::resume(
+                "127.0.0.1:0",
+                &path,
+                ResumeOptions {
+                    workers,
+                    ..ResumeOptions::default()
+                },
+            )
+            .unwrap();
+            let addr = server.local_addr();
+            let handle = server.spawn();
+            let mut client = ServeClient::connect(addr).unwrap();
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.total, total_before);
+            assert_eq!(stats.channels, 3);
+            assert_eq!(stats.workers, if workers == 0 { 4 } else { workers as u64 });
+            let resumed = client.verdict(1e-12, None).unwrap();
+            assert_eq!(
+                resumed, reference,
+                "resume at {workers} workers changed the verdict"
+            );
+            client.shutdown().unwrap();
+            handle.join().unwrap().unwrap();
+        }
+
+        // Only the last generation's files remain.
+        let dir = path.parent().unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let mut generations: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|f| f.starts_with(&format!("{name}.g")))
+            .collect();
+        generations.sort();
+        let distinct: std::collections::BTreeSet<&str> = generations
+            .iter()
+            .filter_map(|f| f.split(".shard").next())
+            .collect();
+        assert_eq!(
+            distinct.len(),
+            1,
+            "only the last generation's shard files may remain: {generations:?}"
+        );
+
+        let _ = std::fs::remove_file(&path);
+        for file in generations {
+            let _ = std::fs::remove_file(dir.join(file));
+        }
     }
 
     #[test]
@@ -873,5 +1230,18 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(Server::bind("127.0.0.1:0", config).is_err());
+    }
+
+    #[test]
+    fn bind_rejects_zero_workers() {
+        let config = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        match Server::bind("127.0.0.1:0", config) {
+            Err(ServeError::Config(m)) => assert!(m.contains("workers"), "{m}"),
+            Err(other) => panic!("expected a Config error, got {other:?}"),
+            Ok(_) => panic!("zero workers must not bind"),
+        }
     }
 }

@@ -327,6 +327,9 @@ impl FederatedAnalyzer {
         let last = self.shards.len() - 1;
         // One shared copy of the trace; shard replays clone the Arc.
         let trace: std::sync::Arc<[Inst]> = trace.to_vec().into();
+        // proxima-lint: allow(no-thread-spawn-outside-sharding) -- each scoped
+        // worker owns one shard and results are folded in shard index
+        // order, so scheduling cannot reach the output.
         let outcomes: Vec<Result<(), MbptaError>> = std::thread::scope(|scope| {
             let workers: Vec<_> = self
                 .shards

@@ -56,9 +56,11 @@ USAGE:
   mbpta session --resume <path> [<file>] [--jobs <j>]
                 [--checkpoint <path> --checkpoint-every <k>]
   mbpta serve [--addr <host:port>] [--target-p <p>] [--block <n>] [--every <k>]
-              [--jobs <j>] [--cache-capacity <n>]
+              [--workers <w>] [--max-conns <n>] [--jobs <j>]
+              [--cache-capacity <n>] [--cache-ttl <t>]
               [--checkpoint <path> --checkpoint-every <k>]
-  mbpta serve --resume <path> [--addr <host:port>] [--jobs <j>]
+  mbpta serve --resume <path> [--addr <host:port>] [--workers <w>]
+              [--max-conns <n>] [--jobs <j>]
   mbpta call <addr> ingest <channel> [<file>] [--skip <n>] [--chunk <n>]
   mbpta call <addr> snapshot <channel>
   mbpta call <addr> verdict [--p <p>] [--channel <name>]
@@ -147,14 +149,29 @@ OPTIONS (serve):
   --addr <host:port>     bind address (port 0 = OS-assigned)  [127.0.0.1:0]
   --target-p <p>         exceedance cutoff                    [1e-12]
   --block <n>            block size for block maxima          [50]
-  --every <k>            scheduler snapshot cadence           [250]
-  --jobs <j>             session worker threads (0 = all)     [0]
-  --cache-capacity <n>   bound on cached query responses      [256]
-  --checkpoint <path>    auto-checkpoint target (atomic write-rename)
+  --every <k>            per-channel snapshot cadence         [250]
+  --workers <w>          analysis worker threads; channels are
+                         partitioned across workers by name hash,
+                         and every response is bit-identical at
+                         every worker count                   [1]
+  --max-conns <n>        concurrent-connection bound; excess
+                         connections get a typed BUSY frame
+                         (0 = unbounded)                      [0]
+  --jobs <j>             merge worker threads per session shard
+                         (0 = all cores)                      [0]
+  --cache-capacity <n>   cached query responses *per worker*  [256]
+  --cache-ttl <t>        expire cache entries untouched for <t>
+                         ingest batches (0 = never)           [0]
+  --checkpoint <path>    auto-checkpoint target: one sealed blob
+                         per worker plus a manifest, atomically
+                         committed by the manifest rename
   --checkpoint-every <k> checkpoint cadence, in measurements
   --resume <path>        restart from a server checkpoint; the analysis
-                         configuration comes from the file, and
-                         checkpointing continues to the same path
+                         configuration comes from the manifest, and
+                         checkpointing continues to the same path.
+                         --workers re-partitions the restored channels
+                         to a new worker count (0 = keep the count
+                         recorded in the manifest) — bit-identically
   --crash-after <n>      abort once the session holds <n> measurements
                          (crash injection for the restart CI job)
 
@@ -1360,6 +1377,7 @@ fn drive_session<F: EngineFactory>(
 fn serve_cmd(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--addr")?.unwrap_or("127.0.0.1:0");
     let jobs: usize = parse_flag(args, "--jobs", 0)?;
+    let max_conns: usize = parse_flag(args, "--max-conns", 0)?;
     let crash_after: Option<usize> = flag_value(args, "--crash-after")?
         .map(|raw| {
             raw.parse()
@@ -1370,11 +1388,14 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     let server = if let Some(resume_path) = flag_value(args, "--resume")? {
         // The checkpoint records the serve configuration; re-specifying
         // analysis or cache flags would silently conflict with it.
+        // `--workers` is deliberately allowed: the manifest records the
+        // old worker count, and resume re-partitions to the new one.
         for flag in [
             "--target-p",
             "--block",
             "--every",
             "--cache-capacity",
+            "--cache-ttl",
             "--checkpoint",
             "--checkpoint-every",
         ] {
@@ -1385,13 +1406,21 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 ));
             }
         }
+        let opts = proxima::serve::ResumeOptions {
+            jobs,
+            crash_after,
+            workers: parse_flag(args, "--workers", 0)?,
+            max_conns,
+        };
         eprintln!("resuming from {resume_path}");
-        Server::resume(addr, resume_path, jobs, crash_after).map_err(|e| e.to_string())?
+        Server::resume(addr, resume_path, opts).map_err(|e| e.to_string())?
     } else {
         let target_p: f64 = parse_flag(args, "--target-p", 1e-12)?;
         let block: usize = parse_flag(args, "--block", 50)?;
         let every: usize = parse_flag(args, "--every", 250)?;
         let cache_capacity: usize = parse_flag(args, "--cache-capacity", 256)?;
+        let cache_ttl: u64 = parse_flag(args, "--cache-ttl", 0)?;
+        let workers: usize = parse_flag(args, "--workers", 1)?;
         let (checkpoint_path, checkpoint_every) = match checkpoint_spec(args)? {
             Some((path, every)) => (Some(std::path::PathBuf::from(path)), every),
             None => (None, 0),
@@ -1406,6 +1435,9 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             checkpoint_path,
             checkpoint_every,
             cache_capacity,
+            cache_ttl,
+            workers,
+            max_conns,
             jobs,
             crash_after,
         };
@@ -1606,11 +1638,25 @@ fn call_cmd(args: &[String]) -> Result<(), String> {
             println!("cache_misses={}", s.cache_misses);
             println!("cache_insertions={}", s.cache_insertions);
             println!("cache_evictions={}", s.cache_evictions);
+            println!("cache_expirations={}", s.cache_expirations);
             println!("cache_len={}", s.cache_len);
             println!("cache_capacity={}", s.cache_capacity);
             println!("checkpoints_written={}", s.checkpoints_written);
             println!("last_checkpoint_bytes={}", s.last_checkpoint_bytes);
             println!("since_checkpoint={}", s.since_checkpoint);
+            println!("busy_rejections={}", s.busy_rejections);
+            println!("workers={}", s.workers);
+            for (i, shard) in s.shards.iter().enumerate() {
+                println!(
+                    "shard{i}: channels={} total={} cache_hits={} cache_misses={} \
+                     cache_len={}",
+                    shard.channels,
+                    shard.total,
+                    shard.cache_hits,
+                    shard.cache_misses,
+                    shard.cache_len
+                );
+            }
             Ok(())
         }
         "shutdown" => {

@@ -354,7 +354,7 @@ fn golden_analyzer() -> StreamAnalyzer {
 fn golden_analyzer_fixture_stays_decodable() {
     let reference = golden_analyzer();
     let current = save_analyzer(&reference);
-    let bytes = fixture_bytes("analyzer_v1.bin", &current);
+    let bytes = fixture_bytes("analyzer_v2.bin", &current);
     let decoded = load_analyzer(&bytes).expect("golden analyzer fixture must decode");
     assert_eq!(decoded.len(), 1010);
     assert_eq!(decoded.blocks(), 40);
@@ -381,7 +381,7 @@ fn golden_federated_fixture_stays_decodable() {
         fed.push(x).unwrap();
     }
     let current = save_federated(&fed);
-    let bytes = fixture_bytes("federated_v1.bin", &current);
+    let bytes = fixture_bytes("federated_v2.bin", &current);
     let mut decoded = load_federated(&bytes).expect("golden federated fixture must decode");
     assert_eq!(decoded.len(), 1500);
     assert_eq!(decoded.shard_count(), 3);
@@ -405,7 +405,7 @@ fn golden_session_fixture_stays_decodable() {
         session.push(tagged).unwrap();
     }
     let current = session.checkpoint().unwrap();
-    let bytes = fixture_bytes("session_v1.bin", &current);
+    let bytes = fixture_bytes("session_v2.bin", &current);
     let restored =
         AnalysisSession::restore(factory, &bytes, 0).expect("golden session fixture must restore");
     assert_eq!(restored.len(), 1400);

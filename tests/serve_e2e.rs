@@ -27,7 +27,7 @@ use std::thread;
 use proxima::mbpta::engine::Engine;
 use proxima::prelude::*;
 use proxima::serve::frame::{read_frame, write_frame, Request};
-use proxima::serve::{Response, ServeClient, ServeConfig, Server};
+use proxima::serve::{Response, ResumeOptions, ServeClient, ServeConfig, Server};
 
 /// The per-channel streaming configuration every session in this file
 /// uses (server-side and offline replays alike — `from_federated_blob`
@@ -142,27 +142,23 @@ fn assert_same_analysis(name: &str, got: &Verdict, want: &Verdict) {
     }
 }
 
-/// ≥200 concurrent connections interleaving INGEST, SNAPSHOT, STATS and
-/// MERGE; the final per-channel verdicts must be bit-identical to an
-/// offline replay of the same per-channel feeds, and the deterministic
-/// counters must balance exactly.
-#[test]
-fn soak_200_concurrent_clients_bit_identical_to_offline_replay() {
-    const INGEST_CLIENTS: usize = 200;
-    const MERGE_CLIENTS: usize = 8;
-    const PER_CHANNEL: usize = 550;
-    const PER_SHARD_CHANNEL: usize = 600;
+const INGEST_CLIENTS: usize = 200;
+const MERGE_CLIENTS: usize = 8;
+const PER_CHANNEL: usize = 550;
+const PER_SHARD_CHANNEL: usize = 600;
 
-    let config = serve_config();
-    let server = Server::bind("127.0.0.1:0", config.clone()).expect("bind");
+/// One soak round at `workers` analysis workers: ≥200 concurrent
+/// connections interleaving INGEST, SNAPSHOT, STATS, VERDICT and MERGE,
+/// with the deterministic counters balanced exactly afterwards. Returns
+/// the final envelope verdict for cross-run diffing.
+fn run_soak(workers: usize, blobs: &[Vec<u8>]) -> WireVerdicts {
+    let config = ServeConfig {
+        workers,
+        ..serve_config()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
     let addr = server.local_addr();
     let handle = server.spawn();
-
-    // Shard blobs are folded before the soak starts — shipping state,
-    // not measurements, is the point of MERGE.
-    let blobs: Vec<Vec<u8>> = (0..MERGE_CLIENTS)
-        .map(|i| sealed_blob(&feed(10_000 + i as u64, PER_SHARD_CHANNEL), 1 + i % 3))
-        .collect();
 
     thread::scope(|s| {
         for i in 0..INGEST_CLIENTS {
@@ -175,6 +171,11 @@ fn soak_200_concurrent_clients_bit_identical_to_offline_replay() {
                 assert_eq!(len1 as usize, first.len());
                 // Interleave queries on the same connection mid-feed.
                 let _ = client.snapshot(&name).expect("snapshot");
+                if i % 25 == 0 {
+                    let (wire, _) =
+                        verdict_map(client.verdict(1e-12, Some(&name)).expect("verdict"));
+                    assert_eq!(wire[0].0, name);
+                }
                 let stats = client.stats().expect("stats");
                 assert!(stats.cache_len <= stats.cache_capacity);
                 let (len2, total, _) = client.ingest(&name, second).expect("ingest");
@@ -203,18 +204,41 @@ fn soak_200_concurrent_clients_bit_identical_to_offline_replay() {
     assert_eq!(stats.channels as usize, INGEST_CLIENTS + MERGE_CLIENTS);
     assert_eq!(stats.frames_ingest as usize, 2 * INGEST_CLIENTS);
     assert_eq!(stats.frames_snapshot as usize, INGEST_CLIENTS);
+    assert_eq!(stats.frames_verdict as usize, INGEST_CLIENTS.div_ceil(25));
     assert_eq!(stats.frames_merge as usize, MERGE_CLIENTS);
     assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.workers as usize, workers);
+    assert_eq!(stats.shards.len(), workers);
+    assert_eq!(
+        stats.shards.iter().map(|s| s.total).sum::<u64>(),
+        stats.total,
+        "every measurement lands on exactly one worker"
+    );
     assert!(stats.cache_len <= stats.cache_capacity);
 
     let (wire, wire_envelope) = verdict_map(client.verdict(1e-12, None).expect("verdict"));
     assert_eq!(wire.len(), INGEST_CLIENTS + MERGE_CLIENTS);
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+    (wire, wire_envelope)
+}
+
+/// The soak at `--workers 1` and `--workers 4`: both runs' per-channel
+/// verdicts must be bit-identical to an offline [`AnalysisSession`]
+/// replay of the same per-channel feeds — and thereby to each other.
+#[test]
+fn soak_200_concurrent_clients_bit_identical_to_offline_replay_at_any_worker_count() {
+    // Shard blobs are folded before the soak starts — shipping state,
+    // not measurements, is the point of MERGE.
+    let blobs: Vec<Vec<u8>> = (0..MERGE_CLIENTS)
+        .map(|i| sealed_blob(&feed(10_000 + i as u64, PER_SHARD_CHANNEL), 1 + i % 3))
+        .collect();
 
     // Offline replay of the same per-channel feeds (channels are
     // independent engines, so cross-channel arrival order is
     // irrelevant — per-channel order is what must match, and each
     // channel had exactly one writer).
-    let mut offline = offline_session(&config);
+    let mut offline = offline_session(&serve_config());
     for i in 0..INGEST_CLIENTS {
         offline
             .push_batch(format!("ch-{i:03}").as_str(), &feed(i as u64, PER_CHANNEL))
@@ -231,23 +255,27 @@ fn soak_200_concurrent_clients_bit_identical_to_offline_replay() {
             .expect("adopt");
     }
     let merged = offline.merge();
-
-    for (name, outcome) in &wire {
-        let want = merged
-            .verdict(name)
-            .unwrap_or_else(|| panic!("offline replay missing channel {name}"));
-        match (outcome, want) {
-            (Ok(got), Ok(want)) => assert_same_analysis(name, got, want),
-            (Err(got), Err(want)) => assert_eq!(got, &want.to_string(), "channel {name}"),
-            (got, want) => panic!("channel {name}: wire {got:?} vs offline {want:?}"),
-        }
-    }
     let (_, want_budget) = merged.envelope_budget(1e-12).expect("offline envelope");
-    let (_, got_budget) = wire_envelope.expect("wire envelope");
-    assert_eq!(got_budget.to_bits(), want_budget.to_bits(), "envelope bits");
 
-    client.shutdown().expect("shutdown");
-    handle.join().unwrap().unwrap();
+    for workers in [1usize, 4] {
+        let (wire, wire_envelope) = run_soak(workers, &blobs);
+        for (name, outcome) in &wire {
+            let want = merged
+                .verdict(name)
+                .unwrap_or_else(|| panic!("offline replay missing channel {name}"));
+            match (outcome, want) {
+                (Ok(got), Ok(want)) => assert_same_analysis(name, got, want),
+                (Err(got), Err(want)) => assert_eq!(got, &want.to_string(), "channel {name}"),
+                (got, want) => panic!("channel {name}: wire {got:?} vs offline {want:?}"),
+            }
+        }
+        let (_, got_budget) = wire_envelope.expect("wire envelope");
+        assert_eq!(
+            got_budget.to_bits(),
+            want_budget.to_bits(),
+            "envelope bits at {workers} workers"
+        );
+    }
 }
 
 /// Hostile bytes on one connection must not poison the others: the bad
@@ -446,7 +474,7 @@ fn shutdown_then_resume_is_bit_identical() {
     client.shutdown().expect("shutdown");
     handle.join().unwrap().unwrap();
 
-    let server = Server::resume("127.0.0.1:0", &path, 0, None).expect("resume");
+    let server = Server::resume("127.0.0.1:0", &path, ResumeOptions::default()).expect("resume");
     let addr = server.local_addr();
     let handle = server.spawn();
     let mut client = ServeClient::connect(addr).expect("connect");
@@ -479,17 +507,23 @@ fn shutdown_then_resume_is_bit_identical() {
     let _ = std::fs::remove_file(&path);
 }
 
-/// The real binary: kill `mbpta serve` mid-campaign with `--crash-after`,
-/// restart it with `--resume`, resend the not-yet-absorbed suffix, and
-/// the verdict must be bit-identical to an uninterrupted server's.
+/// The real binary: a 4-worker `mbpta serve` killed mid-campaign with
+/// `--crash-after`, restarted with `--resume --workers 2` (the restored
+/// channels are re-partitioned to the new worker count), resent the
+/// not-yet-absorbed per-channel suffixes — and every verdict must be
+/// bit-identical to an uninterrupted 1-worker server's.
 #[test]
-fn binary_crash_resume_over_network_is_bit_identical() {
+fn binary_crash_resume_over_network_is_bit_identical_across_worker_counts() {
     use std::process::{Child, Command, Stdio};
+
+    const CHANNELS: [&str; 3] = ["alpha", "beta", "gamma"];
+    const PER: usize = 1500;
+    const CHUNK: usize = 512;
 
     let dir = std::env::temp_dir().join("proxima_serve_e2e");
     std::fs::create_dir_all(&dir).expect("tmpdir");
-    let path = dir.join(format!("crash_{}.ck", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let stem = format!("crash_{}.ck", std::process::id());
+    let path = dir.join(&stem);
 
     fn spawn_serve(args: &[&str]) -> (Child, SocketAddr) {
         let mut child = Command::new(env!("CARGO_BIN_EXE_mbpta"))
@@ -512,31 +546,86 @@ fn binary_crash_resume_over_network_is_bit_identical() {
         (child, addr)
     }
 
-    let values = feed(1234, 3000);
-    let ingest_all = |addr: SocketAddr, from: usize| {
+    let feeds: Vec<Vec<f64>> = (0..CHANNELS.len())
+        .map(|i| feed(1234 + i as u64, PER))
+        .collect();
+
+    // Round-robin chunks across the channels, each channel starting at
+    // its own offset. Per-channel order is what bit-identity depends
+    // on (channels are independent engines), and it is identical in
+    // every run this test makes.
+    let ingest_from = |addr: SocketAddr, from: [usize; 3]| {
         let mut client = ServeClient::connect(addr).expect("connect");
-        for chunk in values[from..].chunks(512) {
-            if client.ingest("nominal", chunk).is_err() {
-                // The crashing server dies mid-feed — expected there.
+        let mut next = from;
+        loop {
+            let mut sent = false;
+            for (c, name) in CHANNELS.iter().enumerate() {
+                if next[c] >= PER {
+                    continue;
+                }
+                let end = (next[c] + CHUNK).min(PER);
+                if client.ingest(name, &feeds[c][next[c]..end]).is_err() {
+                    // The crashing server dies mid-feed — expected there.
+                    return;
+                }
+                next[c] = end;
+                sent = true;
+            }
+            if !sent {
                 return;
             }
         }
     };
 
-    // Reference: an uninterrupted server over the same feed order.
+    // Mirror the server's deterministic cadence in the test: a
+    // checkpoint latches the per-channel prefixes at every crossing of
+    // --checkpoint-every, and --crash-after aborts once the total
+    // passes it — so what survives the crash is exactly the last
+    // latched prefix of each channel.
+    let mut absorbed = [0usize; 3];
+    let mut survived = [0usize; 3];
+    let (mut total, mut last_ck) = (0usize, 0usize);
+    'plan: loop {
+        let mut sent = false;
+        for c in 0..CHANNELS.len() {
+            if absorbed[c] >= PER {
+                continue;
+            }
+            let end = (absorbed[c] + CHUNK).min(PER);
+            total += end - absorbed[c];
+            absorbed[c] = end;
+            sent = true;
+            if total - last_ck >= 1000 {
+                last_ck = total;
+                survived = absorbed;
+            }
+            if total >= 2500 {
+                break 'plan;
+            }
+        }
+        assert!(sent, "the feed must outlast --crash-after");
+    }
+    assert!(
+        survived.iter().all(|&s| s > 0),
+        "the drill must leave every channel with surviving state"
+    );
+
+    // Reference: an uninterrupted 1-worker server over the same feeds.
     let (mut ref_child, ref_addr) = spawn_serve(&["serve", "--addr", "127.0.0.1:0"]);
-    ingest_all(ref_addr, 0);
+    ingest_from(ref_addr, [0; 3]);
     let mut client = ServeClient::connect(ref_addr).expect("connect");
-    let (reference, _) = verdict_map(client.verdict(1e-12, None).expect("verdict"));
+    let (reference, ref_envelope) = verdict_map(client.verdict(1e-12, None).expect("verdict"));
     client.shutdown().expect("shutdown");
     assert!(ref_child.wait().expect("wait").success());
 
-    // Crash drill: checkpoints at 1024 and 2048, abort at 2560.
+    // Crash drill at 4 workers.
     let ck = path.to_str().expect("utf-8 path");
     let (mut child, addr) = spawn_serve(&[
         "serve",
         "--addr",
         "127.0.0.1:0",
+        "--workers",
+        "4",
         "--checkpoint",
         ck,
         "--checkpoint-every",
@@ -544,32 +633,60 @@ fn binary_crash_resume_over_network_is_bit_identical() {
         "--crash-after",
         "2500",
     ]);
-    ingest_all(addr, 0);
+    ingest_from(addr, [0; 3]);
     assert!(
         !child.wait().expect("wait").success(),
         "--crash-after must abort the server"
     );
 
-    // Restart from the checkpoint, ask what survived, resend the rest.
-    let (mut child, addr) = spawn_serve(&["serve", "--addr", "127.0.0.1:0", "--resume", ck]);
+    // Restart at HALF the worker count, confirm what survived, resend
+    // each channel's suffix.
+    let (mut child, addr) = spawn_serve(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--resume",
+        ck,
+        "--workers",
+        "2",
+    ]);
     let mut client = ServeClient::connect(addr).expect("connect");
-    let survived = client.stats().expect("stats").total as usize;
-    assert_eq!(survived, 2048, "the 512-chunk feed checkpoints at 2048");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.total as usize, last_ck, "resume = last checkpoint");
+    assert_eq!(stats.channels as usize, CHANNELS.len());
+    assert_eq!(stats.workers, 2, "resume re-partitions to --workers 2");
+    assert_eq!(stats.shards.len(), 2);
     drop(client);
-    ingest_all(addr, survived);
+    ingest_from(addr, survived);
     let mut client = ServeClient::connect(addr).expect("connect");
-    let (resumed, _) = verdict_map(client.verdict(1e-12, None).expect("verdict"));
+    let (resumed, resumed_envelope) = verdict_map(client.verdict(1e-12, None).expect("verdict"));
     client.shutdown().expect("shutdown");
     assert!(child.wait().expect("wait").success());
 
-    assert_eq!(reference.len(), 1);
-    assert_eq!(resumed.len(), 1);
-    let want = reference[0].1.as_ref().expect("reference verdict");
-    let got = resumed[0].1.as_ref().expect("resumed verdict");
-    assert_same_analysis("nominal", got, want);
-    assert_eq!(
-        got.provenance.engine, want.provenance.engine,
-        "same engine either way"
-    );
-    let _ = std::fs::remove_file(&path);
+    assert_eq!(reference.len(), CHANNELS.len());
+    assert_eq!(resumed.len(), CHANNELS.len());
+    for (name, outcome) in &resumed {
+        let want = reference
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("reference missing channel {name}"));
+        let want = want.1.as_ref().expect("reference verdict");
+        let got = outcome.as_ref().expect("resumed verdict");
+        assert_same_analysis(name, got, want);
+        assert_eq!(
+            got.provenance.engine, want.provenance.engine,
+            "same engine either way"
+        );
+    }
+    let (_, want_budget) = ref_envelope.expect("reference envelope");
+    let (_, got_budget) = resumed_envelope.expect("resumed envelope");
+    assert_eq!(got_budget.to_bits(), want_budget.to_bits(), "envelope bits");
+
+    // The sharded checkpoint is a family of sibling files
+    // (manifest + one sealed blob per worker) — sweep them all.
+    for entry in std::fs::read_dir(&dir).expect("read_dir").flatten() {
+        if entry.file_name().to_string_lossy().starts_with(&stem) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
 }
