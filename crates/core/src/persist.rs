@@ -63,10 +63,14 @@ use crate::MbptaError;
 /// server checkpoint became a manifest plus one sealed session blob per
 /// worker (sharded serve core).
 ///
+/// Version 3: `StreamConfig` grew the sketch-kind byte and the analyzer
+/// sketch record became kind-tagged (`Sketch`: GK or the new KLL
+/// summary with its persisted compaction-coin counter).
+///
 /// Bumping this without regenerating the golden fixtures breaks the
 /// crash-resume battery: rerun with PROXIMA_REGEN_FIXTURES=1 and commit
 /// the refreshed `tests/fixtures/` alongside the bump (fixture-regen).
-pub const FORMAT_VERSION: u8 = 2;
+pub const FORMAT_VERSION: u8 = 3;
 
 /// Magic tag of a serialized engine state ([`Engine::save_state`]).
 ///

@@ -85,6 +85,11 @@ impl VerdictCache {
     /// Create a cache holding at most `capacity` responses whose
     /// entries expire once they are older than `ttl` logical ticks
     /// (one tick per get-hit or insert; `ttl` 0 disables expiry).
+    ///
+    /// "Older than" is strict: an entry inserted at tick `t` still
+    /// answers a touch at tick `t + ttl` and is dropped by the first
+    /// touch at `t + ttl + 1` — see [`Self::expired`] for why the
+    /// boundary sits there.
     pub fn with_ttl(capacity: usize, ttl: u64) -> Self {
         VerdictCache {
             capacity,
@@ -101,6 +106,15 @@ impl VerdictCache {
     }
 
     /// `true` when `inserted` is more than `ttl` ticks behind `now`.
+    ///
+    /// The boundary is **inclusive-exclusive**: an entry inserted at
+    /// tick `t` is still live when touched at tick `t + ttl` (age
+    /// exactly `ttl` is a hit) and expires on the first touch at
+    /// `t + ttl + 1` or later. The strict `>` is what makes an
+    /// insert-then-query at the same logical instant safe for every
+    /// positive ttl: a `get` issued right after an `insert` sees age 1,
+    /// so even `ttl = 1` answers it from the cache. A `>=` here would
+    /// silently turn `ttl = 1` into "never hits".
     fn expired(&self, inserted: u64, now: u64) -> bool {
         self.ttl > 0 && now.saturating_sub(inserted) > self.ttl
     }
@@ -440,6 +454,60 @@ mod tests {
         assert_eq!(cache.get(key), None, "age 4 > ttl 3"); // tick would be 5
         assert_eq!(cache.expirations(), 1);
         assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn entry_survives_a_touch_at_exactly_ttl_ticks() {
+        // The expiry boundary is inclusive on the near side: age == ttl
+        // is still a hit. ttl = 3; insert at tick 1, two churn inserts
+        // advance the clock to 3, and a get evaluates at now = tick + 1
+        // = 4 — the entry is exactly ttl ticks old.
+        let mut cache = VerdictCache::with_ttl(8, 3);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![7]); // tick 1
+        cache.insert(query_key(1, 1, "a", 1, 0), vec![0]); // tick 2
+        cache.insert(query_key(1, 1, "b", 1, 0), vec![0]); // tick 3
+                                                           // Lookup evaluates at now = 4: age 3 == ttl 3 → still live.
+        assert_eq!(cache.get(key), Some(vec![7]), "age == ttl must hit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.expirations(), 0);
+    }
+
+    #[test]
+    fn entry_expires_one_tick_past_ttl() {
+        // ...and exclusive on the far side: age == ttl + 1 is the first
+        // tick that misses. Same shape as above with one more churn
+        // insert between.
+        let mut cache = VerdictCache::with_ttl(8, 3);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![7]); // tick 1
+        cache.insert(query_key(1, 1, "a", 1, 0), vec![0]); // tick 2
+        cache.insert(query_key(1, 1, "b", 1, 0), vec![0]); // tick 3
+        cache.insert(query_key(1, 1, "c", 1, 0), vec![0]); // tick 4
+                                                           // Lookup evaluates at now = 5: age 4 == ttl + 1 → expired.
+        assert_eq!(cache.get(key), None, "age == ttl + 1 must expire");
+        assert_eq!(cache.expirations(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn same_instant_insert_then_query_never_expires() {
+        // An insert immediately followed by its own lookup must hit for
+        // every positive ttl — in particular the smallest one. With a
+        // `>=` boundary, ttl = 1 would expire its own insert.
+        let mut cache = VerdictCache::with_ttl(8, 1);
+        let key = query_key(1, 1, "ch", 1, 0);
+        cache.insert(key, vec![7]);
+        assert_eq!(
+            cache.get(key),
+            Some(vec![7]),
+            "back-to-back insert+get must hit at ttl 1"
+        );
+        assert_eq!(cache.expirations(), 0);
+        // One more hit advances the clock past the ttl; the next touch
+        // is the first one strictly past the boundary and expires.
+        assert_eq!(cache.get(key), None, "second touch is age 2 > ttl 1");
+        assert_eq!(cache.expirations(), 1);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! [`analyze`](proxima_mbpta::analyze) pipeline. It holds **bounded state
 //! only**:
 //!
-//! * a [`QuantileSketch`] (GK summary) for high-watermark / ECDF queries —
-//!   `O((1/ε)·log(εn))`;
+//! * a quantile [`Sketch`] for high-watermark / ECDF queries — the GK
+//!   summary ([`QuantileSketch`], `O((1/ε)·log(εn))`) or the KLL summary
+//!   ([`crate::kll::KllSketch`], `O(1/ε)`), selected by
+//!   [`StreamConfig::sketch`];
 //! * an [`IidMonitor`] window — `O(W)`;
 //! * the running maximum of the current block — `O(1)`;
 //! * the block-maxima buffer the Gumbel is refitted on — `O(n/B)`, the
@@ -64,8 +66,10 @@ use proxima_stats::evt::fit_gumbel;
 use proxima_stats::StatsError;
 
 use crate::monitor::{IidHealth, IidMonitor};
-use crate::sketch::QuantileSketch;
+use crate::sketch::{Sketch, SketchKind};
 
+#[cfg(doc)]
+use crate::sketch::QuantileSketch;
 #[cfg(doc)]
 use proxima_stats::evt::block_maxima;
 
@@ -114,6 +118,10 @@ pub struct StreamConfig {
     pub monitor_window: usize,
     /// Rank-error bound of the quantile sketch.
     pub sketch_epsilon: f64,
+    /// Which quantile-sketch algorithm to maintain (`--sketch {gk,kll}`):
+    /// GK for a deterministic worst-case bound, KLL for smaller
+    /// summaries whose error does not grow with federation depth.
+    pub sketch: SketchKind,
     /// Per-snapshot bootstrap interval; `None` skips the bootstrap.
     pub bootstrap: Option<BootstrapSpec>,
 }
@@ -130,6 +138,7 @@ impl Default for StreamConfig {
             alpha: 0.05,
             monitor_window: 500,
             sketch_epsilon: 0.001,
+            sketch: SketchKind::Gk,
             bootstrap: Some(BootstrapSpec::default()),
         }
     }
@@ -269,7 +278,7 @@ pub struct PwcetSnapshot {
 #[derive(Debug, Clone)]
 pub struct StreamAnalyzer {
     pub(crate) config: StreamConfig,
-    pub(crate) sketch: QuantileSketch,
+    pub(crate) sketch: Sketch,
     pub(crate) monitor: IidMonitor,
     pub(crate) n: usize,
     pub(crate) current_block_max: f64,
@@ -293,7 +302,8 @@ impl StreamAnalyzer {
     /// invalid.
     pub fn new(config: StreamConfig) -> Result<Self, MbptaError> {
         config.validate()?;
-        let sketch = QuantileSketch::new(config.sketch_epsilon).map_err(MbptaError::Stats)?;
+        let sketch =
+            Sketch::new(config.sketch, config.sketch_epsilon).map_err(MbptaError::Stats)?;
         let monitor = IidMonitor::new(config.monitor_window, config.alpha);
         Ok(StreamAnalyzer {
             config,
@@ -340,7 +350,7 @@ impl StreamAnalyzer {
 
     /// The bounded-memory quantile sketch, for ECDF / quantile queries
     /// over everything ingested so far.
-    pub fn sketch(&self) -> &QuantileSketch {
+    pub fn sketch(&self) -> &Sketch {
         &self.sketch
     }
 
@@ -543,9 +553,11 @@ impl StreamAnalyzer {
     /// after ingesting this analyzer's measurements followed by
     /// `other`'s.
     ///
-    /// * the quantile sketches merge with the federated `ε₁+ε₂`
-    ///   rank-error bound ([`QuantileSketch::merge`]) — count, sum and
-    ///   the high watermark stay exact;
+    /// * the quantile sketches merge under their algorithm's federated
+    ///   guarantee — the `ε₁+ε₂` additive rank bound for GK
+    ///   ([`QuantileSketch::merge`]), depth-independent error for KLL
+    ///   ([`crate::kll::KllSketch::merge`]) — and count, sum and the
+    ///   high watermark stay exact either way;
     /// * the block-maxima buffers concatenate, and `other`'s trailing
     ///   partial block carries over — so when `other` started at a block
     ///   boundary the merged buffer is **bit-identical** to the single
@@ -578,7 +590,11 @@ impl StreamAnalyzer {
                 what: "stream merge requires the left analyzer to sit on a block boundary",
             });
         }
-        self.sketch.merge(&other.sketch);
+        // Config equality above implies equal sketch kinds, so this can
+        // only be Ok — but the kind check stays typed, not assumed.
+        self.sketch
+            .merge(&other.sketch)
+            .map_err(MbptaError::Stats)?;
         self.monitor.merge(&other.monitor);
         self.maxima.extend_from_slice(&other.maxima);
         self.current_block_max = other.current_block_max;

@@ -1,0 +1,808 @@
+//! Mergeable KLL quantile sketch with deterministic compaction.
+//!
+//! [`KllSketch`] is the KLL summary of Karnin, Lang & Liberty (FOCS
+//! 2016): a stack of *compactors*, where level `h` stores items that
+//! each represent `2^h` observations. When a level fills, its buffer is
+//! sorted and every other item is promoted one level up — halving the
+//! item count while preserving total weight — so the whole structure
+//! holds `O((1/ε)·c/(1-c))` items **independent of `n`**, with `c = 2/3`
+//! the capacity decay between levels.
+//!
+//! Where the GK summary ([`QuantileSketch`](crate::sketch::QuantileSketch))
+//! degrades additively under repeated merges (`ε₁n₁ + ε₂n₂` over a merge
+//! tree), KLL's compaction error is a zero-mean random walk: merging two
+//! KLL sketches costs no more than ingesting the union directly, which
+//! is exactly the property the federated fold
+//! ([`FederatedAnalyzer`](crate::FederatedAnalyzer)) and the serve
+//! layer's sealed-blob MERGE lean on. See `docs/PERFORMANCE.md` for the
+//! measured space/error comparison under merge depth.
+//!
+//! # Determinism
+//!
+//! Classic KLL flips a fair coin per compaction to decide whether the
+//! odd- or even-indexed survivors are promoted. Ambient entropy would
+//! make checkpoints, resumes and shard merges irreproducible, so the
+//! coin stream here is **derived from the sketch's own state**: flip `i`
+//! is bit 0 of [`SplitMix64::stream_seed`]`(seed(ε), i)`, where the
+//! master seed is a pure function of the configured `ε` and `i` is a
+//! persisted flip counter. Same state, same coins — inserts, batches,
+//! merges and checkpoint round-trips are bit-identical at every shard
+//! and worker count, and a resumed sketch continues exactly where the
+//! checkpointed one left off.
+//!
+//! The exact minimum, maximum (the MBPTA *high watermark*), count and
+//! sum are tracked exactly on the side, like the GK sketch: the
+//! watermark must never be approximated.
+
+use proxima_prng::SplitMix64;
+use proxima_stats::StatsError;
+
+use crate::sketch::scaled_eps_count_ceil;
+
+/// Capacity decay numerator/denominator between adjacent levels
+/// (`c = 2/3`, the standard KLL choice).
+const DECAY_NUM: usize = 2;
+const DECAY_DEN: usize = 3;
+
+/// Smallest per-level buffer the schedule bottoms out at.
+const MIN_LEVEL_CAPACITY: usize = 2;
+
+/// Domain-separation constant folded into the coin-stream seed so the
+/// flips are decorrelated from every other SplitMix64 stream in the
+/// system (campaign seeds, bootstrap seeds, …).
+const COIN_DOMAIN: u64 = 0x4B4C_4C53_4B45_5443; // "KLLSKETC"
+
+/// An ε-approximate mergeable KLL quantile sketch over `f64`
+/// observations, with deterministic compaction.
+///
+/// # Examples
+///
+/// ```
+/// use proxima_stream::kll::KllSketch;
+///
+/// let mut s = KllSketch::new(0.01)?;
+/// for i in 0..10_000 {
+///     s.insert(i as f64);
+/// }
+/// let med = s.quantile(0.5)?;
+/// assert!((med / 5000.0 - 1.0).abs() < 0.05);
+/// assert_eq!(s.max(), Some(9999.0)); // exact side statistic
+/// assert!(s.tuples() < 2_000); // bounded memory, not 10k points
+/// # Ok::<(), proxima_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KllSketch {
+    pub(crate) epsilon: f64,
+    /// Level `h` holds items of weight `2^h`; at least one level always
+    /// exists, and the top level is non-empty whenever `n > 0`.
+    pub(crate) compactors: Vec<Vec<f64>>,
+    pub(crate) n: u64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
+    pub(crate) sum: f64,
+    /// Compaction coin flips consumed so far — persisted, so a restored
+    /// sketch continues the exact coin stream of the original.
+    pub(crate) coins_used: u64,
+    /// Cumulative compaction work (sorted / promoted item slots) — a
+    /// machine-independent cost counter, mirroring the GK sketch's.
+    /// Not part of the logical state: excluded from equality and never
+    /// persisted.
+    pub(crate) maintenance_ops: u64,
+}
+
+/// Equality is over the logical sketch state only; the
+/// [`maintenance_ops`](KllSketch::maintenance_ops) work counter is
+/// bookkeeping about *how* the state was reached, not part of it (the
+/// batched and itemized ingest paths must compare equal).
+impl PartialEq for KllSketch {
+    fn eq(&self, other: &Self) -> bool {
+        self.epsilon == other.epsilon
+            && self.compactors == other.compactors
+            && self.n == other.n
+            && self.min == other.min
+            && self.max == other.max
+            && self.sum == other.sum
+            && self.coins_used == other.coins_used
+    }
+}
+
+impl KllSketch {
+    /// Create a sketch targeting rank error `epsilon` (e.g. `0.001`
+    /// keeps every quantile within ±0.1% of the true rank with high
+    /// probability over the coin stream — the KLL guarantee is
+    /// probabilistic where GK's is worst-case; the top-level capacity
+    /// `k = ⌈4/ε⌉` puts the ~`2.3/k^0.94` empirical 99th-percentile
+    /// error comfortably inside `ε`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < epsilon < 0.5`.
+    pub fn new(epsilon: f64) -> Result<Self, StatsError> {
+        if !(epsilon > 0.0 && epsilon < 0.5) {
+            return Err(StatsError::InvalidArgument {
+                what: "sketch epsilon must be in (0, 0.5)",
+            });
+        }
+        Ok(KllSketch {
+            epsilon,
+            compactors: vec![Vec::new()],
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            coins_used: 0,
+            maintenance_ops: 0,
+        })
+    }
+
+    /// The configured rank-error target.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of observations ingested.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of summary items currently held across all compactor
+    /// levels — the memory footprint (each item is one bare `f64`,
+    /// versus 24 bytes per GK tuple).
+    pub fn tuples(&self) -> usize {
+        self.compactors.iter().map(Vec::len).sum()
+    }
+
+    /// Number of compactor levels currently allocated.
+    pub fn levels(&self) -> usize {
+        self.compactors.len()
+    }
+
+    /// Bytes of summary payload currently held (`8` per stored item) —
+    /// the space axis of the GK-vs-KLL comparison in
+    /// `docs/PERFORMANCE.md`.
+    pub fn summary_bytes(&self) -> usize {
+        self.tuples() * std::mem::size_of::<f64>()
+    }
+
+    /// Exact minimum observed, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observed — the campaign's high watermark.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Exact running mean, if any observation arrived.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.sum / self.n as f64)
+    }
+
+    /// The `⌈εn⌉` rank-error target at the current `n`, computed exactly
+    /// in integer arithmetic (no `f64` round-trip, no silent cast
+    /// saturation — the same discipline as
+    /// [`QuantileSketch::rank_error_bound`](crate::sketch::QuantileSketch::rank_error_bound)).
+    /// KLL's bound is probabilistic over the coin stream where GK's is
+    /// worst-case.
+    pub fn rank_error_bound(&self) -> u64 {
+        scaled_eps_count_ceil(self.epsilon, self.n)
+    }
+
+    /// Cumulative compaction operations (item slots sorted or promoted)
+    /// since construction — the machine-independent work counter shared
+    /// with the ingest benches. Resets to zero on checkpoint restore and
+    /// never participates in equality.
+    pub fn maintenance_ops(&self) -> u64 {
+        self.maintenance_ops
+    }
+
+    /// Top-level capacity `k = ⌈4/ε⌉`, floored at 8. Derived from
+    /// `epsilon` on demand (never stored), so merged sketches — which
+    /// adopt the looser `ε` — stay self-consistent by construction.
+    fn k(&self) -> usize {
+        let k = (4.0 / self.epsilon).ceil();
+        if k >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            (k as usize).max(8)
+        }
+    }
+
+    /// Capacity of `level` under the geometric schedule: the top level
+    /// holds `k` items and each level below holds `⌈2/3⌉` of the one
+    /// above, floored at [`MIN_LEVEL_CAPACITY`]. Integer arithmetic
+    /// only — capacities must be identical on every host a checkpoint
+    /// travels to.
+    fn capacity(&self, level: usize) -> usize {
+        let depth = self.compactors.len() - 1 - level;
+        let mut cap = self.k();
+        for _ in 0..depth {
+            cap = (cap * DECAY_NUM)
+                .div_ceil(DECAY_DEN)
+                .max(MIN_LEVEL_CAPACITY);
+        }
+        cap.max(MIN_LEVEL_CAPACITY)
+    }
+
+    /// The master seed of the compaction coin stream — a pure function
+    /// of the sketch's configured state, never ambient entropy.
+    fn coin_seed(&self) -> u64 {
+        COIN_DOMAIN ^ self.epsilon.to_bits()
+    }
+
+    /// Draw the next compaction coin: 0 promotes even-indexed
+    /// survivors, 1 odd-indexed. O(1) random access into the stream
+    /// keeps batched ingest, merges and resumed runs on the identical
+    /// flip sequence.
+    fn next_coin(&mut self) -> usize {
+        let flip = SplitMix64::stream_seed(self.coin_seed(), self.coins_used);
+        self.coins_used += 1;
+        (flip & 1) as usize
+    }
+
+    /// Fold one observation into the exact side statistics.
+    fn observe(&mut self, x: f64) {
+        self.n += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+    }
+
+    /// Ingest one observation. Non-finite values are ignored by the
+    /// sketch proper (the analyzer validates before inserting), exactly
+    /// like the GK sketch.
+    pub fn insert(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.observe(x);
+        self.compactors[0].push(x);
+        if self.compactors[0].len() >= self.capacity(0) {
+            self.maintain();
+        }
+    }
+
+    /// Bulk-ingest a slice of observations. The resulting sketch is
+    /// **bit-identical** to folding [`insert`](Self::insert) over the
+    /// slice at every batch split: compaction only ever sees the sorted
+    /// level buffer plus the deterministic coin stream, so filling
+    /// level 0 chunk-wise to the same compaction points reproduces the
+    /// itemized state exactly. Unlike the GK sketch — whose itemized
+    /// path pays a mid-list shift per insert — KLL ingestion is already
+    /// amortized, so the [`maintenance_ops`](Self::maintenance_ops)
+    /// counter advances identically on both paths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proxima_stream::kll::KllSketch;
+    ///
+    /// let mut batched = KllSketch::new(0.01)?;
+    /// let mut itemized = KllSketch::new(0.01)?;
+    /// let xs: Vec<f64> = (0..5_000).map(|i| ((i * 37) % 1000) as f64).collect();
+    /// batched.insert_batch(&xs);
+    /// for &x in &xs {
+    ///     itemized.insert(x);
+    /// }
+    /// assert_eq!(batched, itemized);
+    /// # Ok::<(), proxima_stats::StatsError>(())
+    /// ```
+    pub fn insert_batch(&mut self, xs: &[f64]) {
+        let mut i = 0usize;
+        while i < xs.len() {
+            // Fill level 0 up to the exact item count at which the
+            // itemized path would compact, then compact.
+            let room = self
+                .capacity(0)
+                .saturating_sub(self.compactors[0].len())
+                .max(1);
+            let mut taken = 0usize;
+            while i < xs.len() && taken < room {
+                let x = xs[i];
+                i += 1;
+                // Non-finite values are ignored and do not advance the
+                // fill point, exactly as in `insert`.
+                if x.is_finite() {
+                    self.observe(x);
+                    self.compactors[0].push(x);
+                    taken += 1;
+                }
+            }
+            if self.compactors[0].len() >= self.capacity(0) {
+                self.maintain();
+            }
+        }
+    }
+
+    /// Uniform bulk-ingest spelling shared with the monitor/analyzer/
+    /// session layers; identical to [`insert_batch`](Self::insert_batch).
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        self.insert_batch(xs);
+    }
+
+    /// Compact the lowest over-capacity level until every level is
+    /// within capacity. Deterministic: the scan order is fixed and each
+    /// compaction consumes exactly one coin from the persisted stream.
+    fn maintain(&mut self) {
+        loop {
+            let over =
+                (0..self.compactors.len()).find(|&h| self.compactors[h].len() >= self.capacity(h));
+            match over {
+                Some(h) => self.compact_level(h),
+                None => break,
+            }
+        }
+    }
+
+    /// Sort level `h`, keep the smallest item in place when the count
+    /// is odd, and promote every other remaining item (offset chosen by
+    /// the deterministic coin) to level `h + 1`. Total weight is
+    /// conserved: `2m` items of weight `2^h` become `m` of weight
+    /// `2^{h+1}`.
+    fn compact_level(&mut self, h: usize) {
+        if h + 1 == self.compactors.len() {
+            // A new top level shrinks every capacity below it; the
+            // maintain loop re-checks from the bottom.
+            self.compactors.push(Vec::new());
+        }
+        let mut buf = std::mem::take(&mut self.compactors[h]);
+        if buf.len() < 2 {
+            // A single stranded item cannot pair; leave it in place
+            // (only reachable if capacities bottomed out at the floor).
+            self.compactors[h] = buf;
+            return;
+        }
+        buf.sort_unstable_by(f64::total_cmp);
+        let m = buf.len();
+        // Cost model: one O(m log m) sort plus one promotion pass.
+        self.maintenance_ops += m as u64 * u64::from((m - 1).ilog2() + 2);
+        let keep = m % 2;
+        let offset = self.next_coin();
+        for idx in ((keep + offset)..m).step_by(2) {
+            self.compactors[h + 1].push(buf[idx]);
+        }
+        if keep == 1 {
+            self.compactors[h].push(buf[0]);
+        }
+    }
+
+    /// Fold another sketch into this one, as if every observation the
+    /// other sketch summarized had been inserted here.
+    ///
+    /// The exact side statistics (count, sum, min, max) merge exactly.
+    /// Compactor levels concatenate level-wise and over-capacity levels
+    /// recompact — the merged summary is no larger, and no less
+    /// accurate, than a single sketch fed the union would be, so the
+    /// error does **not** accumulate with merge-tree depth the way the
+    /// GK additive bound does. The merged `epsilon()` is `max(ε₁, ε₂)`
+    /// (the looser target wins, matching the GK merge contract), and
+    /// the compaction coins continue on this sketch's persisted stream,
+    /// keeping the merge a pure function of the two operand states.
+    pub fn merge(&mut self, other: &KllSketch) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.epsilon = self.epsilon.max(other.epsilon);
+        while self.compactors.len() < other.compactors.len() {
+            self.compactors.push(Vec::new());
+        }
+        for (h, level) in other.compactors.iter().enumerate() {
+            self.maintenance_ops += level.len() as u64;
+            self.compactors[h].extend_from_slice(level);
+        }
+        self.maintain();
+    }
+
+    /// The value at quantile `phi ∈ [0, 1]`, within the `εn` rank
+    /// target. The boundary quantiles `phi = 0` and `phi = 1` return
+    /// the **exact** tracked minimum / maximum side statistics, never a
+    /// summary item's estimate.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidArgument`] for `phi` outside `[0, 1]`;
+    /// * [`StatsError::InsufficientData`] on an empty sketch.
+    pub fn quantile(&self, phi: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&phi) {
+            return Err(StatsError::InvalidArgument {
+                what: "quantile level must be in [0, 1]",
+            });
+        }
+        if self.n == 0 {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        if phi <= 0.0 {
+            return Ok(self.min);
+        }
+        if phi >= 1.0 {
+            return Ok(self.max);
+        }
+        let target = (phi * self.n as f64).ceil().max(1.0) as u64;
+        let mut items = self.weighted_items();
+        items.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let mut acc = 0u64;
+        for (v, w) in items {
+            acc += w;
+            if acc >= target {
+                return Ok(v);
+            }
+        }
+        // Total stored weight equals n, so the walk always reaches the
+        // target; this line is unreachable but must not panic.
+        Ok(self.max)
+    }
+
+    /// Approximate rank of `x`: how many observations are ≤ `x`, within
+    /// the `εn` target.
+    pub fn rank(&self, x: f64) -> u64 {
+        self.weighted_items()
+            .iter()
+            .filter(|(v, _)| *v <= x)
+            .map(|&(_, w)| w)
+            .sum()
+    }
+
+    /// Approximate empirical CDF at `x`: `rank(x) / n` (0 on an empty
+    /// sketch).
+    pub fn ecdf(&self, x: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.rank(x) as f64 / self.n as f64
+    }
+
+    /// Approximate empirical survival `1 − F̂(x)` — the observed-tail
+    /// side of a pWCET plot.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.ecdf(x)
+    }
+
+    /// Every stored item with its level weight `2^h`. Levels never
+    /// exceed 63 for any reachable `n ≤ u64::MAX` (level `h` only
+    /// exists once `2^h` observations have been promoted into it).
+    fn weighted_items(&self) -> Vec<(f64, u64)> {
+        let mut items = Vec::with_capacity(self.tuples());
+        for (h, level) in self.compactors.iter().enumerate() {
+            let w = 1u64 << (h as u32).min(63);
+            items.extend(level.iter().map(|&v| (v, w)));
+        }
+        items
+    }
+
+    /// Total stored weight — the decode-time consistency check:
+    /// compaction conserves weight exactly, so this always equals `n`
+    /// for any reachable state.
+    pub(crate) fn stored_weight(&self) -> u128 {
+        self.compactors
+            .iter()
+            .enumerate()
+            .map(|(h, level)| (level.len() as u128) << (h as u32).min(127))
+            .sum()
+    }
+
+    /// `true` when every level respects its capacity and the top level
+    /// is non-empty (or the sketch is a single empty level) — the shape
+    /// every reachable state has, enforced again at decode time.
+    pub(crate) fn shape_is_canonical(&self) -> bool {
+        if self.compactors.is_empty() || self.compactors.len() > 64 {
+            return false;
+        }
+        if (0..self.compactors.len()).any(|h| self.compactors[h].len() >= self.capacity(h)) {
+            return false;
+        }
+        match self.compactors.last() {
+            Some(top) => self.compactors.len() == 1 || !top.is_empty(),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| 1e5 + 1e4 * rng.gen::<f64>()).collect()
+    }
+
+    fn observed_rank_error(sketch: &KllSketch, sorted: &[f64]) -> f64 {
+        let n = sorted.len() as f64;
+        [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999]
+            .iter()
+            .map(|&phi| {
+                let est = sketch.quantile(phi).unwrap();
+                let rank = sorted.partition_point(|&v| v <= est) as f64;
+                (rank - phi * n).abs()
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(KllSketch::new(0.0).is_err());
+        assert!(KllSketch::new(0.5).is_err());
+        assert!(KllSketch::new(-0.1).is_err());
+        assert!(KllSketch::new(0.01).is_ok());
+    }
+
+    #[test]
+    fn empty_sketch_behaviour() {
+        let s = KllSketch::new(0.01).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert!(s.quantile(0.5).is_err());
+        assert_eq!(s.ecdf(10.0), 0.0);
+        assert!(s.shape_is_canonical());
+    }
+
+    #[test]
+    fn exact_extremes_and_mean() {
+        let mut s = KllSketch::new(0.05).unwrap();
+        for x in [5.0, 1.0, 9.0, 3.0] {
+            s.insert(x);
+        }
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.mean(), Some(4.5));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn non_finite_inserts_ignored() {
+        let mut s = KllSketch::new(0.01).unwrap();
+        s.insert(f64::NAN);
+        s.insert(f64::INFINITY);
+        assert!(s.is_empty());
+        s.insert(1.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.quantile(0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_within_rank_error_on_shuffled_stream() {
+        let eps = 0.01;
+        let n = 20_000usize;
+        let values = uniform(n, 1);
+        let mut s = KllSketch::new(eps).unwrap();
+        for &x in &values {
+            s.insert(x);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let err = observed_rank_error(&s, &sorted);
+        assert!(
+            err <= eps * n as f64 + 1.0,
+            "rank err {err} > {}",
+            eps * n as f64
+        );
+    }
+
+    #[test]
+    fn memory_stays_bounded_and_independent_of_n() {
+        let mut s = KllSketch::new(0.01).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut footprints = Vec::new();
+        for round in 0..5 {
+            for _ in 0..20_000 {
+                s.insert(rng.gen::<f64>());
+            }
+            footprints.push(s.tuples());
+            assert!(s.shape_is_canonical(), "round {round} broke the shape");
+        }
+        // k = ceil(4/0.01) = 400; the geometric schedule converges to
+        // ~3k items (the footprint oscillates with level fills but must
+        // stay under that cap at every multiple of n — 100k inserts
+        // retaining < 1.4k items is the whole point).
+        let cap = 3 * 400 + 2 * 64;
+        for (round, &t) in footprints.iter().enumerate() {
+            assert!(t < cap, "round {round}: {t} items >= {cap}");
+        }
+    }
+
+    #[test]
+    fn weight_is_conserved_through_compaction_and_merge() {
+        let mut a = KllSketch::new(0.02).unwrap();
+        let mut b = KllSketch::new(0.02).unwrap();
+        for &x in &uniform(7_777, 3) {
+            a.insert(x);
+        }
+        b.insert_batch(&uniform(3_333, 4));
+        assert_eq!(a.stored_weight(), u128::from(a.len()));
+        assert_eq!(b.stored_weight(), u128::from(b.len()));
+        a.merge(&b);
+        assert_eq!(a.len(), 7_777 + 3_333);
+        assert_eq!(a.stored_weight(), u128::from(a.len()));
+        assert!(a.shape_is_canonical());
+    }
+
+    #[test]
+    fn batch_insert_is_bit_identical_to_itemized() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let streams: Vec<Vec<f64>> = vec![
+            (0..5_000).map(|_| 1e5 + 1e4 * rng.gen::<f64>()).collect(),
+            (0..5_000).map(|i| i as f64).collect(),
+            (0..5_000).rev().map(|i| i as f64).collect(),
+            (0..5_000)
+                .map(|i| if i % 10 == 0 { 2.0 } else { 1.0 })
+                .collect(),
+            vec![42.0; 3_000],
+        ];
+        for (k, stream) in streams.iter().enumerate() {
+            for eps in [0.001, 0.01, 0.2] {
+                let mut itemized = KllSketch::new(eps).unwrap();
+                for &x in stream {
+                    itemized.insert(x);
+                }
+                for chunk in [stream.len(), 1, 7, 499, 500, 501] {
+                    let mut batched = KllSketch::new(eps).unwrap();
+                    for piece in stream.chunks(chunk) {
+                        batched.insert_batch(piece);
+                    }
+                    assert_eq!(
+                        batched, itemized,
+                        "stream {k} eps {eps} chunk {chunk} diverged"
+                    );
+                    assert_eq!(
+                        batched.maintenance_ops(),
+                        itemized.maintenance_ops(),
+                        "KLL ingest is amortized on both paths"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_insert_skips_non_finite_like_itemized() {
+        let stream = [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, f64::NEG_INFINITY];
+        let mut itemized = KllSketch::new(0.01).unwrap();
+        for &x in &stream {
+            itemized.insert(x);
+        }
+        let mut batched = KllSketch::new(0.01).unwrap();
+        batched.insert_batch(&stream);
+        assert_eq!(batched, itemized);
+        assert_eq!(batched.len(), 3);
+        let before = batched.clone();
+        batched.insert_batch(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(batched, before);
+    }
+
+    #[test]
+    fn merge_side_stats_are_exact() {
+        let mut a = KllSketch::new(0.01).unwrap();
+        let mut b = KllSketch::new(0.01).unwrap();
+        for x in [5.0, 1.0, 9.0] {
+            a.insert(x);
+        }
+        for x in [2.0, 12.0] {
+            b.insert(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(12.0));
+        assert_eq!(a.mean(), Some(29.0 / 5.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut filled = KllSketch::new(0.01).unwrap();
+        for i in 0..500 {
+            filled.insert(i as f64);
+        }
+        let reference = filled.clone();
+        filled.merge(&KllSketch::new(0.01).unwrap());
+        assert_eq!(filled, reference);
+        let mut empty = KllSketch::new(0.01).unwrap();
+        empty.merge(&reference);
+        assert_eq!(empty, reference);
+    }
+
+    #[test]
+    fn merge_takes_the_looser_epsilon() {
+        let mut tight = KllSketch::new(0.001).unwrap();
+        let mut loose = KllSketch::new(0.05).unwrap();
+        tight.insert(1.0);
+        loose.insert(2.0);
+        tight.merge(&loose);
+        assert_eq!(tight.epsilon(), 0.05);
+    }
+
+    #[test]
+    fn merged_quantiles_within_rank_error() {
+        let eps = 0.01;
+        let n = 20_000usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut values: Vec<f64> = Vec::with_capacity(n);
+        // Four shards with disjoint value regimes — the worst case for
+        // a naive merge.
+        let mut shards: Vec<KllSketch> = (0..4).map(|_| KllSketch::new(eps).unwrap()).collect();
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for _ in 0..n / 4 {
+                let x = 1e5 * (s + 1) as f64 + 1e4 * rng.gen::<f64>();
+                values.push(x);
+                shard.insert(x);
+            }
+        }
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.len(), n as u64);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let err = observed_rank_error(&merged, &values);
+        assert!(
+            err <= eps * n as f64 + 1.0,
+            "rank err {err} > {}",
+            eps * n as f64
+        );
+    }
+
+    #[test]
+    fn merge_order_is_deterministic_and_reproducible() {
+        let data = uniform(12_000, 8);
+        let build = || {
+            let mut shards: Vec<KllSketch> = Vec::new();
+            for chunk in data.chunks(1_500) {
+                let mut s = KllSketch::new(0.01).unwrap();
+                s.insert_batch(chunk);
+                shards.push(s);
+            }
+            let mut folded = shards.remove(0);
+            for s in &shards {
+                folded.merge(s);
+            }
+            folded
+        };
+        // Same operand states, same coins, same result — bit for bit.
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn boundary_quantiles_return_exact_extremes() {
+        let mut s = KllSketch::new(0.05).unwrap();
+        s.insert_batch(&uniform(10_000, 9));
+        assert_eq!(s.quantile(0.0).unwrap(), s.min().unwrap());
+        assert_eq!(s.quantile(1.0).unwrap(), s.max().unwrap());
+    }
+
+    #[test]
+    fn ecdf_and_survival_are_complementary() {
+        let mut s = KllSketch::new(0.01).unwrap();
+        for i in 0..1000 {
+            s.insert(i as f64);
+        }
+        let f = s.ecdf(500.0);
+        assert!((f - 0.5).abs() < 0.03, "F(500)={f}");
+        assert!((s.survival(500.0) + f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream_is_fine() {
+        let mut s = KllSketch::new(0.01).unwrap();
+        for i in 0..10_000 {
+            s.insert(if i % 10 == 0 { 2.0 } else { 1.0 });
+        }
+        assert_eq!(s.quantile(0.5).unwrap(), 1.0);
+        assert_eq!(s.max(), Some(2.0));
+    }
+}

@@ -6,8 +6,9 @@
 //! This crate analyses a campaign **while it runs**, in bounded memory:
 //!
 //! * [`StreamAnalyzer`] ingests measurements one at a time (or in
-//!   batches), maintains a [GK quantile sketch](sketch::QuantileSketch)
-//!   for high-watermark/ECDF queries, rolling i.i.d. diagnostics
+//!   batches), maintains a quantile sketch — [GK](sketch::QuantileSketch)
+//!   or [KLL](kll::KllSketch), selected by [`SketchKind`](sketch::SketchKind)
+//!   — for high-watermark/ECDF queries, rolling i.i.d. diagnostics
 //!   ([`monitor::IidMonitor`]: online autocorrelation + runs-test
 //!   windows), and an incremental block-maxima buffer; every `K` new
 //!   blocks it refits the Gumbel tail and emits a [`PwcetSnapshot`] until
@@ -70,6 +71,7 @@ pub mod analyzer;
 pub mod compat;
 pub mod engine;
 pub mod federated;
+pub mod kll;
 pub mod monitor;
 pub mod persist;
 pub mod replay;
@@ -84,6 +86,7 @@ pub use engine::{SessionStreamExt, StreamEngine, StreamFactory};
 pub use federated::{
     FederatedAnalyzer, FederatedConfig, FederatedEngine, FederatedFactory, SessionFederatedExt,
 };
+pub use kll::KllSketch;
 pub use monitor::{IidHealth, IidMonitor, IidStatus};
 pub use replay::{ByteLines, LineSource, LineSourceError, TraceReplay};
-pub use sketch::QuantileSketch;
+pub use sketch::{QuantileSketch, Sketch, SketchKind};

@@ -435,6 +435,63 @@ mod tests {
     }
 
     #[test]
+    fn unterminated_final_line_parses_with_correct_line_number() {
+        // The last line of a feed often arrives without a trailing
+        // newline (truncated file, `printf` without `\n`, a pipe cut at
+        // the writer). It must parse like any other line, and ByteLines
+        // must hand the closure its true 1-based position.
+        let data = "1\n2\n3.5";
+        let vals: Result<Vec<f64>, _> = LineSource::new(data.as_bytes()).collect();
+        assert_eq!(vals.unwrap(), vec![1.0, 2.0, 3.5]);
+
+        let mut lines = ByteLines::new(data.as_bytes());
+        let mut seen = Vec::new();
+        while let Some(item) = lines
+            .next_line(|no, bytes| (no, String::from_utf8_lossy(bytes).into_owned()))
+            .unwrap()
+        {
+            seen.push(item);
+        }
+        assert_eq!(
+            seen,
+            vec![(1, "1".into()), (2, "2".into()), (3, "3.5".into())],
+            "the unterminated final line is line 3, not 0 or 2"
+        );
+    }
+
+    #[test]
+    fn bad_unterminated_final_line_reports_its_line_number() {
+        // A garbage final line without a trailing newline must surface
+        // as a Parse error carrying the same 1-based line number the
+        // terminated spelling would report.
+        let err = LineSource::new("1\n2\nbogus".as_bytes())
+            .collect::<Result<Vec<f64>, _>>()
+            .unwrap_err();
+        assert!(
+            matches!(&err, LineSourceError::Parse { line_no: 3, line } if line == "bogus"),
+            "{err:?}"
+        );
+        assert_eq!(err.to_string(), "unparsable measurement line 3: `bogus`");
+    }
+
+    #[test]
+    fn bad_unterminated_final_line_straddling_refills_keeps_its_number() {
+        // Same property when the final line crosses fill_buf boundaries:
+        // a 4-byte buffer forces `bogus-value` through the carry path in
+        // chunks, and EOF (not a newline) terminates it. The error must
+        // still name line 4 and carry the reassembled text.
+        let data = "# head\n10\n20\nbogus-value";
+        let tiny = std::io::BufReader::with_capacity(4, data.as_bytes());
+        let err = LineSource::new(tiny)
+            .collect::<Result<Vec<f64>, _>>()
+            .unwrap_err();
+        assert!(
+            matches!(&err, LineSourceError::Parse { line_no: 4, line } if line == "bogus-value"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn line_numbers_count_comments_and_blanks() {
         // Line 5 is the bad one: comment, value, blank, value, garbage.
         let data = "# h\n1\n\n2\nnope\n";

@@ -19,8 +19,75 @@
 //! per-shard `ε` is exactly `ε·(n₁+n₂)`. This is the federated
 //! quantile-estimation shape: shards sketch independently, a coordinator
 //! folds the sketches.
+//!
+//! GK is one of two sketch algorithms behind the [`Sketch`] dispatch
+//! enum: [`SketchKind`] selects between GK and the KLL summary
+//! ([`crate::kll::KllSketch`]), which trades GK's worst-case bound for
+//! a probabilistic one that does **not** degrade with merge-tree depth.
 
 use proxima_stats::StatsError;
+
+use crate::kll::KllSketch;
+
+/// Exact `⌊2^log2_scale · ε · n⌋` in integer arithmetic.
+///
+/// The obvious `(2.0 * ε * n as f64).floor() as u64` loses precision
+/// once `n` exceeds 2⁵³ (the `u64 → f64` conversion rounds) and the
+/// final cast saturates silently at the `f64` edge — both bugs for the
+/// GK invariant, which needs the *exact* floor. Instead, decompose the
+/// (finite, positive) `ε` into an integer mantissa and a power of two,
+/// so `ε·n` becomes one exact `u128` multiply and a shift.
+pub(crate) fn scaled_eps_count_floor(epsilon: f64, n: u64, log2_scale: u32) -> u64 {
+    let (floor, _) = scaled_eps_count_parts(epsilon, n, log2_scale);
+    floor
+}
+
+/// Exact `⌈2^log2_scale·ε·n⌉` with `log2_scale = 0`, i.e. `⌈εn⌉` — the
+/// quantile-query slack — in the same checked integer arithmetic as
+/// [`scaled_eps_count_floor`].
+pub(crate) fn scaled_eps_count_ceil(epsilon: f64, n: u64) -> u64 {
+    let (floor, exact) = scaled_eps_count_parts(epsilon, n, 0);
+    if exact {
+        floor
+    } else {
+        floor.saturating_add(1)
+    }
+}
+
+/// `(⌊2^log2_scale·ε·n⌋, was the product an exact integer)` for a
+/// finite `ε ∈ (0, 1)` and `log2_scale ∈ {0, 1}` (so the result always
+/// fits in `u64`; saturates defensively rather than wrapping if ever
+/// called outside that envelope).
+fn scaled_eps_count_parts(epsilon: f64, n: u64, log2_scale: u32) -> (u64, bool) {
+    if n == 0 || epsilon <= 0.0 || !epsilon.is_finite() {
+        return (0, true);
+    }
+    // ε = mantissa · 2^exp exactly (IEEE-754 binary64).
+    let bits = epsilon.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7FF) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mantissa, exp) = if raw_exp == 0 {
+        (frac, -1074i64) // subnormal
+    } else {
+        (frac | (1u64 << 52), raw_exp - 1075)
+    };
+    // mantissa ≤ 2^53 and n ≤ 2^64, so the product fits in u128.
+    let product = mantissa as u128 * n as u128;
+    // 2^log2_scale·ε·n = product · 2^(exp + log2_scale); for ε < 1 the
+    // exponent is at most -52, so the shift is always a right shift.
+    let shift = -(exp + i64::from(log2_scale));
+    if shift <= 0 {
+        let shifted = product << ((-shift) as u32).min(127);
+        return (u64::try_from(shifted).unwrap_or(u64::MAX), true);
+    }
+    if shift >= 128 {
+        return (0, product == 0);
+    }
+    let shift = shift as u32;
+    let floor = product >> shift;
+    let exact = product & ((1u128 << shift) - 1) == 0;
+    (u64::try_from(floor).unwrap_or(u64::MAX), exact)
+}
 
 /// One GK summary tuple: a stored value `v` covering `g` observations, with
 /// rank uncertainty `delta`.
@@ -144,9 +211,22 @@ impl QuantileSketch {
         (self.n > 0).then_some(self.sum / self.n as f64)
     }
 
-    /// The `⌊2εn⌋` capacity bound of the GK invariant at the current `n`.
+    /// The `⌊2εn⌋` rank-error band of the GK invariant at the current
+    /// `n` — every tuple keeps `g + delta ≤ ⌊2εn⌋ + 1`, so any rank
+    /// query is answerable within `εn`.
+    ///
+    /// Computed exactly in integer arithmetic: the earlier
+    /// `(2.0 * ε * n as f64).floor() as u64` spelling lost precision
+    /// past `n = 2⁵³` and saturated silently at the cast, which would
+    /// let the invariant drift at large `n`.
+    pub fn rank_error_bound(&self) -> u64 {
+        scaled_eps_count_floor(self.epsilon, self.n, 1)
+    }
+
+    /// Internal alias for [`rank_error_bound`](Self::rank_error_bound),
+    /// under the GK literature's name for the quantity.
     fn band(&self) -> u64 {
-        (2.0 * self.epsilon * self.n as f64).floor() as u64
+        self.rank_error_bound()
     }
 
     /// The smallest insert count at which the periodic compress fires —
@@ -412,6 +492,11 @@ impl QuantileSketch {
     }
 
     /// The value at quantile `phi ∈ [0, 1]`, within `εn` rank error.
+    /// The boundary quantiles `phi = 0` and `phi = 1` return the
+    /// **exact** tracked minimum / maximum side statistics, never a
+    /// tuple's within-slack estimate (the scan below is allowed to stop
+    /// up to `εn` ranks early, which for `phi = 1` could surface an
+    /// interior value in place of the high watermark).
     ///
     /// # Errors
     ///
@@ -426,8 +511,14 @@ impl QuantileSketch {
         if self.n == 0 {
             return Err(StatsError::InsufficientData { needed: 1, got: 0 });
         }
+        if phi <= 0.0 {
+            return Ok(self.min);
+        }
+        if phi >= 1.0 {
+            return Ok(self.max);
+        }
         let target = (phi * self.n as f64).ceil().max(1.0) as u64;
-        let slack = (self.epsilon * self.n as f64).ceil() as u64;
+        let slack = scaled_eps_count_ceil(self.epsilon, self.n);
         let mut r_min = 0u64;
         for t in &self.tuples {
             r_min += t.g;
@@ -468,6 +559,253 @@ impl QuantileSketch {
 
     /// Approximate empirical survival `1 − F̂(x)` — the observed-tail side
     /// of a pWCET plot.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.ecdf(x)
+    }
+}
+
+/// Which quantile-sketch algorithm an analyzer maintains — the
+/// `--sketch {gk,kll}` choice, threaded through
+/// [`StreamConfig`](crate::analyzer::StreamConfig), the session layer
+/// and the persist codec.
+///
+/// Both kinds sit behind the same [`Sketch`] surface and the same
+/// merge/checkpoint contracts; they differ in the error guarantee and
+/// in how that guarantee behaves under federation:
+///
+/// * [`Gk`](SketchKind::Gk) — deterministic worst-case `εn` rank bound,
+///   but merge error accumulates additively over a merge tree;
+/// * [`Kll`](SketchKind::Kll) — probabilistic `εn` bound (over a
+///   deterministic, state-seeded coin stream), merge error does **not**
+///   grow with tree depth, and summaries are several times smaller at
+///   equal observed error (see `docs/PERFORMANCE.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SketchKind {
+    /// Greenwald–Khanna ([`QuantileSketch`]) — the default.
+    #[default]
+    Gk,
+    /// KLL ([`KllSketch`]).
+    Kll,
+}
+
+impl SketchKind {
+    /// The CLI spelling (`"gk"` / `"kll"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SketchKind::Gk => "gk",
+            SketchKind::Kll => "kll",
+        }
+    }
+}
+
+impl std::fmt::Display for SketchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SketchKind {
+    type Err = StatsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "gk" => Ok(SketchKind::Gk),
+            "kll" => Ok(SketchKind::Kll),
+            _ => Err(StatsError::InvalidArgument {
+                what: "sketch kind must be 'gk' or 'kll'",
+            }),
+        }
+    }
+}
+
+/// A quantile sketch of either algorithm behind one dispatch surface.
+///
+/// The analyzer, federated fold, session and serve layers hold a
+/// `Sketch` and never branch on the algorithm themselves; every method
+/// forwards to the selected summary. Merging is only defined between
+/// sketches of the same kind — config equality gates every merge path
+/// (analyzer, federated, sealed-blob MERGE), so a kind mismatch is a
+/// typed error, never a silent coercion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sketch {
+    /// A Greenwald–Khanna summary.
+    Gk(QuantileSketch),
+    /// A KLL summary.
+    Kll(KllSketch),
+}
+
+impl Sketch {
+    /// Create an empty sketch of `kind` targeting rank error `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < epsilon < 0.5`.
+    pub fn new(kind: SketchKind, epsilon: f64) -> Result<Self, StatsError> {
+        match kind {
+            SketchKind::Gk => QuantileSketch::new(epsilon).map(Sketch::Gk),
+            SketchKind::Kll => KllSketch::new(epsilon).map(Sketch::Kll),
+        }
+    }
+
+    /// Which algorithm this sketch runs.
+    pub fn kind(&self) -> SketchKind {
+        match self {
+            Sketch::Gk(_) => SketchKind::Gk,
+            Sketch::Kll(_) => SketchKind::Kll,
+        }
+    }
+
+    /// The configured rank-error target.
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            Sketch::Gk(s) => s.epsilon(),
+            Sketch::Kll(s) => s.epsilon(),
+        }
+    }
+
+    /// Number of observations ingested.
+    pub fn len(&self) -> u64 {
+        match self {
+            Sketch::Gk(s) => s.len(),
+            Sketch::Kll(s) => s.len(),
+        }
+    }
+
+    /// `true` before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of summary items currently held (GK tuples or KLL
+    /// compactor items) — the memory footprint.
+    pub fn tuples(&self) -> usize {
+        match self {
+            Sketch::Gk(s) => s.tuples(),
+            Sketch::Kll(s) => s.tuples(),
+        }
+    }
+
+    /// Exact minimum observed, if any.
+    pub fn min(&self) -> Option<f64> {
+        match self {
+            Sketch::Gk(s) => s.min(),
+            Sketch::Kll(s) => s.min(),
+        }
+    }
+
+    /// Exact maximum observed — the campaign's high watermark.
+    pub fn max(&self) -> Option<f64> {
+        match self {
+            Sketch::Gk(s) => s.max(),
+            Sketch::Kll(s) => s.max(),
+        }
+    }
+
+    /// Exact running mean, if any observation arrived.
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            Sketch::Gk(s) => s.mean(),
+            Sketch::Kll(s) => s.mean(),
+        }
+    }
+
+    /// The rank-error bound at the current `n`, in exact integer
+    /// arithmetic: `⌊2εn⌋` (worst-case) for GK, `⌈εn⌉` (probabilistic)
+    /// for KLL.
+    pub fn rank_error_bound(&self) -> u64 {
+        match self {
+            Sketch::Gk(s) => s.rank_error_bound(),
+            Sketch::Kll(s) => s.rank_error_bound(),
+        }
+    }
+
+    /// Cumulative maintenance operations since construction (see the
+    /// per-algorithm docs); machine-independent, excluded from equality,
+    /// resets on checkpoint restore.
+    pub fn maintenance_ops(&self) -> u64 {
+        match self {
+            Sketch::Gk(s) => s.maintenance_ops(),
+            Sketch::Kll(s) => s.maintenance_ops(),
+        }
+    }
+
+    /// Ingest one observation (non-finite values are ignored).
+    pub fn insert(&mut self, x: f64) {
+        match self {
+            Sketch::Gk(s) => s.insert(x),
+            Sketch::Kll(s) => s.insert(x),
+        }
+    }
+
+    /// Bulk-ingest a slice; bit-identical to itemized
+    /// [`insert`](Self::insert) at every batch split, for both kinds.
+    pub fn insert_batch(&mut self, xs: &[f64]) {
+        match self {
+            Sketch::Gk(s) => s.insert_batch(xs),
+            Sketch::Kll(s) => s.insert_batch(xs),
+        }
+    }
+
+    /// Uniform bulk-ingest spelling; identical to
+    /// [`insert_batch`](Self::insert_batch).
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        self.insert_batch(xs);
+    }
+
+    /// Fold another sketch of the **same kind** into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] on a kind mismatch. The
+    /// analyzer/federated/serve merge paths all verify config equality
+    /// (which includes the kind) first, so they can never hit it.
+    pub fn merge(&mut self, other: &Sketch) -> Result<(), StatsError> {
+        match (self, other) {
+            (Sketch::Gk(a), Sketch::Gk(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (Sketch::Kll(a), Sketch::Kll(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            _ => Err(StatsError::InvalidArgument {
+                what: "cannot merge quantile sketches of different kinds",
+            }),
+        }
+    }
+
+    /// The value at quantile `phi ∈ [0, 1]`; `phi = 0` / `phi = 1`
+    /// return the exact tracked extremes.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidArgument`] for `phi` outside `[0, 1]`;
+    /// * [`StatsError::InsufficientData`] on an empty sketch.
+    pub fn quantile(&self, phi: f64) -> Result<f64, StatsError> {
+        match self {
+            Sketch::Gk(s) => s.quantile(phi),
+            Sketch::Kll(s) => s.quantile(phi),
+        }
+    }
+
+    /// Approximate rank of `x`: how many observations are ≤ `x`.
+    pub fn rank(&self, x: f64) -> u64 {
+        match self {
+            Sketch::Gk(s) => s.rank(x),
+            Sketch::Kll(s) => s.rank(x),
+        }
+    }
+
+    /// Approximate empirical CDF at `x` (0 on an empty sketch).
+    pub fn ecdf(&self, x: f64) -> f64 {
+        match self {
+            Sketch::Gk(s) => s.ecdf(x),
+            Sketch::Kll(s) => s.ecdf(x),
+        }
+    }
+
+    /// Approximate empirical survival `1 − F̂(x)`.
     pub fn survival(&self, x: f64) -> f64 {
         1.0 - self.ecdf(x)
     }
@@ -790,5 +1128,156 @@ mod tests {
         assert_eq!(s.quantile(0.5).unwrap(), 1.0);
         assert_eq!(s.quantile(0.99).unwrap(), 2.0);
         assert_eq!(s.max(), Some(2.0));
+    }
+
+    /// Exhaustive u128 reference for the integer ε·n helpers.
+    fn reference_floor(epsilon: f64, n: u64, log2_scale: u32) -> u64 {
+        let bits = epsilon.to_bits();
+        let raw_exp = ((bits >> 52) & 0x7FF) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mantissa, exp) = if raw_exp == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), raw_exp - 1075)
+        };
+        let product = mantissa as u128 * n as u128;
+        let shift = (-(exp + i64::from(log2_scale))) as u32;
+        u64::try_from(product >> shift).unwrap()
+    }
+
+    #[test]
+    fn rank_error_bound_is_exact_at_large_n() {
+        // ε = 0.25 is exactly representable, so ⌊2εn⌋ = ⌊n/2⌋ exactly.
+        // The old f64 spelling rounded n = u64::MAX up to 2⁶⁴ and
+        // reported 2⁶³ — one MORE than the true band, silently widening
+        // the GK invariant. The integer path must be exact.
+        let mut s = QuantileSketch::new(0.25).unwrap();
+        s.n = u64::MAX;
+        assert_eq!(s.rank_error_bound(), u64::MAX / 2);
+        assert_eq!(
+            (2.0 * 0.25 * (u64::MAX as f64)).floor() as u64,
+            u64::MAX / 2 + 1,
+            "the f64 round-trip this test guards against has changed behaviour"
+        );
+        // Sweep awkward epsilons × huge n against an independent u128
+        // reference (floor and the derived ceil).
+        for eps in [1e-9, 0.001, 0.1, 0.3, 0.25f64.next_up(), 0.5f64.next_down()] {
+            for n in [
+                1u64,
+                (1 << 53) - 1,
+                1 << 53,
+                (1 << 53) + 1,
+                u64::MAX / 3,
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                assert_eq!(
+                    scaled_eps_count_floor(eps, n, 1),
+                    reference_floor(eps, n, 1),
+                    "floor(2·{eps}·{n})"
+                );
+                let floor0 = reference_floor(eps, n, 0);
+                let ceil = scaled_eps_count_ceil(eps, n);
+                assert!(
+                    ceil == floor0 || ceil == floor0 + 1,
+                    "ceil({eps}·{n}) = {ceil} vs floor {floor0}"
+                );
+                assert!(ceil >= 1, "ceil of a positive product is at least 1");
+            }
+        }
+        assert_eq!(scaled_eps_count_floor(0.1, 0, 1), 0);
+        assert_eq!(scaled_eps_count_ceil(0.1, 0), 0);
+    }
+
+    #[test]
+    fn boundary_quantiles_return_exact_extremes() {
+        // phi = 1 exercises the bug this pins: the slack-window scan
+        // may stop up to εn ranks early and report an interior tuple
+        // instead of the tracked maximum.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut s = QuantileSketch::new(0.1).unwrap();
+        for _ in 0..10_000 {
+            s.insert(rng.gen::<f64>());
+        }
+        // Exact extremes inserted once each, far from the bulk.
+        s.insert(-5.0);
+        s.insert(7.0);
+        assert_eq!(s.quantile(0.0).unwrap(), -5.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 7.0);
+        assert_eq!(s.quantile(0.0).unwrap(), s.min().unwrap());
+        assert_eq!(s.quantile(1.0).unwrap(), s.max().unwrap());
+    }
+
+    #[test]
+    fn boundary_quantiles_exact_on_merged_and_batch_built_sketches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let shard_data: Vec<Vec<f64>> = (0..4)
+            .map(|s| {
+                (0..2_500)
+                    .map(|_| 1e3 * (s + 1) as f64 + 1e3 * rng.gen::<f64>())
+                    .collect()
+            })
+            .collect();
+        for kind in [SketchKind::Gk, SketchKind::Kll] {
+            // Batch-built.
+            let mut batch = Sketch::new(kind, 0.05).unwrap();
+            for shard in &shard_data {
+                batch.insert_batch(shard);
+            }
+            assert_eq!(batch.quantile(0.0).unwrap(), batch.min().unwrap());
+            assert_eq!(batch.quantile(1.0).unwrap(), batch.max().unwrap());
+            // Merged from per-shard sketches.
+            let mut merged = Sketch::new(kind, 0.05).unwrap();
+            for shard in &shard_data {
+                let mut s = Sketch::new(kind, 0.05).unwrap();
+                s.insert_batch(shard);
+                merged.merge(&s).unwrap();
+            }
+            assert_eq!(merged.quantile(0.0).unwrap(), merged.min().unwrap());
+            assert_eq!(merged.quantile(1.0).unwrap(), merged.max().unwrap());
+            assert_eq!(merged.min(), batch.min());
+            assert_eq!(merged.max(), batch.max());
+        }
+    }
+
+    #[test]
+    fn sketch_kind_round_trips_through_strings() {
+        for kind in [SketchKind::Gk, SketchKind::Kll] {
+            assert_eq!(kind.as_str().parse::<SketchKind>().unwrap(), kind);
+        }
+        assert!("gkk".parse::<SketchKind>().is_err());
+        assert!("KLL".parse::<SketchKind>().is_err());
+        assert_eq!(SketchKind::default(), SketchKind::Gk);
+    }
+
+    #[test]
+    fn sketch_dispatch_forwards_to_the_selected_algorithm() {
+        for kind in [SketchKind::Gk, SketchKind::Kll] {
+            let mut s = Sketch::new(kind, 0.01).unwrap();
+            assert_eq!(s.kind(), kind);
+            assert!(s.is_empty());
+            s.insert(2.0);
+            s.insert_batch(&[1.0, 3.0]);
+            s.push_batch(&[4.0]);
+            assert_eq!(s.len(), 4);
+            assert_eq!(s.min(), Some(1.0));
+            assert_eq!(s.max(), Some(4.0));
+            assert_eq!(s.mean(), Some(2.5));
+            assert_eq!(s.quantile(1.0).unwrap(), 4.0);
+            assert!(s.rank(2.5) >= 1);
+            assert!((s.ecdf(10.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixed_kind_merge_is_a_typed_error() {
+        let mut gk = Sketch::new(SketchKind::Gk, 0.01).unwrap();
+        let mut kll = Sketch::new(SketchKind::Kll, 0.01).unwrap();
+        gk.insert(1.0);
+        kll.insert(2.0);
+        let before = gk.clone();
+        assert!(gk.merge(&kll).is_err());
+        assert_eq!(gk, before, "a rejected merge must not mutate the target");
+        assert!(kll.merge(&before).is_err());
     }
 }

@@ -38,7 +38,7 @@ use proxima::prelude::*;
 use proxima::serve::cache::query_key;
 use proxima::serve::{Response, ServeClient, ServeConfig, Server, VerdictCache, WireSnapshot};
 use proxima::stream::replay::{ByteLines, LineSource, TraceReplay};
-use proxima::stream::{FederatedFactory, StreamConfig, StreamFactory};
+use proxima::stream::{FederatedFactory, SketchKind, StreamConfig, StreamFactory};
 
 const USAGE: &str = "\
 mbpta - measurement-based probabilistic timing analysis
@@ -47,16 +47,18 @@ USAGE:
   mbpta analyze <file> [--cutoff <p>] [--alpha <a>] [--block <n>] [--cv] [--csv]
   mbpta measure [--runs <n>] [--seed <s>] [--jobs <j>] [--path <name>]
   mbpta stream [<file>] [--target-p <p>] [--block <n>] [--every <k>]
+               [--sketch <gk|kll>]
                [--simulate] [--runs <n>] [--seed <s>] [--path <name>]
                [--stop-on-converged]
   mbpta session [<file>] [--target-p <p>] [--block <n>] [--every <k>]
+                [--sketch <gk|kll>]
                 [--batch] [--shards <n>] [--jobs <j>] [--stop-on-converged]
                 [--simulate] [--runs <n>] [--seed <s>]
                 [--checkpoint <path> --checkpoint-every <k>]
   mbpta session --resume <path> [<file>] [--jobs <j>]
                 [--checkpoint <path> --checkpoint-every <k>]
   mbpta serve [--addr <host:port>] [--target-p <p>] [--block <n>] [--every <k>]
-              [--workers <w>] [--max-conns <n>] [--jobs <j>]
+              [--sketch <gk|kll>] [--workers <w>] [--max-conns <n>] [--jobs <j>]
               [--cache-capacity <n>] [--cache-ttl <t>]
               [--checkpoint <path> --checkpoint-every <k>]
   mbpta serve --resume <path> [--addr <host:port>] [--workers <w>]
@@ -67,6 +69,7 @@ USAGE:
   mbpta call <addr> merge <channel> <blob-file>
   mbpta call <addr> checkpoint | stats | shutdown
   mbpta shard [<file>] --out <blob> [--shards <n>] [--target-p <p>] [--block <n>]
+              [--sketch <gk|kll>]
               [--simulate] [--runs <n>] [--seed <s>] [--path <name>]
   mbpta --help
 
@@ -117,6 +120,10 @@ OPTIONS (stream):
   --target-p <p>       exceedance cutoff tracked by snapshots   [1e-12]
   --block <n>          block size for block maxima              [50]
   --every <k>          refit every <k> completed blocks         [5]
+  --sketch <gk|kll>    quantile-sketch algorithm: gk (tight
+                       deterministic rank bounds) or kll
+                       (smaller summaries under deep merges);
+                       both are bit-deterministic              [gk]
   --simulate           measure the TVCA live instead of reading
   --runs <n>           simulated runs (with --simulate)         [3000]
   --seed <s>           simulation master seed                   [10000000]
@@ -128,6 +135,10 @@ OPTIONS (session):
   --block <n>          block size for block maxima              [50]
   --every <k>          emit a snapshot every <k> measurements,
                        round-robin across channels (0 = off)    [250]
+  --sketch <gk|kll>    quantile-sketch algorithm for the streaming
+                       engines (not valid with --batch); the report
+                       stays bit-identical at every shard/job
+                       count for both                           [gk]
   --batch              buffer per channel and analyse at the end
                        (default: bounded-memory streaming engines)
   --shards <n>         back each channel with <n> federated stream
@@ -150,6 +161,7 @@ OPTIONS (serve):
   --target-p <p>         exceedance cutoff                    [1e-12]
   --block <n>            block size for block maxima          [50]
   --every <k>            per-channel snapshot cadence         [250]
+  --sketch <gk|kll>      quantile-sketch algorithm            [gk]
   --workers <w>          analysis worker threads; channels are
                          partitioned across workers by name hash,
                          and every response is bit-identical at
@@ -187,8 +199,9 @@ OPTIONS (shard):
   --out <blob>   output file for the sealed federated blob (required)
   --shards <n>   shard count; the folded state is bit-identical
                  for every value                                 [1]
-  --target-p, --block, --simulate, --runs, --seed, --path: as above;
-                 the stream configuration must match the server's
+  --target-p, --block, --sketch, --simulate, --runs, --seed, --path: as
+                 above; the stream configuration (including the sketch
+                 algorithm) must match the server's
 
 CHECKPOINT / RESUME (session):
   --checkpoint <path>      write a checkpoint of the full session state
@@ -254,6 +267,18 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
         Some(raw) => raw
             .parse()
             .map_err(|_| format!("invalid value for {flag}: `{raw}`")),
+    }
+}
+
+/// Parse `--sketch {gk,kll}`: the quantile-sketch algorithm the
+/// streaming engines maintain. The error names the accepted values —
+/// a generic "invalid value" would leave the user guessing.
+fn parse_sketch(args: &[String]) -> Result<SketchKind, String> {
+    match flag_value(args, "--sketch")? {
+        None => Ok(SketchKind::default()),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value for --sketch: `{raw}` (expected `gk` or `kll`)")),
     }
 }
 
@@ -490,6 +515,7 @@ fn stream_cmd(args: &[String]) -> Result<(), String> {
     let target_p: f64 = parse_flag(args, "--target-p", 1e-12)?;
     let block: usize = parse_flag(args, "--block", 50)?;
     let every: usize = parse_flag(args, "--every", 5)?;
+    let sketch = parse_sketch(args)?;
     let simulate = args.iter().any(|a| a == "--simulate");
     let stop_on_converged = args.iter().any(|a| a == "--stop-on-converged");
     if !simulate {
@@ -506,6 +532,7 @@ fn stream_cmd(args: &[String]) -> Result<(), String> {
         block_size: block,
         refit_every_blocks: every,
         target_p,
+        sketch,
         ..StreamConfig::default()
     };
     // A single-channel session over the streaming engine: polled every
@@ -652,6 +679,9 @@ struct SessionParams {
     target_p: f64,
     every: usize,
     shards: usize,
+    /// Quantile-sketch algorithm of the streaming engines (`--sketch`);
+    /// recorded so a resumed run rebuilds the same engine configuration.
+    sketch: SketchKind,
     stop_on_converged: bool,
     /// `Some((runs, seed))` when the feed is the built-in simulator.
     sim: Option<(usize, u64)>,
@@ -668,6 +698,7 @@ impl SessionParams {
         w.f64(self.target_p);
         w.usize(self.every);
         w.usize(self.shards);
+        persist::Encode::encode(&self.sketch, w);
         w.bool(self.stop_on_converged);
         match self.sim {
             None => w.bool(false),
@@ -687,6 +718,7 @@ impl SessionParams {
                 target_p: r.f64()?,
                 every: r.usize()?,
                 shards: r.usize()?,
+                sketch: persist::Decode::decode(r)?,
                 stop_on_converged: r.bool()?,
                 sim: if r.bool()? {
                     Some((r.usize()?, r.u64()?))
@@ -799,6 +831,7 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
             "--block",
             "--every",
             "--target-p",
+            "--sketch",
             "--stop-on-converged",
             "--simulate",
             "--runs",
@@ -830,11 +863,18 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
     let block: usize = parse_flag(args, "--block", 50)?;
     let every: usize = parse_flag(args, "--every", 250)?;
     let shards: usize = parse_flag(args, "--shards", 0)?;
+    let sketch = parse_sketch(args)?;
     let batch = args.iter().any(|a| a == "--batch");
     let simulate = args.iter().any(|a| a == "--simulate");
     let stop_on_converged = args.iter().any(|a| a == "--stop-on-converged");
     if shards > 0 && batch {
         return Err("--shards applies to the streaming engines; drop --batch".into());
+    }
+    // The batch engine buffers raw measurements and never builds a
+    // sketch; silently accepting the flag would let the user believe it
+    // took effect.
+    if batch && args.iter().any(|a| a == "--sketch") {
+        return Err("--sketch applies to the streaming engines; drop --batch".into());
     }
     // Shards fold at the end and only track per-shard stability, which
     // depends on the shard geometry: convergence-gated stopping would
@@ -885,6 +925,7 @@ fn session_cmd(args: &[String]) -> Result<(), String> {
         target_p,
         every,
         shards,
+        sketch,
         stop_on_converged,
         sim: if simulate {
             Some(sim_params(args, 1500)?)
@@ -1005,6 +1046,7 @@ fn run_session(
     let stream_config = StreamConfig {
         block_size: params.block,
         target_p: params.target_p,
+        sketch: params.sketch,
         ..StreamConfig::default()
     };
     match params.kind {
@@ -1394,6 +1436,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             "--target-p",
             "--block",
             "--every",
+            "--sketch",
             "--cache-capacity",
             "--cache-ttl",
             "--checkpoint",
@@ -1429,6 +1472,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             stream: StreamConfig {
                 block_size: block,
                 target_p,
+                sketch: parse_sketch(args)?,
                 ..StreamConfig::default()
             },
             snapshot_every: every,
@@ -1687,6 +1731,7 @@ fn shard_cmd(args: &[String]) -> Result<(), String> {
     let stream = StreamConfig {
         block_size: block,
         target_p,
+        sketch: parse_sketch(args)?,
         ..StreamConfig::default()
     };
     let mut config = FederatedConfig::new(stream, shards);

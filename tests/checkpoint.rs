@@ -39,6 +39,7 @@ const CODEC_COVERAGE: &[&str] = &[
     "IidMonitor",
     "IidReport",
     "IidStatus",
+    "KllSketch",
     "MbptaConfig",
     "MbptaError",
     "ObservationSummary",
@@ -47,6 +48,8 @@ const CODEC_COVERAGE: &[&str] = &[
     "Pwcet",
     "PwcetSnapshot",
     "QuantileSketch",
+    "Sketch",
+    "SketchKind",
     "StatsError",
     "StreamAnalyzer",
     "StreamConfig",
@@ -354,7 +357,7 @@ fn golden_analyzer() -> StreamAnalyzer {
 fn golden_analyzer_fixture_stays_decodable() {
     let reference = golden_analyzer();
     let current = save_analyzer(&reference);
-    let bytes = fixture_bytes("analyzer_v2.bin", &current);
+    let bytes = fixture_bytes("analyzer_v3.bin", &current);
     let decoded = load_analyzer(&bytes).expect("golden analyzer fixture must decode");
     assert_eq!(decoded.len(), 1010);
     assert_eq!(decoded.blocks(), 40);
@@ -374,6 +377,40 @@ fn golden_analyzer_fixture_stays_decodable() {
 }
 
 #[test]
+fn golden_kll_analyzer_fixture_stays_decodable() {
+    // Format v3's new byte surface: the `StreamConfig` sketch-kind byte
+    // and the kind-tagged KLL sketch record (levels, coin counter, side
+    // stats). Same shape as the GK analyzer fixture — 1010 samples, a
+    // partial block, bootstrap on — so the two fixtures differ exactly
+    // where the sketch selection bites.
+    let mut reference = StreamAnalyzer::new(StreamConfig {
+        block_size: 25,
+        refit_every_blocks: 4,
+        target_p: 1e-12,
+        sketch: proxima::stream::SketchKind::Kll,
+        ..StreamConfig::default()
+    })
+    .unwrap();
+    reference.extend(campaign(1e5, 1010, 42)).unwrap();
+    let current = save_analyzer(&reference);
+    let bytes = fixture_bytes("analyzer_kll_v3.bin", &current);
+    let decoded = load_analyzer(&bytes).expect("golden KLL analyzer fixture must decode");
+    assert_eq!(decoded.len(), 1010);
+    assert_eq!(
+        decoded.config().sketch,
+        proxima::stream::SketchKind::Kll,
+        "fixture must restore the KLL selection"
+    );
+    assert_eq!(decoded.sketch(), reference.sketch());
+    assert_eq!(decoded.maxima(), reference.maxima());
+    assert_eq!(save_analyzer(&decoded), bytes);
+    assert_eq!(
+        current, bytes,
+        "checkpoint format drifted without a version bump"
+    );
+}
+
+#[test]
 fn golden_federated_fixture_stays_decodable() {
     let config = FederatedConfig::new(stream_config(), 3).balanced_for(1500);
     let mut fed = FederatedAnalyzer::new(config).unwrap();
@@ -381,7 +418,7 @@ fn golden_federated_fixture_stays_decodable() {
         fed.push(x).unwrap();
     }
     let current = save_federated(&fed);
-    let bytes = fixture_bytes("federated_v2.bin", &current);
+    let bytes = fixture_bytes("federated_v3.bin", &current);
     let mut decoded = load_federated(&bytes).expect("golden federated fixture must decode");
     assert_eq!(decoded.len(), 1500);
     assert_eq!(decoded.shard_count(), 3);
@@ -405,7 +442,7 @@ fn golden_session_fixture_stays_decodable() {
         session.push(tagged).unwrap();
     }
     let current = session.checkpoint().unwrap();
-    let bytes = fixture_bytes("session_v2.bin", &current);
+    let bytes = fixture_bytes("session_v3.bin", &current);
     let restored =
         AnalysisSession::restore(factory, &bytes, 0).expect("golden session fixture must restore");
     assert_eq!(restored.len(), 1400);
